@@ -1,0 +1,31 @@
+# SLATE reproduction — convenience targets
+PYTHON ?= python3
+
+.PHONY: install test bench examples figures clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+figures:
+	$(PYTHON) -m repro figure fig3
+	$(PYTHON) -m repro figure fig4
+	$(PYTHON) -m repro figure fig6a
+	$(PYTHON) -m repro figure fig6b
+	$(PYTHON) -m repro figure fig6c
+	$(PYTHON) -m repro figure fig6d
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,74 @@
+"""Microbenchmarks: substrate throughput and optimizer formulation cost.
+
+Not a paper figure — these keep the simulator and LP builder honest so the
+figure benches stay fast enough to iterate on.
+"""
+
+from repro.core.optimizer import build_model, solve_model, TEProblem
+from repro.sim import (DemandMatrix, DeploymentSpec, linear_chain_app,
+                       two_region_latency)
+from repro.sim.engine import Simulator
+from repro.sim.runner import MeshSimulation
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw event-loop throughput (events/second)."""
+    def run():
+        sim = Simulator()
+
+        def tick(n):
+            if n:
+                sim.schedule(0.001, tick, n - 1)
+
+        tick_count = 20_000
+        sim.schedule(0.0, tick, tick_count)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 20_001
+
+
+def test_simulation_requests_per_second(benchmark):
+    """End-to-end simulated requests per wall-second on the chain app."""
+    app = linear_chain_app()
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=5,
+        latency=two_region_latency(25.0))
+    demand = DemandMatrix({("default", "west"): 300.0,
+                           ("default", "east"): 100.0})
+
+    def run():
+        sim = MeshSimulation(app, deployment, seed=1)
+        sim.run(demand, duration=5.0)
+        return len(sim.telemetry.requests)
+
+    completed = benchmark(run)
+    assert completed > 1500
+
+
+def test_lp_build_cost(benchmark):
+    """Formulation (matrix assembly) cost for a mid-size instance."""
+    app = linear_chain_app(n_services=5)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=5,
+        latency=two_region_latency(25.0))
+    demand = DemandMatrix({("default", "west"): 300.0,
+                           ("default", "east"): 100.0})
+    problem = TEProblem.from_specs(app, deployment, demand)
+    model = benchmark(lambda: build_model(problem))
+    assert model.n_variables > 0
+
+
+def test_lp_solve_cost(benchmark):
+    """HiGHS solve cost for the same instance."""
+    app = linear_chain_app(n_services=5)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=5,
+        latency=two_region_latency(25.0))
+    demand = DemandMatrix({("default", "west"): 600.0,
+                           ("default", "east"): 100.0})
+    problem = TEProblem.from_specs(app, deployment, demand)
+    model = build_model(problem)
+    result = benchmark(lambda: solve_model(model))
+    assert result.ok

@@ -1,0 +1,66 @@
+"""Fig. 4 — Empirical cross-cluster routing threshold (§4.1).
+
+Two clusters; East held at 100 RPS; West swept 100→1000 RPS; WAN one-way
+latency in {5, 25, 50} ms. At each point SLATE's optimizer is solved and the
+locally served RPS at West reported. Paper shape: each curve follows the
+100%-local line (y = x) until a break point, and the break point moves to
+lower loads as the network gets faster (cheaper to offload sooner).
+"""
+
+from repro.analysis.report import format_table
+from repro.core.controller.global_controller import GlobalController
+from repro.experiments.scenarios import fig4_offload_threshold_problem
+
+NETWORK_LATENCIES_MS = (5.0, 25.0, 50.0)
+WEST_LOADS = tuple(float(rps) for rps in range(100, 1001, 100))
+
+
+def sweep():
+    series = {}
+    for one_way_ms in NETWORK_LATENCIES_MS:
+        local_rps = []
+        for west_rps in WEST_LOADS:
+            scenario = fig4_offload_threshold_problem(one_way_ms, west_rps)
+            result = GlobalController.oracle(
+                scenario.app, scenario.deployment, scenario.demand)
+            local_rps.append(
+                result.ingress_local_fraction("default", "west") * west_rps)
+        series[one_way_ms] = local_rps
+    return series
+
+
+def break_point(series_for_latency):
+    """First swept load where the optimizer serves < 99.9% locally."""
+    for west_rps, local in zip(WEST_LOADS, series_for_latency):
+        if local < 0.999 * west_rps:
+            return west_rps
+    return float("inf")
+
+
+def test_fig4_offload_threshold(benchmark, report_sink):
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = (["west load (rps)", "100% local"]
+               + [f"local rps @ {ms:g}ms" for ms in NETWORK_LATENCIES_MS])
+    rows = []
+    for index, west_rps in enumerate(WEST_LOADS):
+        rows.append([west_rps, west_rps]
+                    + [series[ms][index] for ms in NETWORK_LATENCIES_MS])
+    text = format_table(
+        headers, rows,
+        title="Fig. 4: locally served RPS at West vs offered load "
+              "(east fixed at 100 RPS; red dotted line = '100% local')")
+    breaks = {ms: break_point(series[ms]) for ms in NETWORK_LATENCIES_MS}
+    text += "\nbreak points (first load with offloading): " + ", ".join(
+        f"{ms:g}ms -> {bp:g} rps" for ms, bp in sorted(breaks.items()))
+    report_sink("fig4_offload_threshold", text)
+
+    # paper shape: faster networks offload earlier (or at worst equal)
+    assert breaks[5.0] <= breaks[25.0] <= breaks[50.0]
+    # and offloading does kick in within the swept range for every latency
+    assert breaks[50.0] <= 1000.0
+    # below the break point the curve lies on y = x
+    for ms in NETWORK_LATENCIES_MS:
+        for west_rps, local in zip(WEST_LOADS, series[ms]):
+            if west_rps < breaks[ms]:
+                assert local == __import__("pytest").approx(west_rps,
+                                                            rel=1e-3)

@@ -1,0 +1,32 @@
+"""Fig. 6a — "How much to route to remote clusters?" (§4.1).
+
+Regenerates the latency CDF of SLATE vs Waterfall when the West cluster is
+overloaded: a 3-service chain in two clusters, West at 700 RPS against a
+500 RPS per-service capacity, Waterfall configured with an aggressive static
+threshold. Paper shape: SLATE's CDF dominates; it "offloads only until it
+improves the latency".
+"""
+
+from repro.analysis.report import format_cdf_series, format_comparison
+from repro.experiments.harness import compare_policies
+from repro.experiments.scenarios import fig6a_how_much
+
+
+def run_fig6a():
+    setup = fig6a_how_much()
+    return compare_policies(setup.scenario, setup.policies)
+
+
+def test_fig6a_how_much(benchmark, report_sink):
+    comparison = benchmark.pedantic(run_fig6a, rounds=1, iterations=1)
+    text = "\n".join([
+        format_cdf_series(comparison.cdfs(),
+                          title="Fig. 6a latency CDF (how much)"),
+        "",
+        format_comparison(comparison, baseline="waterfall", target="slate"),
+    ])
+    report_sink("fig6a_how_much", text)
+
+    # paper shape: SLATE clearly ahead on mean and tail
+    assert comparison.latency_ratio("waterfall", "slate") > 1.5
+    assert comparison.latency_ratio("waterfall", "slate", stat="p99") > 1.5

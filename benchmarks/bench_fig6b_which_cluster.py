@@ -1,0 +1,41 @@
+"""Fig. 6b — "Which clusters to route to?" (§4.2).
+
+The real GCP four-region topology (OR, UT, IOW, SC with the paper's
+measured RTTs). OR and IOW are overloaded; Waterfall's greedy nearest-first
+spill dumps both on UT and leaves SC idle, while SLATE's global matching
+also uses SC. Paper shape: SLATE's CDF dominates Waterfall's.
+"""
+
+from repro.analysis.report import format_cdf_series, format_comparison
+from repro.experiments.harness import compare_policies
+from repro.experiments.scenarios import fig6b_which_cluster
+
+
+def run_fig6b():
+    setup = fig6b_which_cluster()
+    comparison = compare_policies(setup.scenario, setup.policies)
+    return setup, comparison
+
+
+def test_fig6b_which_cluster(benchmark, report_sink):
+    setup, comparison = benchmark.pedantic(run_fig6b, rounds=1, iterations=1)
+    # quantify the mechanism: weight each policy puts on SC from the
+    # overloaded regions
+    ctx = setup.scenario.context()
+    def sc_weight(policy):
+        return sum(rule.weight_map().get("SC", 0.0)
+                   for rule in policy.compute_rules(ctx)
+                   if rule.src_cluster in ("OR", "IOW"))
+    text = "\n".join([
+        format_cdf_series(comparison.cdfs(),
+                          title="Fig. 6b latency CDF (which cluster)"),
+        "",
+        format_comparison(comparison, baseline="waterfall", target="slate"),
+        f"weight routed OR/IOW -> SC: slate={sc_weight(setup.slate):.3f} "
+        f"waterfall={sc_weight(setup.waterfall):.3f}",
+    ])
+    report_sink("fig6b_which_cluster", text)
+
+    assert comparison.latency_ratio("waterfall", "slate") > 1.15
+    assert sc_weight(setup.waterfall) == 0.0   # greedy ignores SC
+    assert sc_weight(setup.slate) > 0.0        # global optimum uses it

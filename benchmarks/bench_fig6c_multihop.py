@@ -1,0 +1,38 @@
+"""Fig. 6c — "Where in the topology to route?" (§4.3) + 11.6x egress claim.
+
+Anomaly-detection app FR→MP→DB with DB absent in West and a DB response
+~10x the frontend response. Locality failover and Waterfall cut at MP→DB;
+SLATE cuts at FR→MP, saving ~10x egress (paper measured 11.6x on their
+sizes) and avoiding West's tight MP pool.
+"""
+
+from repro.analysis.report import format_cdf_series, format_comparison
+from repro.experiments.harness import compare_policies
+from repro.experiments.scenarios import fig6c_multihop, locality_failover_policy
+
+
+def run_fig6c():
+    setup = fig6c_multihop()
+    policies = setup.policies + [locality_failover_policy()]
+    return compare_policies(setup.scenario, policies)
+
+
+def test_fig6c_multihop(benchmark, report_sink):
+    comparison = benchmark.pedantic(run_fig6c, rounds=1, iterations=1)
+    egress_wf = comparison.egress_cost_ratio("waterfall", "slate")
+    egress_lf = comparison.egress_cost_ratio("locality-failover", "slate")
+    text = "\n".join([
+        format_cdf_series(comparison.cdfs(),
+                          title="Fig. 6c latency CDF (multi-hop)"),
+        "",
+        format_comparison(comparison, baseline="waterfall", target="slate"),
+        f"egress ratio locality-failover/slate: {egress_lf:.2f}x "
+        "(paper: 11.6x with their response sizes)",
+    ])
+    report_sink("fig6c_multihop", text)
+
+    # paper shape: ~order-of-magnitude egress saving, latency no worse
+    assert egress_wf > 5.0
+    assert egress_lf > 5.0
+    assert comparison.latency_ratio("waterfall", "slate") > 0.95
+    assert comparison.latency_ratio("locality-failover", "slate") > 1.0

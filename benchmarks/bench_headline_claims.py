@@ -1,0 +1,55 @@
+"""Headline claims (§1, §4): "up to 3.5x in average latency and ... egress
+bandwidth cost by up to 11.6x".
+
+Runs all four Fig. 6 scenarios and reports the max mean-latency ratio and
+the Fig. 6c egress ratio — our substrate's equivalents of the paper's
+"up to" numbers. Absolute ratios depend on the testbed; the claim shape is
+that both are substantially greater than 1 and the egress one is near an
+order of magnitude.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.harness import compare_policies
+from repro.experiments.scenarios import (fig6a_how_much, fig6b_which_cluster,
+                                         fig6c_multihop,
+                                         fig6d_traffic_classes)
+
+
+def run_all():
+    outcomes = {}
+    for name, setup in (
+            ("fig6a", fig6a_how_much()),
+            ("fig6b", fig6b_which_cluster()),
+            ("fig6c", fig6c_multihop()),
+            ("fig6d", fig6d_traffic_classes())):
+        outcomes[name] = compare_policies(setup.scenario, setup.policies)
+    return outcomes
+
+
+def test_headline_claims(benchmark, report_sink):
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    latency_ratios = {}
+    egress_ratios = {}
+    for name, comparison in outcomes.items():
+        latency_ratios[name] = comparison.latency_ratio("waterfall", "slate")
+        slate_cost = comparison.outcome("slate").egress_cost
+        wf_cost = comparison.outcome("waterfall").egress_cost
+        egress_ratios[name] = (wf_cost / slate_cost if slate_cost > 0
+                               else float("nan"))
+        rows.append([name, latency_ratios[name], egress_ratios[name]])
+    best_latency = max(latency_ratios.values())
+    best_egress = max(v for v in egress_ratios.values() if v == v)
+    text = format_table(
+        ["scenario", "latency ratio (waterfall/slate)",
+         "egress ratio (waterfall/slate)"],
+        rows,
+        title="Headline: per-scenario SLATE gains "
+              "(paper: up to 3.5x latency, 11.6x egress)")
+    text += (f"\nmax latency gain: {best_latency:.2f}x; "
+             f"max egress gain: {best_egress:.2f}x")
+    report_sink("headline_claims", text)
+
+    # same regime as the paper's headline numbers
+    assert best_latency > 2.5
+    assert best_egress > 5.0

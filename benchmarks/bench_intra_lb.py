@@ -1,0 +1,86 @@
+"""Intra-cluster load balancing: the policies the paper's survey found (§2).
+
+"Load balancing of requests among service replicas is done locally at each
+sidecar and uses relatively simple policies like round-robin, consistent
+hashing, or least outstanding requests." SLATE keeps these for the
+within-cluster choice after its rules pick the cluster — so their behaviour
+still shapes the latency distribution SLATE's model must predict.
+
+This bench compares the central-queue idealisation (one M/M/c queue per
+pool) against per-replica queues under round-robin and least-outstanding
+balancing, plus hedged requests on top of the worst one. Classic ordering:
+central queue <= least-outstanding <= round-robin, most visible at the tail.
+"""
+
+import statistics
+
+from repro.analysis.report import format_table
+from repro.sim import (DemandMatrix, DeploymentSpec, linear_chain_app,
+                       two_region_latency)
+from repro.sim.runner import MeshSimulation, TimeoutPolicy
+
+DURATION = 60.0
+WEST_RPS = 420.0    # rho = 0.84 on 5 replicas of 10 ms
+
+# single-service app: hedging duplicates a call's entire downstream
+# subtree, so it is only sensible on leaf calls — exactly how
+# tail-at-scale systems deploy it
+N_SERVICES = 1
+
+
+def run_variant(service_model, intra_lb="least-outstanding",
+                timeouts=None, seed=43):
+    app = linear_chain_app(n_services=N_SERVICES, exec_time=0.010)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=5,
+        latency=two_region_latency(10.0))
+    sim = MeshSimulation(app, deployment, seed=seed,
+                         service_model=service_model, intra_lb=intra_lb,
+                         timeouts=timeouts)
+    sim.run(DemandMatrix({("default", "west"): WEST_RPS}),
+            duration=DURATION)
+    lats = sorted(sim.telemetry.latencies(after=DURATION / 6))
+    return {
+        "mean": statistics.mean(lats),
+        "p50": lats[len(lats) // 2],
+        "p99": lats[int(0.99 * len(lats))],
+        "hedges": sim.hedged_calls,
+    }
+
+
+def run_all():
+    return {
+        "central queue (pool)": run_variant("pool"),
+        "per-replica + least-outstanding": run_variant(
+            "replicas", "least-outstanding"),
+        "per-replica + round-robin": run_variant("replicas", "round-robin"),
+        # hedge stragglers (~p90 of the per-call sojourn): a much lower
+        # threshold duplicates most calls and overloads the hedge target —
+        # the classic hedging-budget failure mode
+        "round-robin + hedging": run_variant(
+            "replicas", "round-robin",
+            TimeoutPolicy(call_timeout=5.0, hedge_delay=0.1)),
+    }
+
+
+def test_intra_cluster_balancing(benchmark, report_sink):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[name, r["mean"] * 1000, r["p50"] * 1000, r["p99"] * 1000,
+             r["hedges"]]
+            for name, r in results.items()]
+    text = format_table(
+        ["variant", "mean (ms)", "p50 (ms)", "p99 (ms)", "hedges"],
+        rows,
+        title=f"Intra-cluster balancing at rho=0.84 "
+              f"(single service, {WEST_RPS:g} RPS)")
+    report_sink("intra_lb", text)
+
+    pool = results["central queue (pool)"]
+    lor = results["per-replica + least-outstanding"]
+    rr = results["per-replica + round-robin"]
+    hedged = results["round-robin + hedging"]
+    # the classic ordering at the tail
+    assert pool["p99"] <= lor["p99"] * 1.05
+    assert lor["p99"] < rr["p99"]
+    # hedging rescues round-robin's stragglers
+    assert hedged["p99"] < rr["p99"]

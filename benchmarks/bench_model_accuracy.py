@@ -1,0 +1,70 @@
+"""§3.3 "Latency Modeling" validation: does the M/M/c model track reality?
+
+SLATE's whole premise is that "with appropriate request classification, the
+average behavior can be predicted" by a queueing model. This bench sweeps
+offered load across the utilization range and compares the analytic
+prediction (fluid model on the same rules) against the simulator's measured
+means — the within-repo analogue of validating the latency model against a
+testbed. Errors should stay within sampling noise until deep saturation.
+"""
+
+from repro.analysis.fluid import evaluate_rules
+from repro.analysis.report import format_table
+from repro.core.rules import RuleSet, RoutingRule
+from repro.mesh.routing_table import WILDCARD_CLASS
+from repro.sim import (DemandMatrix, DeploymentSpec, linear_chain_app,
+                       two_region_latency)
+from repro.sim.runner import MeshSimulation
+
+LOADS = (100.0, 200.0, 300.0, 400.0, 450.0, 475.0)
+DURATION = 120.0
+
+
+def local_rules(app):
+    rules = RuleSet()
+    for service in app.services():
+        for cluster in ("west", "east"):
+            rules.add(RoutingRule.make(service, WILDCARD_CLASS, cluster,
+                                       {cluster: 1.0}))
+    return rules
+
+
+def sweep():
+    app = linear_chain_app(n_services=3, exec_time=0.010)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=5,
+        latency=two_region_latency(25.0))
+    rules = local_rules(app)
+    rows = []
+    for west_rps in LOADS:
+        demand = DemandMatrix({("default", "west"): west_rps})
+        predicted = evaluate_rules(app, deployment, demand,
+                                   rules).mean_latency
+        sim = MeshSimulation(app, deployment, seed=37)
+        rules.apply(sim.table)
+        sim.run(demand, duration=DURATION)
+        lats = sim.telemetry.latencies(after=DURATION / 6)
+        measured = sum(lats) / len(lats)
+        rho = west_rps * 0.010 / 5
+        error = abs(measured - predicted) / predicted
+        rows.append([west_rps, rho, predicted * 1000, measured * 1000,
+                     error * 100])
+    return rows
+
+
+def test_latency_model_accuracy(benchmark, report_sink):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["west load (rps)", "utilization", "M/M/c predicted (ms)",
+         "simulated (ms)", "error (%)"],
+        rows,
+        title="Latency-model validation: analytic prediction vs simulation")
+    report_sink("model_accuracy", text)
+
+    # the model premise: accurate through the operating range...
+    for west_rps, rho, predicted, measured, error in rows:
+        if rho <= 0.92:
+            assert error < 10.0, f"{error:.1f}% error at rho={rho}"
+    # ...and still sane (same order) at deep saturation, where finite-run
+    # sampling noise and slow mixing dominate
+    assert rows[-1][4] < 50.0

@@ -1,0 +1,176 @@
+"""§5 "Scalability & fast reaction": optimizer solve time vs problem size.
+
+"The optimization problem run by SLATE's controller expands with the number
+of clusters, services, and traffic classes ... an optimization time on the
+order of seconds for large-scale deployments is desirable."
+
+Measures LP build+solve wall time as each dimension grows. Assertions keep
+the reproduction honest (seconds, not minutes, at the largest size) without
+being brittle about hardware.
+"""
+
+import time
+
+from repro.analysis.report import format_table
+from repro.core.optimizer import TEProblem, solve
+from repro.sim import DemandMatrix, DeploymentSpec, LatencyMatrix
+from repro.sim.apps import AppSpec, CallEdge, TrafficClassSpec
+from repro.sim.request import RequestAttributes
+
+
+def synthetic_latency(n_clusters):
+    names = [f"c{i}" for i in range(n_clusters)]
+    delays = {(a, b): 0.005 + 0.002 * abs(i - j)
+              for i, a in enumerate(names)
+              for j, b in enumerate(names) if i < j}
+    return LatencyMatrix(names, delays)
+
+
+def synthetic_problem(n_clusters, n_services, n_classes,
+                      rps_per_class=50.0):
+    services = [f"svc{i}" for i in range(n_services)]
+    classes = {}
+    for index in range(n_classes):
+        name = f"class{index}"
+        edges = [CallEdge(services[i], services[i + 1])
+                 for i in range(n_services - 1)]
+        classes[name] = TrafficClassSpec(
+            name=name,
+            attributes=RequestAttributes.make(services[0], "GET",
+                                              f"/{name}"),
+            root_service=services[0],
+            edges=edges,
+            exec_time={s: 0.005 for s in services},
+        )
+    app = AppSpec(name="synthetic", classes=classes)
+    latency = synthetic_latency(n_clusters)
+    deployment = DeploymentSpec.uniform(services, list(latency.clusters),
+                                        replicas=max(
+                                            4, n_classes * 2), latency=latency)
+    demand = DemandMatrix({
+        (cls, cluster): rps_per_class
+        for cls in classes
+        for cluster in latency.clusters
+    })
+    return TEProblem.from_specs(app, deployment, demand)
+
+
+SIZES = [
+    (2, 3, 1),
+    (4, 6, 2),
+    (8, 10, 4),
+    (12, 15, 8),
+]
+
+
+def sweep():
+    rows = []
+    for n_clusters, n_services, n_classes in SIZES:
+        problem = synthetic_problem(n_clusters, n_services, n_classes)
+        started = time.perf_counter()
+        result = solve(problem)
+        elapsed = time.perf_counter() - started
+        n_vars = len(result.flows)
+        rows.append([n_clusters, n_services, n_classes,
+                     n_clusters * n_services * n_classes,
+                     elapsed, result.solve_time])
+    return rows
+
+
+def test_optimizer_scalability(benchmark, report_sink):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["clusters", "services", "classes", "product",
+         "build+solve (s)", "solve (s)"],
+        rows, title="Optimizer scaling (LP, HiGHS)")
+    report_sink("scalability", text)
+
+    # §5's bar: "optimization time on the order of seconds" at scale
+    largest = rows[-1]
+    assert largest[4] < 10.0
+    # every instance solved
+    assert all(row[5] > 0 for row in rows)
+
+
+def test_single_solve_latency(benchmark):
+    """Microbenchmark: one mid-size solve (what an epoch costs)."""
+    problem = synthetic_problem(4, 6, 2)
+    result = benchmark(lambda: solve(problem))
+    assert result.ok
+
+
+def test_contraction_speedup(benchmark, report_sink):
+    """§5 acceleration: contracted solves vs the full LP on a large fleet.
+
+    16 clusters, 10 services, 4 classes. Contraction to 4 super-clusters
+    should cut solve time substantially while staying near the full
+    optimum (quality measured with the fluid model on the true topology).
+    """
+    from repro.analysis.fluid import evaluate_rules
+    from repro.core.optimizer.contraction import solve_contracted
+    from repro.sim.workload import DemandMatrix as DM
+
+    problem = synthetic_problem(16, 10, 4)
+    # skew the demand (alternating hot/cold clusters) so offloading is
+    # actually required and contraction has an optimality gap to reveal
+    skewed = {}
+    for index, cluster in enumerate(problem.clusters):
+        rps = 370.0 if index % 2 == 0 else 30.0
+        for cls, workload in problem.workloads.items():
+            workload.demand[cluster] = rps
+            skewed[(cls, cluster)] = rps
+    app_demand = DM(skewed)
+
+    def app_and_deployment():
+        # reconstruct spec objects for the fluid evaluation
+        from repro.sim.apps import AppSpec
+        from repro.sim.topology import ClusterSpec, DeploymentSpec
+        app = AppSpec(name="synthetic", classes={
+            name: workload.spec
+            for name, workload in problem.workloads.items()})
+        clusters = [
+            ClusterSpec(cluster, {
+                service: problem.replica_count(service, cluster)
+                for service in {s for w in problem.workloads.values()
+                                for s in w.spec.services()}
+            }) for cluster in problem.clusters
+        ]
+        deployment = DeploymentSpec(clusters, problem.latency,
+                                    problem.pricing)
+        return app, deployment
+
+    def run_all():
+        import time as _time
+        rows = []
+        app, deployment = app_and_deployment()
+        started = _time.perf_counter()
+        full = solve(problem)
+        full_time = _time.perf_counter() - started
+        full_quality = evaluate_rules(app, deployment, app_demand,
+                                      full.rules()).mean_latency
+        rows.append(["full (16 clusters)", full_time, full_quality * 1000])
+        for n_groups in (8, 4, 2):
+            for expansion in ("affinity", "rebalance"):
+                solution = solve_contracted(problem, n_groups,
+                                            expansion=expansion)
+                quality = evaluate_rules(app, deployment, app_demand,
+                                         solution.rules).mean_latency
+                rows.append([f"contracted to {n_groups} ({expansion})",
+                             solution.total_time, quality * 1000])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        ["variant", "solve time (s)", "true mean latency (ms)"],
+        rows, title="Topology contraction: speed vs quality "
+                    "(16 clusters x 10 services x 4 classes, skewed load)")
+    text += ("\nintra-group rebalancing is discarded by contraction — the "
+             "gap between\nboth expansions and the full solve is the §5 "
+             "open acceleration challenge")
+    report_sink("scalability_contraction", text)
+
+    full_time, full_quality = rows[0][1], rows[0][2]
+    contracted_rows = rows[1:]
+    assert all(row[1] < full_time for row in contracted_rows)   # all faster
+    best_quality = min(row[2] for row in contracted_rows)
+    assert best_quality < full_quality * 2.0   # best expansion stays close

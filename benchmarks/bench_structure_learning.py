@@ -1,0 +1,85 @@
+"""Zero-knowledge control: plans from trace-learned structure vs oracle.
+
+The real SLATE cannot read application source — the controller must learn
+call trees, fan-outs, byte sizes, and compute times from the proxies'
+"trace information" (§3.1). This bench runs the multi-hop scenario with a
+local-only warmup period while the controller only *observes*, at several
+trace sampling rates, then compares the plan it produces from learned
+structure against the oracle plan (ground-truth specs), both evaluated
+with the fluid model. The gap should be small even at 1% sampling — mean
+behaviour is what the optimizer needs, and means converge fast.
+"""
+
+from repro.analysis.fluid import evaluate_rules
+from repro.analysis.report import format_table
+from repro.core.classes.classifier import AppSpecClassifier
+from repro.core.controller.global_controller import (GlobalController,
+                                                     GlobalControllerConfig)
+from repro.experiments.scenarios import fig6c_multihop
+from repro.sim.runner import MeshSimulation
+
+SAMPLE_RATES = (1.0, 0.1, 0.01)
+WARMUP = 20.0
+
+
+def plan_quality(scenario, rules):
+    prediction = evaluate_rules(scenario.app, scenario.deployment,
+                                scenario.demand, rules)
+    return prediction.mean_latency, prediction.egress_cost_rate
+
+
+def learned_plan(scenario, sample_rate, egress_budget):
+    simulation = MeshSimulation(
+        scenario.app, scenario.deployment, seed=scenario.seed,
+        classifier=AppSpecClassifier(scenario.app),
+        trace_sample_rate=sample_rate)
+    controller = GlobalController(
+        scenario.app, scenario.deployment,
+        GlobalControllerConfig(learn_structure=True,
+                               egress_budget=egress_budget))
+    simulation.run(scenario.demand, duration=WARMUP, epoch=WARMUP / 4,
+                   on_epoch=lambda reports, s: controller.observe(reports))
+    result = controller.plan()
+    assert result is not None
+    return result.rules()
+
+
+def run_all():
+    setup = fig6c_multihop()
+    scenario = setup.scenario
+    oracle = GlobalController.oracle(
+        scenario.app, scenario.deployment, scenario.demand,
+        cost_weight=setup.slate.config.cost_weight)
+    # the administrator's target: a hard budget just above the oracle plan's
+    # spend — learned byte sizes must be accurate for the budget to bind
+    # the same way it does for the oracle
+    budget = oracle.predicted_egress_cost_rate * 1.05
+    rows = []
+    oracle_latency, oracle_cost = plan_quality(scenario, oracle.rules())
+    rows.append(["oracle (ground-truth spec)", oracle_latency * 1000,
+                 oracle_cost * 3600])
+    for rate in SAMPLE_RATES:
+        rules = learned_plan(scenario, rate, budget)
+        latency, cost = plan_quality(scenario, rules)
+        rows.append([f"learned @ {rate:.0%} trace sampling",
+                     latency * 1000, cost * 3600])
+    return rows, budget
+
+
+def test_structure_learning_plan_quality(benchmark, report_sink):
+    rows, budget = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        ["controller knowledge", "predicted mean latency (ms)",
+         "egress ($/hour)"],
+        rows,
+        title="Plans from trace-learned structure vs oracle "
+              f"(fig6c; hard egress budget ${budget * 3600:.2f}/h)")
+    report_sink("structure_learning", text)
+
+    oracle_latency = rows[0][1]
+    for label, latency, cost in rows[1:]:
+        # learned plans stay close to the oracle on latency and respect the
+        # budget when evaluated with the TRUE byte sizes — i.e. the learned
+        # sizes were accurate enough to constrain correctly
+        assert latency < oracle_latency * 1.15, label
+        assert cost <= budget * 3600 * 1.05, label

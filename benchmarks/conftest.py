@@ -1,0 +1,27 @@
+"""Benchmark harness support: result rendering and persistence.
+
+Each bench regenerates one of the paper's figures (see DESIGN.md §3),
+prints the series/rows, and writes them under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report_sink():
+    """Write a rendered report to benchmarks/results/<name>.txt and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return save

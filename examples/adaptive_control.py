@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""The full SLATE control loop, live: telemetry -> optimize -> push rules.
+
+Part 1 runs the hierarchical control plane the paper describes in §3
+against a demand burst: SLATE-proxies report spans each epoch, Cluster
+Controllers relay them, the Global Controller learns demand and latency
+profiles online, re-optimizes, and pushes rules. Mid-run, West's demand
+jumps from 300 to 650 RPS; watch the controller chase it.
+
+Part 2 demonstrates §5 "resilience to prediction error" in isolation: an
+IncrementalRollout applies a (deliberately bad) optimizer target gradually,
+observes the objective regress, and rolls back instead of following the
+plan off a cliff. The "real system" here is the fluid model, so each
+epoch's objective is exact.
+
+Run:  python examples/adaptive_control.py
+"""
+
+import statistics
+
+from repro import (DemandMatrix, DeploymentSpec, MeshSimulation,
+                   evaluate_rules, linear_chain_app, two_region_latency)
+from repro.core import (GlobalController, GlobalControllerConfig,
+                        IncrementalRollout, RolloutConfig, RoutingRule,
+                        RuleSet)
+from repro.core.controller import ClusterController
+from repro.sim.workload import RateProfile, RateSegment, TrafficSource
+
+
+def build_world():
+    app = linear_chain_app(n_services=3, exec_time=0.010)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=5,
+        latency=two_region_latency(25.0))
+    return app, deployment
+
+
+def part1_adaptive_loop() -> None:
+    print("=" * 72)
+    print("Part 1: online control loop under a demand burst")
+    print("=" * 72)
+    app, deployment = build_world()
+    simulation = MeshSimulation(app, deployment, seed=5)
+    controller = GlobalController(
+        app, deployment,
+        GlobalControllerConfig(learn_profiles=True, demand_alpha=0.6))
+    cluster_controllers = {name: ClusterController(name)
+                           for name in deployment.cluster_names}
+
+    def on_epoch(reports, sim) -> None:
+        relayed = []
+        for report in reports:
+            cc = cluster_controllers[report.cluster]
+            cc.ingest(report)
+            relayed.extend(cc.relay())
+        controller.observe(relayed)
+        result = controller.plan()
+        if result is None:
+            return
+        rules = result.rules()
+        for cc in cluster_controllers.values():
+            cc.distribute(rules, sim.table)
+        lats = [lat for r in relayed for lat in r.request_latencies]
+        observed_ms = statistics.mean(lats) * 1000 if lats else 0.0
+        west = controller.demand_estimate("default", "west")
+        local = result.ingress_local_fraction("default", "west")
+        print(f"  t={sim.sim.now:5.1f}s  est(west)={west:6.1f} rps  "
+              f"plan keeps {local:4.0%} local  epoch mean "
+              f"{observed_ms:7.1f} ms")
+
+    # demand shifts at t=20s: west ramps 300 -> 650 RPS (a load burst)
+    west_profile = RateProfile([RateSegment(0.0, 20.0, 300.0),
+                                RateSegment(20.0, 60.0, 650.0)])
+    east_profile = RateProfile.constant(100.0, 60.0)
+    for cluster, profile in (("west", west_profile), ("east", east_profile)):
+        TrafficSource(
+            sim=simulation.sim, profile=profile,
+            attributes=app.classes["default"].attributes,
+            ingress_cluster=cluster,
+            accept=simulation.gateways[cluster].accept,
+            rng=simulation.rngs.stream(f"arrivals/{cluster}"),
+        ).start()
+
+    epoch = 4.0
+    boundary = epoch
+    while boundary <= 60.0:
+        simulation.sim.schedule_at(boundary, simulation._epoch_tick, on_epoch)
+        boundary += epoch
+    simulation.sim.run(until=60.0)
+    simulation.sim.run_until_idle()
+
+    tail = simulation.telemetry.latencies(after=40.0)
+    print(f"\n  converged: mean {statistics.mean(tail) * 1000:.1f} ms over "
+          f"the final 20s ({len(tail)} requests)\n")
+
+
+def part2_resilient_rollout() -> None:
+    print("=" * 72)
+    print("Part 2: incremental rollout rolls back a bad plan (§5)")
+    print("=" * 72)
+    app, deployment = build_world()
+    demand = DemandMatrix({("default", "west"): 650.0,
+                           ("default", "east"): 100.0})
+
+    # a plan from a (simulated) broken latency predictor: keep everything
+    # local despite West being far beyond capacity
+    bad_target = RuleSet([
+        RoutingRule.make(service, "default", cluster, {cluster: 1.0})
+        for service in app.services()
+        for cluster in ("west", "east")
+    ])
+    # the rules currently live: the correct optimizer output
+    good = GlobalController.oracle(app, deployment, demand).rules()
+
+    rollout = IncrementalRollout(RolloutConfig(step=0.3,
+                                               regression_tolerance=1.15))
+    # seed the rollout state with the good rules
+    live = rollout.advance(good)
+    for _ in range(6):
+        live = rollout.advance(good, _objective(app, deployment, demand,
+                                                live))
+
+    print("  optimizer now proposes the bad plan "
+          "(misprediction); rollout applies it gradually:")
+    for epoch in range(6):
+        objective = _objective(app, deployment, demand, live)
+        live = rollout.advance(bad_target, objective)
+        obj_ms = (objective * 1000 if objective != float("inf")
+                  else float("inf"))
+        print(f"  epoch {epoch}: observed mean {obj_ms:8.1f} ms  "
+              f"step={rollout.current_step:.3f}  "
+              f"rollbacks={rollout.rollbacks}")
+    final = _objective(app, deployment, demand, live)
+    print(f"\n  rollout held the system at {final * 1000:.1f} ms instead of "
+          "following the bad plan into overload "
+          f"(rollbacks taken: {rollout.rollbacks})")
+
+
+def _objective(app, deployment, demand, rules) -> float:
+    return evaluate_rules(app, deployment, demand, rules).mean_latency
+
+
+if __name__ == "__main__":
+    part1_adaptive_loop()
+    part2_resilient_rollout()

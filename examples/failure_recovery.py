@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Surviving a service failure with global re-optimization.
+
+§2 lists "temporary service failure or decommissioning" among the reasons a
+service may exist in only some clusters. Here the social-network app runs
+in two clusters; mid-run the post-storage service (PS) dies in West:
+
+* proxies fail over instantly (locality-failover default) so no request is
+  black-holed beyond those in flight;
+* the Global Controller re-plans on its next epoch, rebalancing *upstream*
+  services too (it may move whole read subtrees east rather than paying
+  per-call PS crossings);
+* when PS recovers, the plan converges back.
+
+Run:  python examples/failure_recovery.py
+"""
+
+import statistics
+
+from repro import (DemandMatrix, DeploymentSpec, MeshSimulation,
+                   two_region_latency)
+from repro.core import GlobalController, GlobalControllerConfig
+from repro.core.classes import AppSpecClassifier
+from repro.sim import social_network_app
+
+
+def main() -> None:
+    app = social_network_app()
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=8,
+        latency=two_region_latency(25.0))
+    sim = MeshSimulation(app, deployment, seed=31,
+                         classifier=AppSpecClassifier(app))
+    controller = GlobalController(
+        app, deployment, GlobalControllerConfig(demand_alpha=0.7))
+
+    def on_epoch(reports, simulation):
+        controller.observe(reports)
+        result = controller.plan()
+        if result is None:
+            return
+        result.rules().apply(simulation.table)
+        lats = [lat for r in reports for lat in r.request_latencies]
+        mean_ms = statistics.mean(lats) * 1000 if lats else 0.0
+        ps_west = result.pool_load.get(("PS", "west"), 0.0)
+        ps_east = result.pool_load.get(("PS", "east"), 0.0)
+        print(f"  t={simulation.sim.now:5.1f}s  epoch mean {mean_ms:6.1f} ms"
+              f"   planned PS work: west={ps_west:.2f} east={ps_east:.2f}"
+              " erlangs")
+
+    demand = DemandMatrix({
+        ("read", "west"): 350.0, ("compose", "west"): 100.0,
+        ("read", "east"): 120.0, ("compose", "east"): 40.0,
+    })
+
+    print("t=15s: PS fails in west.  t=40s: PS recovers.\n")
+    sim.sim.schedule(15.0, sim.fail_service, "west", "PS")
+    sim.sim.schedule(40.0, sim.restore_service, "west", "PS", 8)
+    sim.run(demand, duration=60.0, epoch=5.0, on_epoch=on_epoch)
+
+    lost = sum(1 for r in sim.telemetry.requests if not r.done)
+    print(f"\ncompleted {len(sim.telemetry.requests)} requests; "
+          f"calls lost to the failure in flight: {sim.dropped_calls}")
+    window = sim.telemetry.latencies(after=45.0)
+    print(f"mean latency after recovery: "
+          f"{statistics.mean(window) * 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""SLATE: Service Layer Traffic Engineering — reproduction library.
+
+Reproduces *Opportunities and Challenges in Service Layer Traffic
+Engineering* (Lim, Prerepa, Godfrey, Mittal — HotNets '24): a global
+traffic-engineering approach to request routing for microservice
+applications spanning multiple geo-distributed clusters.
+
+Quick start::
+
+    from repro import (MeshSimulation, DemandMatrix, DeploymentSpec,
+                       linear_chain_app, two_region_latency,
+                       GlobalController)
+
+    app = linear_chain_app()
+    deployment = DeploymentSpec.uniform(app.services(), ["west", "east"],
+                                        replicas=5,
+                                        latency=two_region_latency(25.0))
+    demand = DemandMatrix({("default", "west"): 700.0,
+                           ("default", "east"): 100.0})
+    result = GlobalController.oracle(app, deployment, demand)
+    sim = MeshSimulation(app, deployment, seed=1)
+    result.rules().apply(sim.table)
+    sim.run(demand, duration=30.0)
+
+Subpackages:
+
+* :mod:`repro.sim` — discrete-event substrate: clusters, replica pools,
+  WAN, workloads (stands in for the paper's Kubernetes testbed).
+* :mod:`repro.mesh` — service-mesh layer: SLATE-proxies, gateways, routing
+  tables, telemetry.
+* :mod:`repro.core` — SLATE itself: traffic classes, latency models, the
+  TE optimizer, Global/Cluster controllers, resilient rollout.
+* :mod:`repro.baselines` — Waterfall (Traffic Director / ServiceRouter),
+  locality failover, local-only, static splits.
+* :mod:`repro.analysis` — CDFs, summaries, fluid-model prediction.
+* :mod:`repro.experiments` — scenario + harness for every paper figure.
+"""
+
+from .analysis import (Comparison, EmpiricalCDF, LatencySummary,
+                       PolicyOutcome, evaluate_rules, summarize)
+from .baselines import (LocalityFailoverPolicy, LocalOnlyPolicy,
+                        PolicyContext, StaticSplitPolicy, WaterfallConfig,
+                        WaterfallPolicy)
+from .core import (GlobalController, GlobalControllerConfig,
+                   IncrementalRollout, OptimizationResult, RoutingRule,
+                   RuleSet, SlatePolicy, TEProblem, solve)
+from .experiments import (Scenario, compare_policies, predict_policy,
+                          run_policy)
+from .sim import (AppSpec, AutoscalerConfig, CallEdge, DemandMatrix,
+                  DeploymentSpec, HorizontalAutoscaler, LatencyMatrix,
+                  RequestAttributes, TrafficClassSpec,
+                  anomaly_detection_app, gcp_four_region_latency,
+                  linear_chain_app, social_network_app, two_class_app,
+                  two_region_latency)
+from .sim.cache import CacheSpec
+from .sim.runner import MeshSimulation, TimeoutPolicy
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Comparison", "EmpiricalCDF", "LatencySummary", "PolicyOutcome",
+    "evaluate_rules", "summarize",
+    "LocalityFailoverPolicy", "LocalOnlyPolicy", "PolicyContext",
+    "StaticSplitPolicy", "WaterfallConfig", "WaterfallPolicy",
+    "GlobalController", "GlobalControllerConfig", "IncrementalRollout",
+    "OptimizationResult", "RoutingRule", "RuleSet", "SlatePolicy",
+    "TEProblem", "solve",
+    "Scenario", "compare_policies", "predict_policy", "run_policy",
+    "AppSpec", "AutoscalerConfig", "CacheSpec", "CallEdge", "DemandMatrix",
+    "DeploymentSpec", "HorizontalAutoscaler", "LatencyMatrix",
+    "RequestAttributes", "TrafficClassSpec",
+    "anomaly_detection_app", "gcp_four_region_latency",
+    "linear_chain_app", "social_network_app", "two_class_app",
+    "two_region_latency",
+    "MeshSimulation", "TimeoutPolicy",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Empirical CDFs — the form of the paper's Fig. 6 results."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EmpiricalCDF"]
+
+
+class EmpiricalCDF:
+    """Empirical cumulative distribution over a sample of values."""
+
+    def __init__(self, values) -> None:
+        array = np.asarray(list(values), dtype=float)
+        if array.size == 0:
+            raise ValueError("cannot build a CDF from an empty sample")
+        if not np.all(np.isfinite(array)):
+            raise ValueError("CDF sample contains non-finite values")
+        self._values = np.sort(array)
+
+    @property
+    def n(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sorted copy of the sample."""
+        return self._values.copy()
+
+    @property
+    def mean(self) -> float:
+        return float(self._values.mean())
+
+    @property
+    def min(self) -> float:
+        return float(self._values[0])
+
+    @property
+    def max(self) -> float:
+        return float(self._values[-1])
+
+    def quantile(self, q: float) -> float:
+        """Value at cumulative probability ``q`` (linear interpolation)."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self._values, q))
+
+    def percentile(self, p: float) -> float:
+        """Convenience: ``percentile(99)`` = ``quantile(0.99)``."""
+        return self.quantile(p / 100.0)
+
+    def probability_below(self, x: float) -> float:
+        """P[X <= x] under the empirical distribution."""
+        return float(np.searchsorted(self._values, x, side="right")
+                     / self._values.size)
+
+    def series(self, points: int = 50) -> list[tuple[float, float]]:
+        """(value, cumulative probability) pairs for plotting/reporting."""
+        if points < 2:
+            raise ValueError(f"need at least 2 points, got {points}")
+        probs = np.linspace(0.0, 1.0, points)
+        return [(self.quantile(float(p)), float(p)) for p in probs]
+
+    def __repr__(self) -> str:
+        return (f"EmpiricalCDF(n={self.n}, mean={self.mean:.6f}, "
+                f"p99={self.quantile(0.99):.6f})")

@@ -1,0 +1,79 @@
+"""Policy-vs-policy comparison: the quantities the paper reports.
+
+"SLATE outperforms ... by up to 3.5x in average latency and reduces egress
+bandwidth cost by up to 11.6x" — those are ratios between per-policy runs of
+the same scenario, which this module computes from harvested run outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cdf import EmpiricalCDF
+from .stats import LatencySummary, summarize
+
+__all__ = ["PolicyOutcome", "Comparison"]
+
+
+@dataclass
+class PolicyOutcome:
+    """What one policy achieved on one scenario."""
+
+    policy: str
+    latencies: list[float]
+    egress_bytes: int = 0
+    egress_cost: float = 0.0
+    #: latencies per traffic class (optional, for §4.4-style breakdowns)
+    latencies_by_class: dict[str, list[float]] = field(default_factory=dict)
+
+    def summary(self) -> LatencySummary:
+        return summarize(self.latencies)
+
+    def cdf(self) -> EmpiricalCDF:
+        return EmpiricalCDF(self.latencies)
+
+
+@dataclass
+class Comparison:
+    """Outcomes of several policies on the same scenario."""
+
+    scenario: str
+    outcomes: dict[str, PolicyOutcome] = field(default_factory=dict)
+
+    def add(self, outcome: PolicyOutcome) -> None:
+        if outcome.policy in self.outcomes:
+            raise ValueError(
+                f"duplicate outcome for policy {outcome.policy!r}")
+        self.outcomes[outcome.policy] = outcome
+
+    def outcome(self, policy: str) -> PolicyOutcome:
+        try:
+            return self.outcomes[policy]
+        except KeyError:
+            raise KeyError(f"no outcome for policy {policy!r}; have "
+                           f"{sorted(self.outcomes)}") from None
+
+    def latency_ratio(self, baseline: str, target: str,
+                      stat: str = "mean") -> float:
+        """How many times slower ``baseline`` is than ``target``.
+
+        ``stat`` is any :class:`LatencySummary` field (mean, p50, p99, ...).
+        """
+        base = getattr(self.outcome(baseline).summary(), stat)
+        tgt = getattr(self.outcome(target).summary(), stat)
+        if tgt <= 0:
+            raise ValueError(f"target {target!r} has non-positive {stat}")
+        return base / tgt
+
+    def egress_cost_ratio(self, baseline: str, target: str) -> float:
+        """How many times more egress ``baseline`` pays than ``target``."""
+        base = self.outcome(baseline).egress_cost
+        tgt = self.outcome(target).egress_cost
+        if tgt <= 0:
+            raise ValueError(
+                f"target {target!r} has zero egress cost; ratio undefined")
+        return base / tgt
+
+    def cdfs(self) -> dict[str, EmpiricalCDF]:
+        return {name: outcome.cdf()
+                for name, outcome in self.outcomes.items()}

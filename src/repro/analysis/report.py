@@ -1,0 +1,84 @@
+"""Text rendering of figure series and comparison tables.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep that output consistent and greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .cdf import EmpiricalCDF
+from .compare import Comparison
+
+__all__ = ["format_table", "format_cdf_series", "format_comparison"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([_fmt(value) for value in row] for row in rows)
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_cdf_series(cdfs: dict[str, EmpiricalCDF],
+                      probabilities: Sequence[float] = (
+                          0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99),
+                      unit_scale: float = 1000.0,
+                      unit: str = "ms",
+                      title: str | None = None) -> str:
+    """Render several CDFs as quantile rows (one column per policy)."""
+    names = sorted(cdfs)
+    headers = ["quantile"] + [f"{n} ({unit})" for n in names]
+    rows = []
+    for p in probabilities:
+        rows.append([f"p{int(p * 100):02d}"]
+                    + [cdfs[n].quantile(p) * unit_scale for n in names])
+    rows.append(["mean"] + [cdfs[n].mean * unit_scale for n in names])
+    return format_table(headers, rows, title=title)
+
+
+def format_comparison(comparison: Comparison, baseline: str,
+                      target: str) -> str:
+    """One-scenario summary: per-policy stats plus headline ratios."""
+    headers = ["policy", "mean (ms)", "p50 (ms)", "p99 (ms)", "requests",
+               "egress ($/run)"]
+    rows = []
+    for name in sorted(comparison.outcomes):
+        outcome = comparison.outcomes[name]
+        summary = outcome.summary()
+        rows.append([name, summary.mean * 1000, summary.p50 * 1000,
+                     summary.p99 * 1000, summary.count,
+                     outcome.egress_cost])
+    lines = [format_table(headers, rows,
+                          title=f"scenario: {comparison.scenario}")]
+    ratio = comparison.latency_ratio(baseline, target)
+    lines.append(f"{baseline} / {target} mean-latency ratio: {ratio:.2f}x")
+    base_cost = comparison.outcome(baseline).egress_cost
+    tgt_cost = comparison.outcome(target).egress_cost
+    if tgt_cost > 0:
+        lines.append(f"{baseline} / {target} egress-cost ratio: "
+                     f"{base_cost / tgt_cost:.2f}x")
+    return "\n".join(lines)

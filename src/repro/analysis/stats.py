@@ -1,0 +1,80 @@
+"""Summary statistics for latency samples."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = ["LatencySummary", "summarize", "slo_attainment",
+           "mean_confidence_interval"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The stats the paper's evaluation discusses, in seconds."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    max: float
+
+    def as_ms(self) -> dict[str, float]:
+        """Milliseconds rendering (count passed through)."""
+        return {
+            "count": self.count,
+            "mean": self.mean * 1000,
+            "p50": self.p50 * 1000,
+            "p90": self.p90 * 1000,
+            "p95": self.p95 * 1000,
+            "p99": self.p99 * 1000,
+            "max": self.max * 1000,
+        }
+
+
+def summarize(values) -> LatencySummary:
+    """Compute a :class:`LatencySummary` from raw latencies."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return LatencySummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        p50=float(np.quantile(array, 0.50)),
+        p90=float(np.quantile(array, 0.90)),
+        p95=float(np.quantile(array, 0.95)),
+        p99=float(np.quantile(array, 0.99)),
+        max=float(array.max()),
+    )
+
+
+def slo_attainment(values, threshold: float) -> float:
+    """Fraction of requests meeting a latency SLO (latency <= threshold)."""
+    if threshold <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot compute attainment of an empty sample")
+    return float((array <= threshold).mean())
+
+
+def mean_confidence_interval(values, confidence: float = 0.95,
+                             ) -> tuple[float, float, float]:
+    """(mean, low, high) Student-t CI for the sample mean."""
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    array = np.asarray(list(values), dtype=float)
+    if array.size < 2:
+        raise ValueError("need at least two samples for an interval")
+    mean = float(array.mean())
+    sem = float(array.std(ddof=1)) / math.sqrt(array.size)
+    if sem == 0:
+        return mean, mean, mean
+    margin = float(scipy_stats.t.ppf((1 + confidence) / 2, array.size - 1)
+                   * sem)
+    return mean, mean - margin, mean + margin

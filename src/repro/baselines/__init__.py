@@ -1,0 +1,16 @@
+"""Baseline routing policies the paper compares against (§4)."""
+
+from .base import PolicyContext, RoutingPolicy
+from .local_only import LocalOnlyPolicy
+from .locality import LocalityFailoverPolicy
+from .static_split import StaticSplitPolicy
+from .waterfall import (WaterfallConfig, WaterfallPolicy, cascade_loads,
+                        waterfall_split)
+
+__all__ = [
+    "PolicyContext", "RoutingPolicy",
+    "LocalOnlyPolicy",
+    "LocalityFailoverPolicy",
+    "StaticSplitPolicy",
+    "WaterfallConfig", "WaterfallPolicy", "cascade_loads", "waterfall_split",
+]

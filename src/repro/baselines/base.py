@@ -1,0 +1,48 @@
+"""Common interface for routing policies (SLATE and baselines alike).
+
+A policy turns a view of the system — application structure, deployment,
+and (estimated) demand — into a :class:`~repro.core.rules.RuleSet`. Static
+policies compute rules once; adaptive ones may also react to epoch
+telemetry through ``on_epoch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from ..core.rules import RuleSet
+from ..mesh.telemetry import ClusterEpochReport
+from ..sim.apps import AppSpec
+from ..sim.topology import DeploymentSpec
+from ..sim.workload import DemandMatrix
+
+__all__ = ["PolicyContext", "RoutingPolicy"]
+
+
+@dataclass
+class PolicyContext:
+    """What a policy may look at when computing rules."""
+
+    app: AppSpec
+    deployment: DeploymentSpec
+    demand: DemandMatrix
+
+    def nearest_clusters(self, src: str, candidates: list[str]) -> list[str]:
+        """Candidates ordered by proximity to ``src`` (self first if present)."""
+        return sorted(candidates,
+                      key=lambda c: (self.deployment.latency.one_way(src, c), c))
+
+
+@runtime_checkable
+class RoutingPolicy(Protocol):
+    """Anything that can produce routing rules for a deployment."""
+
+    name: str
+
+    def compute_rules(self, ctx: PolicyContext) -> RuleSet: ...
+
+    def on_epoch(self, reports: list[ClusterEpochReport],
+                 ctx: PolicyContext) -> RuleSet | None:
+        """Optional adaptivity hook; return new rules or ``None``."""
+        ...

@@ -1,0 +1,37 @@
+"""Always-local routing: the default the paper starts from (§1).
+
+"The default option is to use a local replica, in the same cluster where the
+request arrives." Emits explicit local rules for every deployed (service,
+source cluster) pair; sources without a local replica get no rule, and the
+proxy's built-in failover handles them (so partial replication doesn't
+black-hole traffic).
+"""
+
+from __future__ import annotations
+
+from ..core.rules import RoutingRule, RuleSet
+from ..mesh.routing_table import WILDCARD_CLASS
+from ..mesh.telemetry import ClusterEpochReport
+from .base import PolicyContext
+
+__all__ = ["LocalOnlyPolicy"]
+
+
+class LocalOnlyPolicy:
+    """Serve everything in the cluster where it arrives."""
+
+    name = "local-only"
+
+    def compute_rules(self, ctx: PolicyContext) -> RuleSet:
+        rules = RuleSet()
+        for service in ctx.app.services():
+            deployed = ctx.deployment.clusters_with(service)
+            for src in ctx.deployment.cluster_names:
+                if src in deployed:
+                    rules.add(RoutingRule.make(service, WILDCARD_CLASS, src,
+                                               {src: 1.0}))
+        return rules
+
+    def on_epoch(self, reports: list[ClusterEpochReport],
+                 ctx: PolicyContext) -> RuleSet | None:
+        return None

@@ -1,0 +1,41 @@
+"""Istio locality-failover load balancing (§2, [12] in the paper).
+
+Requests are served locally when the service has a healthy local replica and
+fail over to the *nearest* cluster that runs the service otherwise. This is
+what the paper's survey found in production and what it uses as the
+comparison point in the multi-hop experiment (§4.3): the failover happens at
+the hop where the service is missing, with no regard for where in the call
+tree the cut is cheapest.
+"""
+
+from __future__ import annotations
+
+from ..core.rules import RoutingRule, RuleSet
+from ..mesh.routing_table import WILDCARD_CLASS
+from ..mesh.telemetry import ClusterEpochReport
+from .base import PolicyContext
+
+__all__ = ["LocalityFailoverPolicy"]
+
+
+class LocalityFailoverPolicy:
+    """Local first; otherwise nearest cluster running the service."""
+
+    name = "locality-failover"
+
+    def compute_rules(self, ctx: PolicyContext) -> RuleSet:
+        rules = RuleSet()
+        for service in ctx.app.services():
+            deployed = ctx.deployment.clusters_with(service)
+            if not deployed:
+                continue
+            for src in ctx.deployment.cluster_names:
+                target = (src if src in deployed
+                          else ctx.nearest_clusters(src, deployed)[0])
+                rules.add(RoutingRule.make(service, WILDCARD_CLASS, src,
+                                           {target: 1.0}))
+        return rules
+
+    def on_epoch(self, reports: list[ClusterEpochReport],
+                 ctx: PolicyContext) -> RuleSet | None:
+        return None

@@ -1,0 +1,47 @@
+"""Istio locality *weighted distribution* ([13] in the paper).
+
+Operators statically pin the fraction of traffic each source cluster sends
+to each destination — "static load distribution" in the survey (§2). The
+weights never react to load; the policy simply stamps the configured split
+onto every service (or a per-service override).
+"""
+
+from __future__ import annotations
+
+from ..core.rules import RoutingRule, RuleSet
+from ..mesh.routing_table import WILDCARD_CLASS
+from ..mesh.telemetry import ClusterEpochReport
+from .base import PolicyContext
+
+__all__ = ["StaticSplitPolicy"]
+
+
+class StaticSplitPolicy:
+    """Operator-configured static weights per source cluster."""
+
+    name = "static-split"
+
+    def __init__(self, splits: dict[str, dict[str, float]],
+                 per_service: dict[str, dict[str, dict[str, float]]] | None = None) -> None:
+        """``splits[src][dst] = weight``; optional per-service overrides
+        ``per_service[service][src][dst]``."""
+        self._splits = splits
+        self._per_service = per_service or {}
+
+    def compute_rules(self, ctx: PolicyContext) -> RuleSet:
+        rules = RuleSet()
+        for service in ctx.app.services():
+            deployed = set(ctx.deployment.clusters_with(service))
+            config = self._per_service.get(service, self._splits)
+            for src, weights in config.items():
+                usable = {dst: w for dst, w in weights.items()
+                          if dst in deployed and w > 0}
+                if not usable:
+                    continue
+                rules.add(RoutingRule.make(service, WILDCARD_CLASS, src,
+                                           usable))
+        return rules
+
+    def on_epoch(self, reports: list[ClusterEpochReport],
+                 ctx: PolicyContext) -> RuleSet | None:
+        return None

@@ -1,0 +1,194 @@
+"""Command-line interface: run paper figures and one-off optimizations.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure fig6a [--duration 40] [--seed 42]
+    python -m repro figure fig4
+    python -m repro solve --app chain --west 650 --east 100 [--cost-weight W]
+
+``figure`` regenerates one paper experiment and prints the same series the
+benchmark harness saves; ``solve`` runs a single optimizer pass on a stock
+application and prints the routing rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.report import format_cdf_series, format_comparison, format_table
+from .core.controller.global_controller import GlobalController
+from .experiments.harness import compare_policies
+from .experiments import scenarios as sc
+from .sim import (DemandMatrix, DeploymentSpec, anomaly_detection_app,
+                  linear_chain_app, social_network_app, two_class_app,
+                  two_region_latency)
+
+FIGURES = ("fig3", "fig4", "fig6a", "fig6b", "fig6c", "fig6d")
+APPS = {
+    "chain": lambda: linear_chain_app(n_services=3, exec_time=0.010),
+    "anomaly": anomaly_detection_app,
+    "two-class": two_class_app,
+    "social": social_network_app,
+}
+
+
+def _figure_setup(name: str, duration: float, seed: int):
+    if name == "fig6a":
+        return sc.fig6a_how_much(duration=duration, seed=seed)
+    if name == "fig6b":
+        return sc.fig6b_which_cluster(duration=duration, seed=seed)
+    if name == "fig6c":
+        return sc.fig6c_multihop(duration=duration, seed=seed)
+    if name == "fig6d":
+        return sc.fig6d_traffic_classes(duration=duration, seed=seed)
+    raise ValueError(f"unknown figure {name!r}")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("figures:", ", ".join(FIGURES))
+    print("apps:   ", ", ".join(sorted(APPS)))
+    print("\nsee EXPERIMENTS.md for what each figure demonstrates")
+    return 0
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    from .experiments.survey import survey_table
+    print(survey_table())
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "fig3":
+        return _run_fig3()
+    if name == "fig4":
+        return _run_fig4()
+    setup = _figure_setup(name, args.duration, args.seed)
+    policies = list(setup.policies)
+    if name == "fig6c":
+        policies.append(sc.locality_failover_policy())
+    comparison = compare_policies(setup.scenario, policies)
+    print(format_cdf_series(comparison.cdfs(), title=f"{name} latency CDF"))
+    print()
+    print(format_comparison(comparison, baseline="waterfall",
+                            target="slate"))
+    return 0
+
+
+def _run_fig3() -> int:
+    from .analysis.fluid import evaluate_rules
+    from .core.controller.policy import SlatePolicy
+    rows = []
+    for west in (150.0, 250.0, 350.0, 420.0, 470.0):
+        scenario = sc.fig3_threshold_scenario(west)
+        ctx = scenario.context()
+        row = [west]
+        for policy in (
+                sc.waterfall_with_absolute_threshold(
+                    scenario.app, scenario.deployment, 250.0),
+                sc.waterfall_with_absolute_threshold(
+                    scenario.app, scenario.deployment, 480.0),
+                SlatePolicy()):
+            rules = policy.compute_rules(ctx)
+            prediction = evaluate_rules(scenario.app, scenario.deployment,
+                                        scenario.demand, rules)
+            row.append(prediction.mean_latency * 1000)
+        rows.append(row)
+    print(format_table(
+        ["west load (rps)", "conservative 250 (ms)", "aggressive 480 (ms)",
+         "SLATE (ms)"], rows,
+        title="Fig. 3: static-threshold pathology"))
+    return 0
+
+
+def _run_fig4() -> int:
+    rows = []
+    for west in range(100, 1001, 100):
+        row = [float(west)]
+        for one_way_ms in (5.0, 25.0, 50.0):
+            scenario = sc.fig4_offload_threshold_problem(one_way_ms,
+                                                         float(west))
+            result = GlobalController.oracle(
+                scenario.app, scenario.deployment, scenario.demand)
+            row.append(result.ingress_local_fraction("default", "west")
+                       * west)
+        rows.append(row)
+    print(format_table(
+        ["west load (rps)", "local @ 5ms", "local @ 25ms", "local @ 50ms"],
+        rows, title="Fig. 4: locally served RPS at West"))
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    app = APPS[args.app]()
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=args.replicas,
+        latency=two_region_latency(args.rtt_ms / 2))
+    demand = DemandMatrix()
+    for cls in app.classes:
+        share = 1.0 / len(app.classes)
+        demand.set(cls, "west", args.west * share)
+        if args.east > 0:
+            demand.set(cls, "east", args.east * share)
+    result = GlobalController.oracle(app, deployment, demand,
+                                     cost_weight=args.cost_weight)
+    print(f"status: {result.status}   objective: {result.objective:.3f}")
+    print(f"predicted mean latency: "
+          f"{result.predicted_mean_latency * 1000:.2f} ms")
+    print(f"predicted egress cost: "
+          f"${result.predicted_egress_cost_rate * 3600:.4f}/hour")
+    print("\nrouting rules:")
+    for rule in result.rules():
+        weights = ", ".join(f"{c}={w:.1%}" for c, w in rule.weights)
+        print(f"  {rule.service} [{rule.traffic_class}] @ "
+              f"{rule.src_cluster}: {weights}")
+    if args.render_istio:
+        from .mesh.render import destination_rules, rules_to_virtualservices
+        print("\n# --- Istio manifests ---")
+        print(rules_to_virtualservices(result.rules(), app), end="")
+        print("---")
+        print(destination_rules(result.rules()), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SLATE (HotNets '24) reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list figures and stock apps")
+    sub.add_parser("survey", help="print the paper's §2 operator survey")
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name", choices=FIGURES)
+    figure.add_argument("--duration", type=float, default=40.0,
+                        help="simulated seconds (fig6x only)")
+    figure.add_argument("--seed", type=int, default=42)
+
+    solve = sub.add_parser("solve", help="one-shot optimization")
+    solve.add_argument("--app", choices=sorted(APPS), default="chain")
+    solve.add_argument("--west", type=float, default=650.0,
+                       help="total west ingress RPS")
+    solve.add_argument("--east", type=float, default=100.0,
+                       help="total east ingress RPS")
+    solve.add_argument("--replicas", type=int, default=5)
+    solve.add_argument("--rtt-ms", type=float, default=50.0)
+    solve.add_argument("--cost-weight", type=float, default=0.0)
+    solve.add_argument("--render-istio", action="store_true",
+                       help="emit Istio VirtualService/DestinationRule "
+                            "manifests for the plan")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": cmd_list, "figure": cmd_figure,
+                "solve": cmd_solve, "survey": cmd_survey}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""SLATE core: traffic classes, latency models, optimizer, controllers."""
+
+from .controller import (ClusterController, GlobalController,
+                         GlobalControllerConfig, IncrementalRollout,
+                         RolloutConfig, SlatePolicy)
+from .optimizer import (ClassWorkload, OptimizationResult, SolverError,
+                        TEProblem, solve)
+from .rules import RoutingRule, RuleSet
+
+__all__ = [
+    "ClusterController", "GlobalController", "GlobalControllerConfig",
+    "IncrementalRollout", "RolloutConfig", "SlatePolicy",
+    "ClassWorkload", "OptimizationResult", "SolverError", "TEProblem",
+    "solve",
+    "RoutingRule", "RuleSet",
+]

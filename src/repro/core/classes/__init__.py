@@ -1,0 +1,17 @@
+"""Traffic classes: classification and derivation (§3.3, §5)."""
+
+from .callgraph import CallGraphLearner
+from .classifier import (AppSpecClassifier, AssignmentClassifier, MatchRule,
+                         MethodPathClassifier, RuleBasedClassifier,
+                         SingleClassClassifier, canonical_class_name)
+from .derivation import (OTHER_CLASS, DerivedClasses, derive_classes,
+                         derive_classes_by_behavior)
+
+__all__ = [
+    "CallGraphLearner",
+    "AppSpecClassifier", "AssignmentClassifier", "MatchRule",
+    "MethodPathClassifier", "RuleBasedClassifier", "SingleClassClassifier",
+    "canonical_class_name",
+    "OTHER_CLASS", "DerivedClasses", "derive_classes",
+    "derive_classes_by_behavior",
+]

@@ -1,0 +1,178 @@
+"""Call-graph inference from trace telemetry.
+
+The real SLATE cannot read an application's source: per §3.1 the proxies
+export "trace information", and the Global Controller must learn each
+traffic class's call tree — which services call which, how many child
+calls one execution spawns, the request/response sizes, and per-service
+compute times — from those traces. This module does exactly that.
+
+:class:`CallGraphLearner` accumulates sampled spans across epochs and
+produces, per traffic class, a :class:`~repro.sim.apps.TrafficClassSpec`
+the optimizer can consume. Inference is purely statistical:
+
+* ``calls_per_request`` of edge u→v = observed v-executions with caller u
+  divided by observed u-executions (so fan-out and probabilistic calls are
+  captured as expectations);
+* byte sizes and compute times are running means;
+* the root service is the one invoked by the ingress gateway
+  (``caller_service is None``).
+
+A callee observed with multiple distinct callers in one class violates the
+tree assumption; the learner keeps the dominant caller and flags the class
+(``tree_violations``) so operators can split the class (§5 "the majority
+of requests in a meaningful traffic class should spawn the same child call
+graph").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...sim.apps import CallEdge, TrafficClassSpec
+from ...sim.request import RequestAttributes, Span
+
+__all__ = ["EdgeEstimate", "CallGraphLearner"]
+
+
+@dataclass
+class EdgeEstimate:
+    """Running statistics for one observed caller→callee edge."""
+
+    calls: int = 0
+    request_bytes_sum: float = 0.0
+    response_bytes_sum: float = 0.0
+
+    def observe(self, span: Span) -> None:
+        self.calls += 1
+        self.request_bytes_sum += span.request_bytes
+        self.response_bytes_sum += span.response_bytes
+
+    @property
+    def mean_request_bytes(self) -> int:
+        return round(self.request_bytes_sum / self.calls) if self.calls else 0
+
+    @property
+    def mean_response_bytes(self) -> int:
+        return round(self.response_bytes_sum / self.calls) if self.calls else 0
+
+
+@dataclass
+class _ClassState:
+    """Accumulated evidence for one traffic class."""
+
+    #: service → execution count
+    executions: dict[str, int] = field(default_factory=dict)
+    #: service → summed exec seconds
+    exec_time_sum: dict[str, float] = field(default_factory=dict)
+    #: (caller, callee) → edge stats; caller None = ingress
+    edges: dict[tuple[str | None, str], EdgeEstimate] = field(
+        default_factory=dict)
+
+    def observe(self, span: Span) -> None:
+        self.executions[span.service] = (
+            self.executions.get(span.service, 0) + 1)
+        self.exec_time_sum[span.service] = (
+            self.exec_time_sum.get(span.service, 0.0) + span.exec_time)
+        key = (span.caller_service, span.service)
+        estimate = self.edges.get(key)
+        if estimate is None:
+            estimate = self.edges[key] = EdgeEstimate()
+        estimate.observe(span)
+
+
+class CallGraphLearner:
+    """Learns per-class call-tree structure from sampled spans."""
+
+    def __init__(self, min_executions: int = 20) -> None:
+        if min_executions < 1:
+            raise ValueError("min_executions must be >= 1")
+        self.min_executions = min_executions
+        self._classes: dict[str, _ClassState] = {}
+        #: classes where a callee had calls from more than one caller
+        self.tree_violations: dict[str, list[str]] = {}
+
+    def ingest(self, spans: list[Span]) -> None:
+        """Fold a batch of sampled spans into the evidence."""
+        for span in spans:
+            state = self._classes.get(span.traffic_class)
+            if state is None:
+                state = self._classes[span.traffic_class] = _ClassState()
+            state.observe(span)
+
+    @property
+    def classes_seen(self) -> list[str]:
+        return sorted(self._classes)
+
+    def root_service(self, traffic_class: str) -> str | None:
+        """The service invoked directly by gateways, if observed."""
+        state = self._classes.get(traffic_class)
+        if state is None:
+            return None
+        roots = [callee for (caller, callee) in state.edges
+                 if caller is None]
+        return roots[0] if roots else None
+
+    def ready(self, traffic_class: str) -> bool:
+        """Enough evidence to emit a spec for this class?"""
+        state = self._classes.get(traffic_class)
+        if state is None or self.root_service(traffic_class) is None:
+            return False
+        root = self.root_service(traffic_class)
+        return state.executions.get(root, 0) >= self.min_executions
+
+    def infer_spec(self, traffic_class: str,
+                   attributes: RequestAttributes) -> TrafficClassSpec:
+        """Build a :class:`TrafficClassSpec` from the observed evidence.
+
+        ``attributes`` is the class's matching template (the learner sees
+        spans, not ingress attributes; the classifier that named the class
+        knows them). Raises when the class is not :meth:`ready`.
+        """
+        if not self.ready(traffic_class):
+            raise ValueError(
+                f"not enough trace evidence for class {traffic_class!r}")
+        state = self._classes[traffic_class]
+        root = self.root_service(traffic_class)
+
+        # pick the dominant caller for each callee; record violations
+        chosen: dict[str, tuple[str, EdgeEstimate]] = {}
+        violated: list[str] = []
+        for (caller, callee), estimate in state.edges.items():
+            if caller is None:
+                continue
+            current = chosen.get(callee)
+            if current is None or estimate.calls > current[1].calls:
+                if current is not None:
+                    violated.append(callee)
+                chosen[callee] = (caller, estimate)
+            elif current is not None and caller != current[0]:
+                violated.append(callee)
+        if violated:
+            self.tree_violations[traffic_class] = sorted(set(violated))
+
+        edges = []
+        for callee, (caller, estimate) in sorted(chosen.items()):
+            caller_execs = state.executions.get(caller, 0)
+            if caller_execs == 0:
+                continue
+            edges.append(CallEdge(
+                caller=caller, callee=callee,
+                calls_per_request=estimate.calls / caller_execs,
+                request_bytes=estimate.mean_request_bytes,
+                response_bytes=estimate.mean_response_bytes,
+            ))
+
+        exec_time = {
+            service: state.exec_time_sum[service] / count
+            for service, count in state.executions.items() if count > 0
+        }
+        ingress = state.edges[(None, root)]
+        return TrafficClassSpec(
+            name=traffic_class,
+            attributes=attributes,
+            root_service=root,
+            edges=edges,
+            exec_time=exec_time,
+            ingress_request_bytes=ingress.mean_request_bytes,
+            ingress_response_bytes=ingress.mean_response_bytes,
+        )

@@ -1,0 +1,149 @@
+"""Traffic classifiers: mapping request attributes to traffic classes.
+
+§3.3 "Deriving Classes": SLATE classifies HTTP requests on (service, HTTP
+method, HTTP path). Classifiers here implement the
+:class:`repro.mesh.gateway.Classifier` protocol, so any of them can be
+installed at the gateways by the control plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...sim.apps import AppSpec
+from ...sim.request import RequestAttributes
+
+__all__ = ["SingleClassClassifier", "MatchRule", "RuleBasedClassifier",
+           "MethodPathClassifier", "AssignmentClassifier",
+           "AppSpecClassifier", "canonical_class_name"]
+
+
+def canonical_class_name(service: str, method: str, path: str) -> str:
+    """The paper's class identity: service + method + path."""
+    return f"{service}:{method}:{path}"
+
+
+class SingleClassClassifier:
+    """Treat all requests homogeneously (how Waterfall sees traffic)."""
+
+    def __init__(self, name: str = "default") -> None:
+        self.name = name
+
+    def classify(self, attributes: RequestAttributes) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class MatchRule:
+    """One match clause: all present fields must match the request.
+
+    ``path_prefix`` matches ``attributes.path.startswith``; ``header`` is a
+    (name, value) pair compared case-insensitively on the name.
+    """
+
+    traffic_class: str
+    service: str | None = None
+    method: str | None = None
+    path_prefix: str | None = None
+    header: tuple[str, str] | None = None
+
+    def matches(self, attributes: RequestAttributes) -> bool:
+        if self.service is not None and attributes.service != self.service:
+            return False
+        if self.method is not None and attributes.method != self.method:
+            return False
+        if (self.path_prefix is not None
+                and not attributes.path.startswith(self.path_prefix)):
+            return False
+        if self.header is not None:
+            name, value = self.header
+            if attributes.header(name) != value:
+                return False
+        return True
+
+
+@dataclass
+class RuleBasedClassifier:
+    """First-match-wins ordered rules with a fallback class."""
+
+    rules: list[MatchRule] = field(default_factory=list)
+    fallback: str = "default"
+
+    def classify(self, attributes: RequestAttributes) -> str:
+        for rule in self.rules:
+            if rule.matches(attributes):
+                return rule.traffic_class
+        return self.fallback
+
+
+class MethodPathClassifier:
+    """One class per distinct (service, method, path) — the paper's heuristic.
+
+    ``known`` restricts output to an allow-list (unknown combinations fall
+    back), which is how a bounded class set derived offline is enforced
+    online.
+    """
+
+    def __init__(self, known: set[str] | None = None,
+                 fallback: str = "default") -> None:
+        self._known = known
+        self._fallback = fallback
+
+    def classify(self, attributes: RequestAttributes) -> str:
+        name = canonical_class_name(attributes.service, attributes.method,
+                                    attributes.path)
+        if self._known is not None and name not in self._known:
+            return self._fallback
+        return name
+
+
+class AssignmentClassifier:
+    """Classify by an explicit signature → class mapping.
+
+    The online form of a derivation result: every observed
+    (service, method, path) signature maps to its derived class (possibly a
+    merged behavioural class named after its leader signature); unseen
+    signatures fall back.
+    """
+
+    def __init__(self, assignment: dict[str, str],
+                 fallback: str = "other") -> None:
+        self._assignment = dict(assignment)
+        self._fallback = fallback
+
+    def classify(self, attributes: RequestAttributes) -> str:
+        signature = canonical_class_name(attributes.service,
+                                         attributes.method, attributes.path)
+        return self._assignment.get(signature, self._fallback)
+
+
+class AppSpecClassifier:
+    """Ground-truth classifier for simulations: match an app's class specs.
+
+    Requests are matched to the application class whose template attributes
+    share (service, method, path). Used when the true classes are known —
+    the oracle against which derived classes are compared.
+    """
+
+    def __init__(self, app: AppSpec, fallback: str | None = None) -> None:
+        self._index: dict[tuple[str, str, str], str] = {}
+        for name, spec in app.classes.items():
+            attrs = spec.attributes
+            key = (attrs.service, attrs.method, attrs.path)
+            if key in self._index:
+                raise ValueError(
+                    f"app {app.name!r}: classes {self._index[key]!r} and "
+                    f"{name!r} share attributes {key}")
+            self._index[key] = name
+        if fallback is None and len(app.classes) == 1:
+            fallback = next(iter(app.classes))
+        self._fallback = fallback
+
+    def classify(self, attributes: RequestAttributes) -> str:
+        key = (attributes.service, attributes.method, attributes.path)
+        name = self._index.get(key)
+        if name is not None:
+            return name
+        if self._fallback is not None:
+            return self._fallback
+        raise KeyError(f"no traffic class matches attributes {key}")

@@ -1,0 +1,190 @@
+"""Automatic traffic-class derivation from observed traffic (§5).
+
+The challenge: "an extremely large number of classes could more accurately
+characterize traffic in principle, but makes it hard to get enough samples
+... and worsens performance of the centralized optimizer. Finding the right
+tradeoff with 'just enough' meaningful classes is the key."
+
+:func:`derive_classes` implements the paper's heuristic with the two knobs
+that tradeoff demands: keep a distinct class for each sufficiently popular
+(service, method, path) signature, subject to a hard cap, and fold the long
+tail into a catch-all class so every class retains enough observations to
+characterise its average behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ...sim.request import RequestAttributes
+from .classifier import (AssignmentClassifier, MethodPathClassifier,
+                         canonical_class_name)
+
+__all__ = ["DerivedClasses", "derive_classes", "derive_classes_by_behavior"]
+
+OTHER_CLASS = "other"
+
+
+@dataclass
+class DerivedClasses:
+    """The outcome of a derivation pass."""
+
+    #: canonical signature → derived class name (tail signatures map to
+    #: the catch-all)
+    assignment: dict[str, str]
+    #: derived class name → observation count backing it
+    support: dict[str, int]
+    total_observations: int
+
+    @property
+    def class_names(self) -> list[str]:
+        return sorted(self.support)
+
+    def classifier(self) -> AssignmentClassifier:
+        """An online classifier enforcing the derived class set.
+
+        Uses the full signature → class mapping, so behaviourally merged
+        signatures route to their cluster's class; unseen signatures fall
+        back to the catch-all.
+        """
+        return AssignmentClassifier(self.assignment, fallback=OTHER_CLASS)
+
+    def share(self, class_name: str) -> float:
+        """Fraction of observations carried by one derived class."""
+        if self.total_observations == 0:
+            return 0.0
+        return self.support.get(class_name, 0) / self.total_observations
+
+
+def derive_classes(observations: list[RequestAttributes],
+                   max_classes: int = 16,
+                   min_share: float = 0.01,
+                   min_samples: int = 30) -> DerivedClasses:
+    """Group observed requests into "just enough" traffic classes.
+
+    A (service, method, path) signature keeps its own class when it has at
+    least ``min_samples`` observations *and* at least ``min_share`` of total
+    traffic; at most ``max_classes - 1`` such classes are kept (most popular
+    first), everything else folds into the ``"other"`` catch-all.
+    """
+    if max_classes < 1:
+        raise ValueError(f"max_classes must be >= 1, got {max_classes}")
+    if not 0 <= min_share <= 1:
+        raise ValueError(f"min_share must be in [0, 1], got {min_share}")
+    if min_samples < 1:
+        raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+
+    counts: Counter[str] = Counter()
+    for attributes in observations:
+        counts[canonical_class_name(attributes.service, attributes.method,
+                                    attributes.path)] += 1
+    total = sum(counts.values())
+
+    assignment: dict[str, str] = {}
+    support: dict[str, int] = {}
+    kept = 0
+    # most popular first; ties broken by name for determinism
+    for signature, count in sorted(counts.items(),
+                                   key=lambda item: (-item[1], item[0])):
+        popular = (count >= min_samples
+                   and total > 0 and count / total >= min_share)
+        if popular and kept < max_classes - 1:
+            assignment[signature] = signature
+            support[signature] = count
+            kept += 1
+        else:
+            assignment[signature] = OTHER_CLASS
+            support[OTHER_CLASS] = support.get(OTHER_CLASS, 0) + count
+    return DerivedClasses(assignment=assignment, support=support,
+                          total_observations=total)
+
+
+def derive_classes_by_behavior(samples: list[tuple["RequestAttributes", float]],
+                               max_classes: int = 8,
+                               merge_tolerance: float = 0.3,
+                               min_samples: int = 10) -> DerivedClasses:
+    """Group signatures by observed *behaviour*, not identity (§5).
+
+    The paper's future-work direction: "more advanced techniques, such as
+    machine learning, could be applied to derive a small yet precise set of
+    classes." Here each (service, method, path) signature is characterised
+    by its mean observed cost (e.g. root-span compute or total latency),
+    and signatures whose costs differ by less than ``merge_tolerance``
+    (relative) are merged into one behavioural class — agglomerative 1-D
+    clustering. This keeps the optimizer's class count small while
+    preserving the compute distinctions routing actually cares about, even
+    when an application exposes hundreds of distinct URLs.
+
+    ``samples`` are (attributes, cost) observations. Signatures with fewer
+    than ``min_samples`` observations fold into the catch-all class.
+    Derived class names are the dominant member's signature, so classifiers
+    built from the result still match on attributes.
+    """
+    if max_classes < 1:
+        raise ValueError(f"max_classes must be >= 1, got {max_classes}")
+    if merge_tolerance < 0:
+        raise ValueError(f"merge_tolerance must be >= 0")
+    if min_samples < 1:
+        raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+
+    sums: dict[str, float] = {}
+    counts: Counter[str] = Counter()
+    for attributes, cost in samples:
+        if cost < 0:
+            raise ValueError(f"negative cost sample {cost}")
+        signature = canonical_class_name(attributes.service,
+                                         attributes.method, attributes.path)
+        counts[signature] += 1
+        sums[signature] = sums.get(signature, 0.0) + cost
+    total = sum(counts.values())
+
+    assignment: dict[str, str] = {}
+    support: dict[str, int] = {}
+    # thin signatures straight to the catch-all
+    rich = []
+    for signature, count in counts.items():
+        if count < min_samples:
+            assignment[signature] = OTHER_CLASS
+            support[OTHER_CLASS] = support.get(OTHER_CLASS, 0) + count
+        else:
+            rich.append((sums[signature] / count, signature))
+
+    # agglomerate along the cost axis: sort by mean cost, start a new
+    # cluster whenever the next signature's cost exceeds the tolerance
+    # relative to the current cluster's (count-weighted) mean
+    rich.sort()
+    clusters: list[list[str]] = []
+    cluster_cost = 0.0
+    cluster_weight = 0
+    for cost, signature in rich:
+        weight = counts[signature]
+        if clusters and (cost <= cluster_cost * (1 + merge_tolerance)
+                         or cluster_cost == 0.0 and cost == 0.0):
+            clusters[-1].append(signature)
+            cluster_cost = ((cluster_cost * cluster_weight + cost * weight)
+                            / (cluster_weight + weight))
+            cluster_weight += weight
+        else:
+            clusters.append([signature])
+            cluster_cost = cost
+            cluster_weight = weight
+
+    # enforce the cap: merge the smallest clusters into the catch-all
+    clusters.sort(key=lambda members: -sum(counts[s] for s in members))
+    budget = max_classes - 1
+    for index, members in enumerate(clusters):
+        cluster_count = sum(counts[s] for s in members)
+        if index < budget:
+            # name the class after the most popular member signature
+            leader = max(members, key=lambda s: (counts[s], s))
+            for signature in members:
+                assignment[signature] = leader
+            support[leader] = cluster_count
+        else:
+            for signature in members:
+                assignment[signature] = OTHER_CLASS
+            support[OTHER_CLASS] = (support.get(OTHER_CLASS, 0)
+                                    + cluster_count)
+    return DerivedClasses(assignment=assignment, support=support,
+                          total_observations=total)

@@ -1,0 +1,15 @@
+"""SLATE control plane: Global Controller, Cluster Controller, rollout."""
+
+from .cluster_controller import ClusterController
+from .forecast import HoltForecaster
+from .global_controller import GlobalController, GlobalControllerConfig
+from .policy import SlatePolicy
+from .rollout import IncrementalRollout, RolloutConfig
+
+__all__ = [
+    "ClusterController",
+    "HoltForecaster",
+    "GlobalController", "GlobalControllerConfig",
+    "SlatePolicy",
+    "IncrementalRollout", "RolloutConfig",
+]

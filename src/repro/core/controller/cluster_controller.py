@@ -1,0 +1,67 @@
+"""Cluster Controller (§3.2): per-region metrics relay and rule distributor.
+
+"The Cluster Controller acts as a metrics aggregator for a certain region, to
+avoid the scaling limitations of having every individual service connect to a
+global controller ... as well as attaching the cluster ID of the metrics."
+When the Global Controller has new rules, they are "pushed to the Cluster
+Controller, which then redistributes those rules to every relevant service."
+
+In simulation the proxies already tag spans with their cluster; the
+controller's enforcement here is validation (rejecting mislabelled metrics)
+plus filtering rule pushes down to this cluster's proxies.
+"""
+
+from __future__ import annotations
+
+from ...mesh.routing_table import RoutingTable
+from ...mesh.telemetry import ClusterEpochReport
+from ..rules import RuleSet
+
+__all__ = ["ClusterController"]
+
+
+class ClusterController:
+    """Metrics relay and rule distributor for one cluster."""
+
+    def __init__(self, cluster: str) -> None:
+        self.cluster = cluster
+        self._pending: list[ClusterEpochReport] = []
+        self.reports_relayed = 0
+        self.rules_distributed = 0
+
+    # ------------------------------------------------------------- metrics
+
+    def ingest(self, report: ClusterEpochReport) -> None:
+        """Accept one epoch report from this cluster's proxies."""
+        if report.cluster != self.cluster:
+            raise ValueError(
+                f"cluster controller {self.cluster!r} received a report "
+                f"tagged {report.cluster!r}")
+        self._pending.append(report)
+
+    def relay(self) -> list[ClusterEpochReport]:
+        """Hand pending reports to the Global Controller and clear them."""
+        reports, self._pending = self._pending, []
+        self.reports_relayed += len(reports)
+        return reports
+
+    # --------------------------------------------------------------- rules
+
+    def distribute(self, rules: RuleSet, table: RoutingTable) -> int:
+        """Install the rules relevant to this cluster's proxies.
+
+        Only rules whose source cluster is this cluster are installed — each
+        region's proxies hold exactly the rules they enforce. Returns the
+        number of rules installed.
+        """
+        count = 0
+        for rule in rules:
+            if rule.src_cluster == self.cluster:
+                table.set_weights(rule.key, rule.weight_map())
+                count += 1
+        self.rules_distributed += count
+        return count
+
+    def __repr__(self) -> str:
+        return (f"ClusterController({self.cluster!r}, "
+                f"pending={len(self._pending)})")

@@ -1,0 +1,219 @@
+"""Global Controller (§3.3): telemetry in, optimized routing rules out.
+
+The controller keeps two pieces of learned state between epochs:
+
+* per-(class, cluster) ingress demand estimates (EWMA over observed RPS),
+* per-(service, class) latency profiles (:class:`ProfileRegistry`), when
+  profile learning is enabled.
+
+Every planning cycle it assembles a :class:`TEProblem` — call-tree structure
+comes from the application spec, demands and compute times from the learned
+state — solves it, and emits a :class:`RuleSet` for the Cluster Controllers.
+
+``GlobalController.oracle`` is the one-shot path used by benchmarks: known
+demand, ground-truth compute times, single solve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ...mesh.telemetry import ClusterEpochReport
+from ...sim.apps import AppSpec
+from ...sim.topology import DeploymentSpec
+from ...sim.workload import DemandMatrix
+from ..classes.callgraph import CallGraphLearner
+from ..latency.profiles import ProfileRegistry
+from .forecast import HoltForecaster
+from ..optimizer.problem import ClassWorkload, TEProblem
+from ..optimizer.result import OptimizationResult
+from ..optimizer.solve import SolverError, solve
+from ..rules import RuleSet
+
+__all__ = ["GlobalControllerConfig", "GlobalController"]
+
+
+@dataclass(frozen=True)
+class GlobalControllerConfig:
+    """Tuning knobs for the Global Controller."""
+
+    rho_max: float = 0.95
+    cost_weight: float = 0.0
+    #: hard $/s cap on egress (None = unconstrained)
+    egress_budget: float | None = None
+    delay_model: str = "mmc"
+    #: EWMA factor for demand estimates (weight of the newest epoch)
+    demand_alpha: float = 0.5
+    #: learn compute times from telemetry instead of trusting the app spec
+    learn_profiles: bool = True
+    #: learn the entire call-tree structure (edges, fan-outs, byte sizes)
+    #: from sampled trace spans instead of trusting the app spec — requires
+    #: the mesh to forward span samples (``trace_sample_rate > 0``)
+    learn_structure: bool = False
+    #: plan against Holt-forecast next-epoch demand instead of the EWMA of
+    #: observed demand (predictive vs reactive control, §5 fast reaction)
+    forecast_demand: bool = False
+    #: MILP split limit per rule; None = pure LP (fractional splits)
+    max_splits: int | None = None
+
+
+class GlobalController:
+    """The centralized optimizer-driven brain of SLATE."""
+
+    def __init__(self, app: AppSpec, deployment: DeploymentSpec,
+                 config: GlobalControllerConfig | None = None,
+                 profiles: ProfileRegistry | None = None) -> None:
+        self.app = app
+        self.deployment = deployment
+        self.config = config or GlobalControllerConfig()
+        self.profiles = profiles or ProfileRegistry()
+        self.callgraph = CallGraphLearner()
+        self.forecaster = HoltForecaster()
+        self._demand_estimate: dict[tuple[str, str], float] = {}
+        self.last_result: OptimizationResult | None = None
+        self.epochs_observed = 0
+
+    # ------------------------------------------------------------ learning
+
+    def observe(self, reports: list[ClusterEpochReport]) -> None:
+        """Fold one epoch of cluster reports into the learned state."""
+        if self.config.learn_profiles:
+            self.profiles.ingest(reports)
+        if self.config.learn_structure:
+            for report in reports:
+                self.callgraph.ingest(report.span_samples)
+        alpha = self.config.demand_alpha
+        for report in reports:
+            for cls in self.app.classes:
+                observed = report.ingress_rps(cls)
+                key = (cls, report.cluster)
+                self.forecaster.observe(key, observed)
+                current = self._demand_estimate.get(key)
+                if current is None:
+                    self._demand_estimate[key] = observed
+                else:
+                    self._demand_estimate[key] = (
+                        (1 - alpha) * current + alpha * observed)
+        self.epochs_observed += 1
+
+    def demand_estimate(self, traffic_class: str, cluster: str) -> float:
+        """The demand the next plan will use (forecast or EWMA)."""
+        key = (traffic_class, cluster)
+        if self.config.forecast_demand and self.forecaster.known(key):
+            return self.forecaster.forecast(key, steps_ahead=1)
+        return self._demand_estimate.get(key, 0.0)
+
+    # ------------------------------------------------------------ planning
+
+    def build_problem(self) -> TEProblem:
+        """Assemble the TE instance from current learned state."""
+        workloads = {}
+        for name, spec in self.app.classes.items():
+            if self.config.learn_structure and self.callgraph.ready(name):
+                # the whole spec — edges, fan-outs, byte sizes, compute
+                # times — comes from trace evidence; only the matching
+                # attributes are taken from the declared class
+                spec = self.callgraph.infer_spec(name, spec.attributes)
+            elif self.config.learn_profiles:
+                learned = self.profiles.exec_time_map(name, spec.services())
+                # keep ground truth for pairs with no telemetry yet: a wrong
+                # default would be worse than the spec's declared value
+                exec_time = {
+                    service: (learned[service]
+                              if self.profiles.known(service, name)
+                              else spec.exec_time_of(service))
+                    for service in spec.services()
+                }
+                spec = dataclasses.replace(spec, exec_time=exec_time)
+            demand = {
+                cluster: self.demand_estimate(name, cluster)
+                for cluster in self.deployment.cluster_names
+                if self.demand_estimate(name, cluster) > 0
+            }
+            workloads[name] = ClassWorkload(spec=spec, demand=demand)
+        replicas = {
+            (service, cluster.name): count
+            for cluster in self.deployment.clusters
+            for service, count in cluster.replicas.items()
+            if count > 0
+        }
+        return TEProblem(
+            clusters=list(self.deployment.cluster_names),
+            latency=self.deployment.latency,
+            pricing=self.deployment.pricing,
+            replicas=replicas,
+            workloads=workloads,
+            rho_max=self.config.rho_max,
+            cost_weight=self.config.cost_weight,
+            egress_budget=self.config.egress_budget,
+            delay_model=self.config.delay_model,
+        )
+
+    def plan(self) -> OptimizationResult | None:
+        """Solve for current state; ``None`` when no demand observed yet.
+
+        When the (possibly forecast) demand exceeds global capacity the
+        instance is infeasible; rather than fail mid-flight, the demand is
+        scaled down to the largest feasible fraction and solved — the
+        resulting *routing fractions* remain the right proportions to
+        install, and the overload itself is a provisioning problem outside
+        the router's control.
+        """
+        problem = self.build_problem()
+        if problem.total_demand() <= 0:
+            return None
+        try:
+            result = solve(problem, max_splits=self.config.max_splits)
+        except SolverError:
+            scale = self._feasible_scale(problem)
+            if scale >= 1.0:
+                raise   # infeasible for some other reason: surface it
+            for workload in problem.workloads.values():
+                for cluster in workload.demand:
+                    workload.demand[cluster] *= scale
+            result = solve(problem, max_splits=self.config.max_splits)
+        self.last_result = result
+        return result
+
+    @staticmethod
+    def _feasible_scale(problem: TEProblem) -> float:
+        """Largest demand fraction that fits under every service's global
+        work capacity (with a small safety margin)."""
+        scale = 1.0
+        services = {s for w in problem.workloads.values()
+                    for s in w.spec.services()}
+        for service in services:
+            work = 0.0
+            for workload in problem.workloads.values():
+                st = workload.spec.exec_time_of(service)
+                execs = workload.spec.executions_per_request().get(service,
+                                                                   0.0)
+                work += workload.total_demand * execs * st
+            capacity = problem.rho_max * sum(
+                problem.replica_count(service, c) for c in problem.clusters)
+            if work > 0 and capacity > 0:
+                scale = min(scale, capacity / work)
+        return scale * 0.999
+
+    def rules(self) -> RuleSet:
+        """Rules from the most recent plan (empty before the first plan)."""
+        if self.last_result is None:
+            return RuleSet()
+        return self.last_result.rules()
+
+    # -------------------------------------------------------------- oracle
+
+    @staticmethod
+    def oracle(app: AppSpec, deployment: DeploymentSpec,
+               demand: DemandMatrix, rho_max: float = 0.95,
+               cost_weight: float = 0.0,
+               egress_budget: float | None = None,
+               delay_model: str = "mmc",
+               max_splits: int | None = None) -> OptimizationResult:
+        """One-shot solve with known demand and ground-truth profiles."""
+        problem = TEProblem.from_specs(
+            app, deployment, demand, rho_max=rho_max,
+            cost_weight=cost_weight, egress_budget=egress_budget,
+            delay_model=delay_model)
+        return solve(problem, max_splits=max_splits)

@@ -1,0 +1,74 @@
+"""SLATE as a routing policy: the optimizer behind the policy interface.
+
+Wraps :class:`GlobalController` so the experiment harness can run SLATE and
+the baselines through the same machinery. In static (oracle) mode the rules
+come from one solve over the known demand; in adaptive mode each epoch's
+telemetry feeds the controller, optionally through the incremental rollout
+guard.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...mesh.telemetry import ClusterEpochReport
+from ..rules import RuleSet
+from .global_controller import GlobalController, GlobalControllerConfig
+from .rollout import IncrementalRollout
+
+if TYPE_CHECKING:   # avoids a core <-> baselines import cycle
+    from ...baselines.base import PolicyContext
+
+__all__ = ["SlatePolicy"]
+
+
+class SlatePolicy:
+    """Global TE-optimized request routing (the paper's system)."""
+
+    name = "slate"
+
+    def __init__(self, config: GlobalControllerConfig | None = None,
+                 adaptive: bool = False,
+                 rollout: IncrementalRollout | None = None) -> None:
+        self.config = config or GlobalControllerConfig()
+        self.adaptive = adaptive
+        self.rollout = rollout
+        self._controller: GlobalController | None = None
+
+    def compute_rules(self, ctx: PolicyContext) -> RuleSet:
+        result = GlobalController.oracle(
+            ctx.app, ctx.deployment, ctx.demand,
+            rho_max=self.config.rho_max,
+            cost_weight=self.config.cost_weight,
+            delay_model=self.config.delay_model,
+            max_splits=self.config.max_splits,
+        )
+        rules = result.rules()
+        if self.rollout is not None:
+            rules = self.rollout.advance(rules)
+        return rules
+
+    def on_epoch(self, reports: list[ClusterEpochReport],
+                 ctx: PolicyContext) -> RuleSet | None:
+        if not self.adaptive:
+            return None
+        if self._controller is None:
+            self._controller = GlobalController(ctx.app, ctx.deployment,
+                                                self.config)
+        self._controller.observe(reports)
+        result = self._controller.plan()
+        if result is None:
+            return None
+        rules = result.rules()
+        if self.rollout is not None:
+            objective = _observed_mean_latency(reports)
+            rules = self.rollout.advance(rules, objective)
+        return rules
+
+
+def _observed_mean_latency(reports: list[ClusterEpochReport]) -> float | None:
+    latencies = [lat for report in reports
+                 for lat in report.request_latencies]
+    if not latencies:
+        return None
+    return sum(latencies) / len(latencies)

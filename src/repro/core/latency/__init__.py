@@ -1,0 +1,15 @@
+"""Load-to-latency models and online profile learning (§3.3, §5)."""
+
+from .fitting import (FitResult, LoadLatencySample, fit_mmc_service_time,
+                      service_time_from_window)
+from .mm1 import (PoolDelayModel, erlang_c, mm1_backlog, mm1_sojourn,
+                  mmc_backlog, mmc_mean_wait, mmc_sojourn)
+from .profiles import Profile, ProfileRegistry
+
+__all__ = [
+    "FitResult", "LoadLatencySample", "fit_mmc_service_time",
+    "service_time_from_window",
+    "PoolDelayModel", "erlang_c", "mm1_backlog", "mm1_sojourn",
+    "mmc_backlog", "mmc_mean_wait", "mmc_sojourn",
+    "Profile", "ProfileRegistry",
+]

@@ -1,0 +1,135 @@
+"""Queueing models for service load-to-latency behaviour (§3.3).
+
+The paper models per-class latency at a service "as a function of load with a
+variation of a M/M/1 queuing model". The simulator's replica pools are
+multi-server FIFO queues, so we provide both:
+
+* the classic M/M/1 relations (what the Global Controller's LP linearises in
+  its cheapest mode), and
+* exact M/M/c (Erlang-C) relations matching the simulated pools.
+
+Throughout, *offered work* ``a = λ · service_time`` is measured in erlangs —
+the natural unit for multi-class pools, where a request's "size" is its
+compute demand. ``system_backlog`` functions return the mean number of
+requests in the system, which by Little's law is the pool's contribution of
+latency-seconds per second — the quantity the TE objective sums.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["mm1_sojourn", "mm1_backlog", "erlang_c", "mmc_mean_wait",
+           "mmc_sojourn", "mmc_backlog", "PoolDelayModel"]
+
+
+def mm1_sojourn(lam: float, mu: float) -> float:
+    """Mean time in an M/M/1 system: ``1 / (mu - lam)``. Infinite at λ≥μ."""
+    if lam < 0 or mu <= 0:
+        raise ValueError(f"need lam >= 0 and mu > 0, got {lam}, {mu}")
+    if lam >= mu:
+        return math.inf
+    return 1.0 / (mu - lam)
+
+
+def mm1_backlog(rho: float) -> float:
+    """Mean number in an M/M/1 system at utilization ρ: ``ρ / (1 - ρ)``."""
+    if rho < 0:
+        raise ValueError(f"utilization must be >= 0, got {rho}")
+    if rho >= 1.0:
+        return math.inf
+    return rho / (1.0 - rho)
+
+
+def erlang_c(servers: int, offered: float) -> float:
+    """Erlang-C: probability an arrival waits in an M/M/c queue.
+
+    ``offered`` is the load in erlangs (= λ·service_time); must be below
+    ``servers`` for a stable queue. Computed with the standard recurrence on
+    the Erlang-B formula for numerical stability at large ``servers``.
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers}")
+    if offered < 0:
+        raise ValueError(f"offered load must be >= 0, got {offered}")
+    if offered == 0:
+        return 0.0
+    if offered >= servers:
+        return 1.0
+    # Erlang-B via recurrence: B(0) = 1; B(n) = a·B(n-1) / (n + a·B(n-1))
+    blocking = 1.0
+    for n in range(1, servers + 1):
+        blocking = offered * blocking / (n + offered * blocking)
+    rho = offered / servers
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+def mmc_mean_wait(lam: float, service_time: float, servers: int) -> float:
+    """Mean queueing delay (excluding service) in an M/M/c system."""
+    if service_time <= 0 or lam == 0:
+        return 0.0
+    offered = lam * service_time
+    if offered >= servers:
+        return math.inf
+    wait_prob = erlang_c(servers, offered)
+    return wait_prob * service_time / (servers - offered)
+
+
+def mmc_sojourn(lam: float, service_time: float, servers: int) -> float:
+    """Mean time in system (wait + service) for an M/M/c queue."""
+    wait = mmc_mean_wait(lam, service_time, servers)
+    return wait + service_time if math.isfinite(wait) else math.inf
+
+
+def mmc_backlog(offered: float, servers: int) -> float:
+    """Mean number in an M/M/c system given offered erlangs.
+
+    ``N(a) = a + a · C(c, a) / (c - a)`` — the in-service erlangs plus the
+    queue. Expressed purely in erlangs so multi-class pools can use it with
+    ``a = Σ_k λ_k · st_k``.
+    """
+    if offered < 0:
+        raise ValueError(f"offered load must be >= 0, got {offered}")
+    if offered >= servers:
+        return math.inf
+    if offered == 0:
+        return 0.0
+    return offered + offered * erlang_c(servers, offered) / (servers - offered)
+
+
+class PoolDelayModel:
+    """Mean backlog of one replica pool as a function of offered erlangs.
+
+    Two modes:
+
+    * ``"mmc"`` (default): exact M/M/c — matches the simulator's pools for
+      single-class traffic and is a close work-conserving approximation for
+      mixed classes.
+    * ``"mm1"``: the pool as one fast M/M/1 server (the classic Kleinrock
+      network-TE delay function) — cheaper and more pessimistic at low load.
+    """
+
+    MODES = ("mmc", "mm1")
+
+    def __init__(self, servers: int, mode: str = "mmc") -> None:
+        if servers < 1:
+            raise ValueError(f"servers must be >= 1, got {servers}")
+        if mode not in self.MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {self.MODES}")
+        self.servers = servers
+        self.mode = mode
+
+    @property
+    def capacity(self) -> float:
+        """Maximum sustainable offered load, erlangs."""
+        return float(self.servers)
+
+    def backlog(self, offered: float) -> float:
+        """Mean requests in system at ``offered`` erlangs."""
+        if self.mode == "mmc":
+            return mmc_backlog(offered, self.servers)
+        rho = offered / self.servers
+        return mm1_backlog(rho)
+
+    def __repr__(self) -> str:
+        return f"PoolDelayModel(servers={self.servers}, mode={self.mode!r})"

@@ -1,0 +1,91 @@
+"""Latency profile registry: the Global Controller's learned model state.
+
+Profiles are per (service, traffic class) mean compute times, learned online
+from the Cluster Controllers' epoch reports and smoothed with an EWMA so a
+single noisy epoch cannot yank the optimizer's inputs (§5 "Resilience to
+prediction error" motivates conservative updating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...mesh.telemetry import ClusterEpochReport
+from .fitting import service_time_from_window
+
+__all__ = ["ProfileRegistry", "Profile"]
+
+
+@dataclass
+class Profile:
+    """Learned state for one (service, traffic class)."""
+
+    service_time: float
+    observations: int = 0
+
+    def update(self, sample: float, alpha: float) -> None:
+        self.service_time = (1 - alpha) * self.service_time + alpha * sample
+        self.observations += 1
+
+
+@dataclass
+class ProfileRegistry:
+    """EWMA-smoothed per-(service, class) service-time estimates."""
+
+    #: smoothing factor: weight of the newest epoch's estimate
+    alpha: float = 0.3
+    #: used for pairs never observed (forces conservative routing until data
+    #: arrives)
+    default_service_time: float = 0.005
+    _profiles: dict[tuple[str, str], Profile] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.default_service_time <= 0:
+            raise ValueError("default_service_time must be > 0")
+
+    def ingest(self, reports: list[ClusterEpochReport]) -> None:
+        """Fold one epoch's cluster reports into the profiles.
+
+        Windows from different clusters for the same (service, class) are
+        merged weighted by completions before the EWMA step, so a cluster
+        handling 10x the traffic contributes 10x the evidence.
+        """
+        merged: dict[tuple[str, str], tuple[float, int]] = {}
+        for report in reports:
+            for (service, cls), window in report.service_class.items():
+                sample = service_time_from_window(window)
+                if sample is None:
+                    continue
+                exec_sum, count = merged.get((service, cls), (0.0, 0))
+                merged[(service, cls)] = (
+                    exec_sum + sample * window.completions,
+                    count + window.completions)
+        for key, (exec_sum, count) in merged.items():
+            sample = exec_sum / count
+            profile = self._profiles.get(key)
+            if profile is None:
+                self._profiles[key] = Profile(service_time=sample,
+                                              observations=1)
+            else:
+                profile.update(sample, self.alpha)
+
+    def service_time(self, service: str, traffic_class: str) -> float:
+        """Best current estimate, falling back to the default."""
+        profile = self._profiles.get((service, traffic_class))
+        if profile is None:
+            return self.default_service_time
+        return profile.service_time
+
+    def known(self, service: str, traffic_class: str) -> bool:
+        return (service, traffic_class) in self._profiles
+
+    def exec_time_map(self, traffic_class: str,
+                      services: list[str]) -> dict[str, float]:
+        """Per-service compute times for one class (optimizer input)."""
+        return {service: self.service_time(service, traffic_class)
+                for service in services}
+
+    def __len__(self) -> int:
+        return len(self._profiles)

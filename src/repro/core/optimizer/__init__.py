@@ -1,0 +1,19 @@
+"""The Global Controller's request-routing optimizer (§3.3)."""
+
+from .contraction import (ContractedSolution, contract_problem,
+                          group_clusters, solve_contracted)
+from .model import INGRESS_EDGE, LinearModel, build_model, class_edges
+from .piecewise import Segment, linearize_convex
+from .problem import ClassWorkload, TEProblem
+from .result import OptimizationResult
+from .solve import SolverError, solve, solve_model
+
+__all__ = [
+    "ContractedSolution", "contract_problem", "group_clusters",
+    "solve_contracted",
+    "INGRESS_EDGE", "LinearModel", "build_model", "class_edges",
+    "Segment", "linearize_convex",
+    "ClassWorkload", "TEProblem",
+    "OptimizationResult",
+    "SolverError", "solve", "solve_model",
+]

@@ -1,0 +1,207 @@
+"""Topology contraction: trading optimality for solve time (§5).
+
+"Scalability & fast reaction: ... The optimization problem run by SLATE's
+controller expands with the number of clusters, services, and traffic
+classes. Although heuristics have been developed for network-layer TE
+(multicommodity flow) [1, 19] and might provide useful inspiration..."
+
+This module adapts reference [1]'s idea (contracting WAN topologies to
+solve flow problems quickly) to the service layer: nearby clusters are
+merged into super-clusters, the TE problem is solved on the contracted
+topology (quadratically fewer flow variables), and the super-cluster rules
+are expanded back to real clusters by splitting each destination weight
+across group members in proportion to their capacity.
+
+The approximation: routing *within* a super-cluster is treated as local
+(its WAN latency and egress are ignored by the solver), so groups should
+only contain mutually close clusters. The scalability benchmark quantifies
+the speed/quality tradeoff.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ...sim.network import EgressPricing, LatencyMatrix
+from ..rules import RoutingRule, RuleSet
+from .problem import ClassWorkload, TEProblem
+from .result import OptimizationResult
+from .solve import solve
+
+__all__ = ["ContractedSolution", "group_clusters", "contract_problem",
+           "solve_contracted"]
+
+GROUP_SEPARATOR = "+"
+
+
+@dataclass
+class ContractedSolution:
+    """Outcome of a contracted solve."""
+
+    groups: list[list[str]]
+    contracted_result: OptimizationResult
+    #: rules expanded back to the original clusters
+    rules: RuleSet
+    total_time: float = 0.0
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+
+def group_clusters(latency: LatencyMatrix, clusters: list[str],
+                   n_groups: int) -> list[list[str]]:
+    """Agglomerate clusters into ``n_groups`` proximity groups.
+
+    Greedy average-linkage: repeatedly merge the two groups with the
+    smallest mean inter-member one-way delay. Deterministic (ties break by
+    group name).
+    """
+    if n_groups < 1:
+        raise ValueError(f"n_groups must be >= 1, got {n_groups}")
+    if n_groups > len(clusters):
+        raise ValueError(
+            f"cannot form {n_groups} groups from {len(clusters)} clusters")
+    groups = [[name] for name in sorted(clusters)]
+    while len(groups) > n_groups:
+        best: tuple[float, int, int] | None = None
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                distance = _mean_delay(latency, groups[i], groups[j])
+                key = (distance, i, j)
+                if best is None or key < best:
+                    best = key
+        _, i, j = best
+        groups[i] = sorted(groups[i] + groups[j])
+        del groups[j]
+        groups.sort()
+    return groups
+
+
+def _mean_delay(latency: LatencyMatrix, a: list[str], b: list[str]) -> float:
+    total = sum(latency.one_way(x, y) for x in a for y in b)
+    return total / (len(a) * len(b))
+
+
+def _group_name(members: list[str]) -> str:
+    return GROUP_SEPARATOR.join(sorted(members))
+
+
+def contract_problem(problem: TEProblem,
+                     groups: list[list[str]]) -> TEProblem:
+    """Build the super-cluster TE problem.
+
+    Super-cluster capacity/demand are member sums; inter-group latency and
+    egress price are member-pair means; intra-group traffic is treated as
+    local (free and fast — the contraction approximation).
+    """
+    grouped = {cluster: _group_name(members)
+               for members in groups for cluster in members}
+    missing = set(problem.clusters) - set(grouped)
+    if missing:
+        raise ValueError(f"groups do not cover clusters {sorted(missing)}")
+    names = sorted({_group_name(members) for members in groups})
+    members_of = {_group_name(members): members for members in groups}
+
+    delays = {}
+    prices = {}
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            delays[(a, b)] = _mean_delay(problem.latency, members_of[a],
+                                         members_of[b])
+            pair_prices = [problem.pricing.per_gb(x, y)
+                           for x in members_of[a] for y in members_of[b]]
+            prices[(a, b)] = sum(pair_prices) / len(pair_prices)
+    latency = LatencyMatrix(
+        names, delays,
+        intra_cluster_delay=problem.latency.intra_cluster_delay)
+    pricing = EgressPricing(default_price_per_gb=0.0,
+                            pair_prices_per_gb=prices)
+
+    replicas: dict[tuple[str, str], int] = {}
+    for (service, cluster), count in problem.replicas.items():
+        key = (service, grouped[cluster])
+        replicas[key] = replicas.get(key, 0) + count
+
+    workloads = {}
+    for name, workload in problem.workloads.items():
+        demand: dict[str, float] = {}
+        for cluster, rps in workload.demand.items():
+            group = grouped[cluster]
+            demand[group] = demand.get(group, 0.0) + rps
+        workloads[name] = ClassWorkload(spec=workload.spec, demand=demand)
+
+    return TEProblem(
+        clusters=names,
+        latency=latency,
+        pricing=pricing,
+        replicas=replicas,
+        workloads=workloads,
+        rho_max=problem.rho_max,
+        cost_weight=problem.cost_weight,
+        delay_model=problem.delay_model,
+    )
+
+
+def expand_rules(problem: TEProblem, groups: list[list[str]],
+                 contracted: OptimizationResult,
+                 expansion: str = "affinity") -> RuleSet:
+    """Turn super-cluster rules back into per-cluster rules.
+
+    Each member of a source group applies the group's rule; weight pointed
+    at remote groups splits across their members proportionally to replica
+    capacity. Weight pointed at the *source's own group* depends on
+    ``expansion``:
+
+    * ``"affinity"`` — it stays at the source cluster itself (no intra-group
+      crossings, but a hot member keeps its own hotspot);
+    * ``"rebalance"`` — it spreads capacity-proportionally over the group
+      (utilizations equalize, but intra-group WAN hops are paid).
+
+    Neither recovers the intra-group optimum the contraction discarded —
+    exactly the kind of §5 acceleration-vs-quality gap the paper flags as
+    open; the scalability benchmark quantifies both sides.
+    """
+    if expansion not in ("affinity", "rebalance"):
+        raise ValueError(f"unknown expansion mode {expansion!r}")
+    members_of = {_group_name(members): members for members in groups}
+    expanded = RuleSet()
+    for rule in contracted.rules():
+        src_group = rule.src_cluster
+        for src in members_of[src_group]:
+            weights: dict[str, float] = {}
+            for dst_group, weight in rule.weights:
+                members = members_of[dst_group]
+                if (dst_group == src_group and expansion == "affinity"
+                        and problem.replica_count(rule.service, src) > 0):
+                    weights[src] = weights.get(src, 0.0) + weight
+                    continue
+                capacities = {
+                    m: problem.replica_count(rule.service, m)
+                    for m in members
+                }
+                total = sum(capacities.values())
+                if total == 0:
+                    continue
+                for member, capacity in capacities.items():
+                    if capacity > 0:
+                        weights[member] = (weights.get(member, 0.0)
+                                           + weight * capacity / total)
+            if weights:
+                expanded.add(RoutingRule.make(
+                    rule.service, rule.traffic_class, src, weights))
+    return expanded
+
+
+def solve_contracted(problem: TEProblem, n_groups: int,
+                     expansion: str = "affinity") -> ContractedSolution:
+    """Group, contract, solve, and expand — the fast path for large fleets."""
+    started = time.perf_counter()
+    groups = group_clusters(problem.latency, problem.clusters, n_groups)
+    contracted = contract_problem(problem, groups)
+    result = solve(contracted)
+    rules = expand_rules(problem, groups, result, expansion=expansion)
+    elapsed = time.perf_counter() - started
+    return ContractedSolution(groups=groups, contracted_result=result,
+                              rules=rules, total_time=elapsed)

@@ -1,0 +1,313 @@
+"""LP/MILP formulation of the SLATE request-routing problem (§3.3).
+
+Decision variables are per-class, per-call-tree-edge flow rates between
+cluster pairs: ``x[k, e, i, j]`` = requests/second of class ``k`` on edge
+``e`` issued from cluster ``i`` and served in cluster ``j``. A pseudo-edge
+represents ingress (user → root service). Per-pool epigraph variables
+``t[s, c]`` linearise the convex queueing backlog.
+
+Objective (all terms in latency-seconds per second, i.e. mean outstanding
+requests — by Little's law, with fixed demand, minimizing it minimizes mean
+end-to-end latency):
+
+* ``Σ t[s,c]`` — queueing + service backlog per pool,
+* ``Σ x · rtt(i, j)`` — WAN request+response crossings,
+* ``α · Σ x · (bytes · price)`` — egress cost, converted by ``cost_weight``.
+
+Constraints: demand satisfaction, per-(class, edge, source) flow
+conservation down the call tree, per-pool utilization caps, and the epigraph
+family. Setting ``max_splits`` adds binary route-activation variables
+(``x ≤ U·z``, ``Σ_j z ≤ max_splits``) — the mixed-integer variant the paper
+names; the default is the LP, whose fractional splits are exactly what the
+data plane executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from ..latency.mm1 import PoolDelayModel
+from .piecewise import DEFAULT_KNOT_FRACTIONS, Segment, linearize_convex
+from .problem import TEProblem
+
+__all__ = ["EdgeRef", "RouteVar", "LinearModel", "build_model"]
+
+INGRESS_EDGE = -1   # edge index of the user → root pseudo-edge
+
+
+@dataclass(frozen=True)
+class EdgeRef:
+    """One call-tree edge of one class, as the model sees it."""
+
+    traffic_class: str
+    edge_index: int          # INGRESS_EDGE or index into spec.edges
+    caller: str | None       # None for ingress
+    callee: str
+    calls_per_request: float
+    request_bytes: int
+    response_bytes: int
+
+
+@dataclass(frozen=True)
+class RouteVar:
+    """Identity of one flow variable."""
+
+    edge: EdgeRef
+    src: str
+    dst: str
+
+
+@dataclass
+class LinearModel:
+    """Assembled (MI)LP ready for a scipy backend."""
+
+    objective: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    #: per-column 1 for binary route-activation vars, else 0
+    integrality: np.ndarray
+    upper_bounds: np.ndarray
+    route_vars: list[RouteVar]
+    #: column of each route variable (same order as route_vars)
+    route_columns: list[int]
+    #: (service, cluster) → epigraph column
+    pool_columns: dict[tuple[str, str], int]
+    #: (service, cluster) → piecewise segments used
+    pool_segments: dict[tuple[str, str], list[Segment]]
+    problem: TEProblem
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.objective)
+
+    @property
+    def is_mip(self) -> bool:
+        return bool(self.integrality.any())
+
+
+def class_edges(problem: TEProblem, name: str) -> list[EdgeRef]:
+    """The ingress pseudo-edge plus the class's call-tree edges."""
+    spec = problem.workloads[name].spec
+    refs = [EdgeRef(name, INGRESS_EDGE, None, spec.root_service, 1.0,
+                    spec.ingress_request_bytes, spec.ingress_response_bytes)]
+    refs.extend(
+        EdgeRef(name, index, edge.caller, edge.callee, edge.calls_per_request,
+                edge.request_bytes, edge.response_bytes)
+        for index, edge in enumerate(spec.edges)
+    )
+    return refs
+
+
+def _edge_sources(problem: TEProblem, workload, edge: EdgeRef) -> list[str]:
+    if edge.edge_index == INGRESS_EDGE:
+        return [c for c in problem.clusters if workload.demand.get(c, 0) > 0]
+    return problem.deployed_in(edge.caller)
+
+
+def _edge_flow_bound(problem: TEProblem, workload, edge: EdgeRef) -> float:
+    """Upper bound on total flow along one class edge (for MILP big-M)."""
+    if edge.edge_index == INGRESS_EDGE:
+        return workload.total_demand
+    execs = workload.spec.executions_per_request()
+    return (workload.total_demand * execs[edge.caller]
+            * edge.calls_per_request)
+
+
+def build_model(problem: TEProblem, max_splits: int | None = None,
+                knot_fractions=DEFAULT_KNOT_FRACTIONS) -> LinearModel:
+    """Assemble the (MI)LP for ``problem``.
+
+    ``max_splits`` bounds the number of destination clusters per
+    (class, edge, source) rule, turning the LP into a MILP.
+    """
+    if max_splits is not None and max_splits < 1:
+        raise ValueError(f"max_splits must be >= 1, got {max_splits}")
+
+    # ------------------------------------------------------------- columns
+    route_vars: list[RouteVar] = []
+    route_columns: list[int] = []
+    var_col: dict[tuple[str, int, str, str], int] = {}
+    upper: list[float] = []
+    next_col = 0
+    for name in sorted(problem.workloads):
+        workload = problem.workloads[name]
+        for edge in class_edges(problem, name):
+            destinations = problem.deployed_in(edge.callee)
+            if not destinations:
+                raise ValueError(
+                    f"class {name!r}: service {edge.callee!r} deployed "
+                    "nowhere")
+            bound = _edge_flow_bound(problem, workload, edge)
+            for src in _edge_sources(problem, workload, edge):
+                for dst in destinations:
+                    var_col[(name, edge.edge_index, src, dst)] = next_col
+                    route_vars.append(RouteVar(edge, src, dst))
+                    route_columns.append(next_col)
+                    upper.append(bound)
+                    next_col += 1
+
+    pool_columns: dict[tuple[str, str], int] = {}
+    for service, cluster in problem.pools():
+        pool_columns[(service, cluster)] = next_col
+        upper.append(np.inf)
+        next_col += 1
+
+    # binary route-activation columns (MILP mode)
+    activation_col: dict[int, int] = {}
+    if max_splits is not None:
+        for col in route_columns:
+            activation_col[col] = next_col
+            upper.append(1.0)
+            next_col += 1
+
+    n = next_col
+    objective = np.zeros(n)
+    integrality = np.zeros(n)
+    for col in activation_col.values():
+        integrality[col] = 1
+
+    eq_rows: list[tuple[dict[int, float], float]] = []
+    ub_rows: list[tuple[dict[int, float], float]] = []
+
+    # ------------------------------------------------- demand satisfaction
+    for name in sorted(problem.workloads):
+        workload = problem.workloads[name]
+        spec = workload.spec
+        root_dsts = problem.deployed_in(spec.root_service)
+        for cluster, rps in sorted(workload.demand.items()):
+            if rps <= 0:
+                continue
+            row = {var_col[(name, INGRESS_EDGE, cluster, dst)]: 1.0
+                   for dst in root_dsts}
+            eq_rows.append((row, rps))
+
+    # ------------------------------------------------------- conservation
+    # incoming edge of each service in each class (trees: unique)
+    for name in sorted(problem.workloads):
+        workload = problem.workloads[name]
+        edges = class_edges(problem, name)
+        incoming = {edge.callee: edge for edge in edges}
+        for edge in edges:
+            if edge.edge_index == INGRESS_EDGE:
+                continue
+            parent_edge = incoming[edge.caller]
+            parent_sources = _edge_sources(problem, workload, parent_edge)
+            for src in problem.deployed_in(edge.caller):
+                row: dict[int, float] = {}
+                for dst in problem.deployed_in(edge.callee):
+                    col = var_col[(name, edge.edge_index, src, dst)]
+                    row[col] = row.get(col, 0.0) + 1.0
+                for origin in parent_sources:
+                    col = var_col[(name, parent_edge.edge_index, origin, src)]
+                    row[col] = row.get(col, 0.0) - edge.calls_per_request
+                eq_rows.append((row, 0.0))
+
+    # ------------------------------------------- per-pool workload & delay
+    # offered work a[s,c] = Σ_k st[k,s] · exec_rate[k,s,c] (erlangs)
+    work_expr: dict[tuple[str, str], dict[int, float]] = {
+        pool: {} for pool in pool_columns
+    }
+    for name in sorted(problem.workloads):
+        workload = problem.workloads[name]
+        edges = class_edges(problem, name)
+        incoming = {edge.callee: edge for edge in edges}
+        for service in workload.spec.services():
+            st = workload.spec.exec_time_of(service)
+            if st <= 0:
+                continue
+            edge = incoming[service]
+            for src in _edge_sources(problem, workload, edge):
+                for dst in problem.deployed_in(service):
+                    col = var_col[(name, edge.edge_index, src, dst)]
+                    expr = work_expr[(service, dst)]
+                    expr[col] = expr.get(col, 0.0) + st
+
+    pool_segments: dict[tuple[str, str], list[Segment]] = {}
+    for (service, cluster), t_col in pool_columns.items():
+        expr = work_expr[(service, cluster)]
+        replicas = problem.replica_count(service, cluster)
+        a_max = problem.rho_max * replicas
+        # capacity: a <= rho_max * replicas
+        if expr:
+            ub_rows.append((dict(expr), a_max))
+        # epigraph: slope·a - t <= -intercept
+        model = PoolDelayModel(replicas, mode=problem.delay_model)
+        segments = linearize_convex(model.backlog, a_max, knot_fractions)
+        pool_segments[(service, cluster)] = segments
+        objective[t_col] = 1.0
+        if expr:
+            for segment in segments:
+                row = {col: segment.slope * coeff
+                       for col, coeff in expr.items()}
+                row[t_col] = row.get(t_col, 0.0) - 1.0
+                ub_rows.append((row, -segment.intercept))
+        # with no work expression, t is only pushed by its objective weight
+        # toward max(intercepts); pin it at the zero-load backlog (0)
+        else:
+            ub_rows.append(({t_col: -1.0}, 0.0))
+
+    # ------------------------------------------------- objective for flows
+    egress_coeffs: dict[int, float] = {}
+    for var, col in zip(route_vars, route_columns):
+        edge = var.edge
+        net_delay = problem.rtt(var.src, var.dst)
+        egress = (problem.transfer_cost(var.src, var.dst, edge.request_bytes)
+                  + problem.transfer_cost(var.dst, var.src,
+                                          edge.response_bytes))
+        objective[col] = net_delay + problem.cost_weight * egress
+        if egress > 0:
+            egress_coeffs[col] = egress
+
+    # ------------------------------------------------ egress budget ($/s)
+    if problem.egress_budget is not None and egress_coeffs:
+        ub_rows.append((dict(egress_coeffs), problem.egress_budget))
+
+    # --------------------------------------------------- MILP split limits
+    if max_splits is not None:
+        grouped: dict[tuple[str, int, str], list[int]] = {}
+        for var, col in zip(route_vars, route_columns):
+            key = (var.edge.traffic_class, var.edge.edge_index, var.src)
+            grouped.setdefault(key, []).append(col)
+        for key, cols in sorted(grouped.items()):
+            for col in cols:
+                big_m = max(upper[col], 1e-9)
+                ub_rows.append(({col: 1.0, activation_col[col]: -big_m}, 0.0))
+            ub_rows.append((
+                {activation_col[col]: 1.0 for col in cols},
+                float(max_splits)))
+
+    a_eq, b_eq = _assemble(eq_rows, n)
+    a_ub, b_ub = _assemble(ub_rows, n)
+    return LinearModel(
+        objective=objective,
+        a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+        integrality=integrality,
+        upper_bounds=np.array(upper),
+        route_vars=route_vars,
+        route_columns=route_columns,
+        pool_columns=pool_columns,
+        pool_segments=pool_segments,
+        problem=problem,
+    )
+
+
+def _assemble(rows: list[tuple[dict[int, float], float]],
+              n_cols: int) -> tuple[sparse.csr_matrix, np.ndarray]:
+    data: list[float] = []
+    row_idx: list[int] = []
+    col_idx: list[int] = []
+    rhs = np.zeros(len(rows))
+    for r, (row, bound) in enumerate(rows):
+        rhs[r] = bound
+        for col, coeff in row.items():
+            row_idx.append(r)
+            col_idx.append(col)
+            data.append(coeff)
+    matrix = sparse.csr_matrix(
+        (data, (row_idx, col_idx)), shape=(len(rows), n_cols))
+    return matrix, rhs

@@ -1,0 +1,76 @@
+"""Convex piecewise-linearization for the TE linear program.
+
+The per-pool delay functions (:class:`~repro.core.latency.mm1.PoolDelayModel`)
+are convex and blow up near capacity. The LP represents each with an
+epigraph variable ``t >= slope_p * load + intercept_p`` over a family of
+chords. For a convex function the maximum of its chords equals the piecewise
+linear interpolant through the knots — an upper approximation that is exact
+at the knots and safe (never underestimates delay) in between.
+
+Knots are packed toward the capacity limit where the curvature lives, the
+same knot schedule used in classic network-TE delay linearisations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["Segment", "linearize_convex", "DEFAULT_KNOT_FRACTIONS"]
+
+#: Fractions of the usable load range where chords are anchored.
+DEFAULT_KNOT_FRACTIONS = (0.0, 0.3, 0.5, 0.65, 0.75, 0.82, 0.88, 0.92,
+                          0.95, 0.975, 1.0)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One supporting line ``t >= slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+
+    def value(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linearize_convex(fn: Callable[[float], float], x_max: float,
+                     knot_fractions: Sequence[float] = DEFAULT_KNOT_FRACTIONS,
+                     ) -> list[Segment]:
+    """Chord-linearize a convex increasing ``fn`` over ``[0, x_max]``.
+
+    Returns segments whose pointwise maximum interpolates ``fn`` at the
+    knots. ``fn`` must be finite on the closed interval (callers pass
+    ``x_max`` strictly below the capacity pole).
+    """
+    if x_max <= 0:
+        raise ValueError(f"x_max must be > 0, got {x_max}")
+    fractions = sorted(set(knot_fractions))
+    if fractions[0] < 0 or fractions[-1] > 1:
+        raise ValueError(f"knot fractions must lie in [0, 1]: {fractions}")
+    if len(fractions) < 2:
+        raise ValueError("need at least two knots")
+    knots = [f * x_max for f in fractions]
+    values = [fn(x) for x in knots]
+    for x, v in zip(knots, values):
+        if not (v == v and v != float("inf")):   # NaN or inf
+            raise ValueError(f"fn({x}) = {v}; function must be finite on "
+                             f"[0, {x_max}]")
+
+    segments: list[Segment] = []
+    previous_slope = float("-inf")
+    for (x0, y0), (x1, y1) in zip(zip(knots, values), zip(knots[1:], values[1:])):
+        slope = (y1 - y0) / (x1 - x0)
+        # convexity should make slopes nondecreasing; tiny numerical wobbles
+        # are clamped so the max-of-lines formulation stays valid
+        slope = max(slope, previous_slope)
+        previous_slope = slope
+        segments.append(Segment(slope=slope, intercept=y0 - slope * x0))
+    return segments
+
+
+def evaluate(segments: Sequence[Segment], x: float) -> float:
+    """Evaluate the linearization (max over segments) at ``x``."""
+    if not segments:
+        raise ValueError("no segments")
+    return max(segment.value(x) for segment in segments)

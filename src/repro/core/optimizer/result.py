@@ -1,0 +1,155 @@
+"""Optimizer solution: flows, predicted system state, and routing rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..latency.mm1 import PoolDelayModel
+from ..rules import RoutingRule, RuleSet
+from .model import INGRESS_EDGE, LinearModel
+from .problem import TEProblem
+
+__all__ = ["OptimizationResult", "extract_result"]
+
+#: flows below this rate (requests/second) are treated as numerical zeros
+FLOW_EPSILON = 1e-7
+
+
+@dataclass
+class OptimizationResult:
+    """The Global Controller's optimizer output.
+
+    ``flows`` maps (class, edge index, src cluster, dst cluster) → rate;
+    edge index ``-1`` is the user→root ingress hop. Predicted metrics are
+    evaluated with the *true* (not linearised) delay model, so they are what
+    the controller expects the data plane to achieve.
+    """
+
+    status: str
+    objective: float
+    solve_time: float
+    flows: dict[tuple[str, int, str, str], float] = field(default_factory=dict)
+    pool_load: dict[tuple[str, str], float] = field(default_factory=dict)
+    pool_utilization: dict[tuple[str, str], float] = field(default_factory=dict)
+    predicted_backlog: float = 0.0
+    predicted_network_delay_rate: float = 0.0
+    predicted_egress_cost_rate: float = 0.0
+    predicted_mean_latency: float = 0.0
+    total_demand: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "optimal"
+
+    # ---------------------------------------------------------------- rules
+
+    def rules(self) -> RuleSet:
+        """Convert flows into per-(service, class, source) routing rules."""
+        grouped: dict[tuple[str, str, str], dict[str, float]] = {}
+        service_of: dict[tuple[str, int], str] = {}
+        for (cls, edge_index, src, dst), rate in self.flows.items():
+            service = self._edge_service[(cls, edge_index)]
+            service_of[(cls, edge_index)] = service
+            key = (service, cls, src)
+            grouped.setdefault(key, {})
+            grouped[key][dst] = grouped[key].get(dst, 0.0) + rate
+        rule_set = RuleSet()
+        for (service, cls, src), weights in sorted(grouped.items()):
+            total = sum(weights.values())
+            if total <= FLOW_EPSILON:
+                continue
+            rule_set.add(RoutingRule.make(service, cls, src, weights))
+        return rule_set
+
+    def ingress_local_fraction(self, traffic_class: str,
+                               cluster: str) -> float:
+        """Fraction of a class's ingress at ``cluster`` served locally."""
+        total = 0.0
+        local = 0.0
+        for (cls, edge_index, src, dst), rate in self.flows.items():
+            if (cls == traffic_class and edge_index == INGRESS_EDGE
+                    and src == cluster):
+                total += rate
+                if dst == cluster:
+                    local += rate
+        return local / total if total > 0 else 1.0
+
+    def edge_remote_rate(self, traffic_class: str, edge_index: int) -> float:
+        """Cross-cluster rate on one class edge, requests/second."""
+        return sum(rate for (cls, e, src, dst), rate in self.flows.items()
+                   if cls == traffic_class and e == edge_index and src != dst)
+
+    # populated by extract_result; (class, edge index) → callee service
+    _edge_service: dict[tuple[str, int], str] = field(default_factory=dict)
+
+
+def extract_result(model: LinearModel, solution, status: str,
+                   solve_time: float) -> OptimizationResult:
+    """Build an :class:`OptimizationResult` from a scipy solution vector."""
+    problem: TEProblem = model.problem
+    result = OptimizationResult(
+        status=status,
+        objective=float("nan"),
+        solve_time=solve_time,
+        total_demand=problem.total_demand(),
+    )
+    for name in problem.workloads:
+        from .model import class_edges   # local import avoids module cycle
+        for edge in class_edges(problem, name):
+            result._edge_service[(name, edge.edge_index)] = edge.callee
+    if solution is None:
+        return result
+
+    x = solution
+    result.objective = float(model.objective @ x)
+
+    # flows
+    for var, col in zip(model.route_vars, model.route_columns):
+        rate = float(x[col])
+        if rate > FLOW_EPSILON:
+            key = (var.edge.traffic_class, var.edge.edge_index,
+                   var.src, var.dst)
+            result.flows[key] = result.flows.get(key, 0.0) + rate
+
+    # pool loads: recompute offered work from flows
+    work: dict[tuple[str, str], float] = {p: 0.0 for p in model.pool_columns}
+    for (cls, edge_index, src, dst), rate in result.flows.items():
+        workload = problem.workloads[cls]
+        service = result._edge_service[(cls, edge_index)]
+        st = workload.spec.exec_time_of(service)
+        if st > 0 and (service, dst) in work:
+            work[(service, dst)] += rate * st
+
+    backlog_total = 0.0
+    for (service, cluster), offered in work.items():
+        replicas = problem.replica_count(service, cluster)
+        result.pool_load[(service, cluster)] = offered
+        result.pool_utilization[(service, cluster)] = (
+            offered / replicas if replicas else 0.0)
+        delay_model = PoolDelayModel(replicas, mode=problem.delay_model)
+        # clamp numerically-at-capacity loads just inside the pole
+        safe = min(offered, problem.rho_max * replicas)
+        backlog_total += delay_model.backlog(safe)
+    result.predicted_backlog = backlog_total
+
+    # network delay + egress cost rates
+    delay_rate = 0.0
+    cost_rate = 0.0
+    for (cls, edge_index, src, dst), rate in result.flows.items():
+        spec = problem.workloads[cls].spec
+        if edge_index == INGRESS_EDGE:
+            req_b, resp_b = (spec.ingress_request_bytes,
+                             spec.ingress_response_bytes)
+        else:
+            edge = spec.edges[edge_index]
+            req_b, resp_b = edge.request_bytes, edge.response_bytes
+        delay_rate += rate * problem.rtt(src, dst)
+        cost_rate += rate * (problem.transfer_cost(src, dst, req_b)
+                             + problem.transfer_cost(dst, src, resp_b))
+    result.predicted_network_delay_rate = delay_rate
+    result.predicted_egress_cost_rate = cost_rate
+
+    if result.total_demand > 0:
+        result.predicted_mean_latency = (
+            (backlog_total + delay_rate) / result.total_demand)
+    return result

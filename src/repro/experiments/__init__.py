@@ -1,0 +1,16 @@
+"""Experiment scenarios and harness reproducing the paper's evaluation."""
+
+from .harness import Scenario, compare_policies, predict_policy, run_policy
+from .scenarios import (FigureSetup, fig3_threshold_scenario,
+                        fig4_offload_threshold_problem, fig6a_how_much,
+                        fig6b_which_cluster, fig6c_multihop,
+                        fig6d_traffic_classes,
+                        waterfall_with_absolute_threshold)
+
+__all__ = [
+    "Scenario", "compare_policies", "predict_policy", "run_policy",
+    "FigureSetup", "fig3_threshold_scenario",
+    "fig4_offload_threshold_problem", "fig6a_how_much",
+    "fig6b_which_cluster", "fig6c_multihop", "fig6d_traffic_classes",
+    "waterfall_with_absolute_threshold",
+]

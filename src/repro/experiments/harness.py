@@ -1,0 +1,113 @@
+"""Experiment harness: run a scenario under each policy, collect outcomes.
+
+One :class:`Scenario` bundles everything a paper experiment fixes (app,
+deployment, demand, run length); :func:`run_policy` executes it under one
+routing policy in the simulator, and :func:`compare_policies` produces the
+:class:`~repro.analysis.compare.Comparison` behind each figure.
+
+Control-plane fidelity: rules flow through per-cluster
+:class:`~repro.core.controller.ClusterController` objects (each installs
+only its own cluster's rules), and adaptive policies receive epoch telemetry
+relayed the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..analysis.compare import Comparison, PolicyOutcome
+from ..analysis.fluid import FluidPrediction, evaluate_rules
+from ..baselines.base import PolicyContext, RoutingPolicy
+from ..core.classes.classifier import AppSpecClassifier
+from ..core.controller.cluster_controller import ClusterController
+from ..sim.apps import AppSpec
+from ..sim.runner import MeshSimulation
+from ..sim.topology import DeploymentSpec
+from ..sim.workload import DemandMatrix
+
+__all__ = ["Scenario", "run_policy", "compare_policies", "predict_policy"]
+
+
+@dataclass
+class Scenario:
+    """A fully specified experiment."""
+
+    name: str
+    app: AppSpec
+    deployment: DeploymentSpec
+    demand: DemandMatrix
+    duration: float = 30.0
+    warmup: float = 5.0
+    seed: int = 42
+    #: re-plan period for adaptive policies; None = static rules only
+    epoch: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError("warmup must be in [0, duration)")
+
+    def context(self) -> PolicyContext:
+        return PolicyContext(self.app, self.deployment, self.demand)
+
+    def with_demand(self, demand: DemandMatrix) -> "Scenario":
+        return replace(self, demand=demand)
+
+
+def run_policy(scenario: Scenario, policy: RoutingPolicy,
+               seed: int | None = None) -> PolicyOutcome:
+    """Simulate one scenario under one policy."""
+    simulation = MeshSimulation(
+        scenario.app, scenario.deployment,
+        seed=scenario.seed if seed is None else seed,
+        classifier=AppSpecClassifier(scenario.app),
+    )
+    ctx = scenario.context()
+    controllers = {name: ClusterController(name)
+                   for name in scenario.deployment.cluster_names}
+
+    rules = policy.compute_rules(ctx)
+    for controller in controllers.values():
+        controller.distribute(rules, simulation.table)
+
+    def on_epoch(reports, sim) -> None:
+        relayed = []
+        for report in reports:
+            controller = controllers[report.cluster]
+            controller.ingest(report)
+            relayed.extend(controller.relay())
+        update = policy.on_epoch(relayed, ctx)
+        if update is not None:
+            for controller in controllers.values():
+                controller.distribute(update, sim.table)
+
+    simulation.run(scenario.demand, scenario.duration,
+                   epoch=scenario.epoch,
+                   on_epoch=on_epoch if scenario.epoch else None)
+
+    return PolicyOutcome(
+        policy=policy.name,
+        latencies=simulation.telemetry.latencies(after=scenario.warmup),
+        egress_bytes=simulation.network.ledger.total_bytes,
+        egress_cost=simulation.network.ledger.total_cost,
+        latencies_by_class=simulation.telemetry.latencies_by_class(
+            after=scenario.warmup),
+    )
+
+
+def compare_policies(scenario: Scenario,
+                     policies: list[RoutingPolicy]) -> Comparison:
+    """Run every policy on the scenario with identical seeds."""
+    comparison = Comparison(scenario.name)
+    for policy in policies:
+        comparison.add(run_policy(scenario, policy))
+    return comparison
+
+
+def predict_policy(scenario: Scenario,
+                   policy: RoutingPolicy) -> FluidPrediction:
+    """Analytic (fluid-model) evaluation — no simulation."""
+    rules = policy.compute_rules(scenario.context())
+    return evaluate_rules(scenario.app, scenario.deployment,
+                          scenario.demand, rules)

@@ -1,0 +1,223 @@
+"""Scenario constructors: one per paper figure (see DESIGN.md §3).
+
+Each ``figN_*`` function returns the :class:`Scenario` plus the policies the
+figure compares, parameterised the way §4 describes. Absolute latencies will
+differ from the paper's testbed (our substrate is a simulator), but the
+relationships the figures demonstrate — who wins, roughly by how much, and
+where behaviour changes — are reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.locality import LocalityFailoverPolicy
+from ..baselines.waterfall import WaterfallConfig, WaterfallPolicy
+from ..core.controller.global_controller import GlobalControllerConfig
+from ..core.controller.policy import SlatePolicy
+from ..sim.apps import (AppSpec, anomaly_detection_app, linear_chain_app,
+                        two_class_app)
+from ..sim.network import EgressPricing
+from ..sim.topology import (ClusterSpec, DeploymentSpec,
+                            gcp_four_region_latency, two_region_latency)
+from ..sim.workload import DemandMatrix
+from .harness import Scenario
+
+__all__ = ["FigureSetup", "fig6a_how_much", "fig6b_which_cluster",
+           "fig6c_multihop", "fig6d_traffic_classes",
+           "fig4_offload_threshold_problem", "fig3_threshold_scenario"]
+
+
+@dataclass
+class FigureSetup:
+    """A scenario plus the policies a figure compares."""
+
+    scenario: Scenario
+    slate: SlatePolicy
+    waterfall: WaterfallPolicy
+
+    @property
+    def policies(self) -> list:
+        return [self.slate, self.waterfall]
+
+
+def fig6a_how_much(west_rps: float = 700.0, east_rps: float = 100.0,
+                   one_way_ms: float = 25.0, replicas: int = 5,
+                   threshold_rho: float = 0.98,
+                   duration: float = 40.0, seed: int = 42) -> FigureSetup:
+    """§4.1 / Fig. 6a: *how much* to route away from an overloaded cluster.
+
+    Linear 3-service chain in two clusters. West is overloaded (default
+    700 RPS against a 500 RPS physical capacity per service); Waterfall's
+    aggressive static threshold (0.98 × capacity) keeps too much traffic
+    local and queues, while SLATE offloads exactly until the marginal
+    queueing gain stops paying for the extra WAN RTT.
+    """
+    app = linear_chain_app(n_services=3, exec_time=0.010)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=replicas,
+        latency=two_region_latency(one_way_ms))
+    demand = DemandMatrix({("default", "west"): west_rps,
+                           ("default", "east"): east_rps})
+    scenario = Scenario(name="fig6a-how-much", app=app,
+                        deployment=deployment, demand=demand,
+                        duration=duration, warmup=duration / 5, seed=seed)
+    waterfall = WaterfallPolicy(WaterfallConfig.from_deployment(
+        app, deployment, threshold_rho=threshold_rho))
+    slate = SlatePolicy(GlobalControllerConfig(rho_max=0.95))
+    return FigureSetup(scenario, slate, waterfall)
+
+
+def fig6b_which_cluster(overload_rps: float = 590.0,
+                        background_rps: float = 100.0,
+                        replicas: int = 5, threshold_rho: float = 0.8,
+                        duration: float = 40.0, seed: int = 42) -> FigureSetup:
+    """§4.2 / Fig. 6b: *which cluster* to route to, on the GCP topology.
+
+    OR and IOW are overloaded. Waterfall greedily spills both to UT — the
+    nearest cluster with (independently judged) spare capacity — driving UT
+    to its limit while SC idles. SLATE's global matching also uses SC.
+    """
+    app = linear_chain_app(n_services=3, exec_time=0.010)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["OR", "UT", "IOW", "SC"], replicas=replicas,
+        latency=gcp_four_region_latency())
+    demand = DemandMatrix({
+        ("default", "OR"): overload_rps,
+        ("default", "IOW"): overload_rps,
+        ("default", "UT"): background_rps,
+        ("default", "SC"): background_rps,
+    })
+    scenario = Scenario(name="fig6b-which-cluster", app=app,
+                        deployment=deployment, demand=demand,
+                        duration=duration, warmup=duration / 5, seed=seed)
+    waterfall = WaterfallPolicy(WaterfallConfig.from_deployment(
+        app, deployment, threshold_rho=threshold_rho), coordinated=False)
+    slate = SlatePolicy(GlobalControllerConfig(rho_max=0.95))
+    return FigureSetup(scenario, slate, waterfall)
+
+
+def fig6c_multihop(west_rps: float = 300.0, east_rps: float = 100.0,
+                   one_way_ms: float = 25.0,
+                   threshold_rho: float = 0.8,
+                   cost_weight: float = 10000.0,
+                   duration: float = 40.0, seed: int = 42) -> FigureSetup:
+    """§4.3 / Fig. 6c: *where in the topology* to cross clusters.
+
+    Anomaly-detection app FR→MP→DB; DB is absent in West (regulation /
+    failure). The DB→MP response is ~10x the MP→FR response, so cutting at
+    MP→DB (what locality failover / Waterfall do) pays ~10x the egress of
+    cutting at FR→MP (what SLATE chooses). West's MP pool is also tight, so
+    multi-hop foresight wins on latency too.
+    """
+    app = anomaly_detection_app()
+    deployment = DeploymentSpec(
+        clusters=[
+            ClusterSpec("west", {"FR": 4, "MP": 5}),           # no DB
+            ClusterSpec("east", {"FR": 4, "MP": 8, "DB": 8}),
+        ],
+        latency=two_region_latency(one_way_ms),
+        pricing=EgressPricing(default_price_per_gb=0.02),
+    )
+    demand = DemandMatrix({("default", "west"): west_rps,
+                           ("default", "east"): east_rps})
+    scenario = Scenario(name="fig6c-multihop", app=app,
+                        deployment=deployment, demand=demand,
+                        duration=duration, warmup=duration / 5, seed=seed)
+    waterfall = WaterfallPolicy(WaterfallConfig.from_deployment(
+        app, deployment, threshold_rho=threshold_rho))
+    slate = SlatePolicy(GlobalControllerConfig(rho_max=0.95,
+                                               cost_weight=cost_weight))
+    return FigureSetup(scenario, slate, waterfall)
+
+
+def locality_failover_policy() -> LocalityFailoverPolicy:
+    """The second baseline Fig. 6c discusses."""
+    return LocalityFailoverPolicy()
+
+
+def fig6d_traffic_classes(west_light_rps: float = 450.0,
+                          west_heavy_rps: float = 130.0,
+                          east_light_rps: float = 100.0,
+                          east_heavy_rps: float = 30.0,
+                          one_way_ms: float = 25.0, replicas: int = 8,
+                          threshold_rho: float = 0.8,
+                          duration: float = 40.0, seed: int = 42) -> FigureSetup:
+    """§4.4 / Fig. 6d: *which subset* (traffic class) to route away.
+
+    One chain serves cheap L and expensive H requests (3 ms vs 45 ms). West
+    is overloaded by H volume. Waterfall offloads the same fraction of every
+    class — many requests pay the WAN RTT for little load relief — while
+    SLATE moves mostly H requests: fewer crossings, better balance.
+    """
+    app = two_class_app(light_exec=0.003, heavy_exec=0.045, n_services=2)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=replicas,
+        latency=two_region_latency(one_way_ms))
+    demand = DemandMatrix({
+        ("L", "west"): west_light_rps,
+        ("H", "west"): west_heavy_rps,
+        ("L", "east"): east_light_rps,
+        ("H", "east"): east_heavy_rps,
+    })
+    scenario = Scenario(name="fig6d-traffic-classes", app=app,
+                        deployment=deployment, demand=demand,
+                        duration=duration, warmup=duration / 5, seed=seed)
+    waterfall = WaterfallPolicy(WaterfallConfig.from_deployment(
+        app, deployment, threshold_rho=threshold_rho))
+    slate = SlatePolicy(GlobalControllerConfig(rho_max=0.95))
+    return FigureSetup(scenario, slate, waterfall)
+
+
+def fig4_offload_threshold_problem(one_way_ms: float, west_rps: float,
+                                   east_rps: float = 100.0,
+                                   replicas: int = 6) -> Scenario:
+    """§4.1 / Fig. 4: the empirical offload point SLATE computes.
+
+    Two clusters, East held at 100 RPS, West swept 100→1000 RPS, WAN one-way
+    latency in {5, 25, 50} ms. The bench solves SLATE's optimizer at each
+    point and reports the locally served RPS — the "threshold" curve whose
+    break point moves with network latency.
+    """
+    app = linear_chain_app(n_services=3, exec_time=0.010)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=replicas,
+        latency=two_region_latency(one_way_ms))
+    demand = DemandMatrix({("default", "west"): west_rps,
+                           ("default", "east"): east_rps})
+    return Scenario(name=f"fig4-owd{one_way_ms:g}ms-west{west_rps:g}",
+                    app=app, deployment=deployment, demand=demand,
+                    duration=30.0, warmup=5.0)
+
+
+def fig3_threshold_scenario(west_rps: float, east_rps: float = 100.0,
+                            one_way_ms: float = 25.0,
+                            replicas: int = 5) -> Scenario:
+    """§4.1 / Fig. 3: the static-threshold pathology.
+
+    The bench evaluates Waterfall with a conservative threshold, an
+    aggressive threshold, and SLATE over a load sweep: the conservative
+    threshold wastes WAN RTTs at low load, the aggressive one queues at
+    high load, and no single static value matches SLATE everywhere.
+    """
+    app = linear_chain_app(n_services=3, exec_time=0.010)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=replicas,
+        latency=two_region_latency(one_way_ms))
+    demand = DemandMatrix({("default", "west"): west_rps,
+                           ("default", "east"): east_rps})
+    return Scenario(name=f"fig3-west{west_rps:g}", app=app,
+                    deployment=deployment, demand=demand,
+                    duration=30.0, warmup=5.0)
+
+
+def waterfall_with_absolute_threshold(app: AppSpec,
+                                      deployment: DeploymentSpec,
+                                      rps_threshold: float) -> WaterfallPolicy:
+    """Waterfall with one static RPS threshold for every pool (Fig. 3)."""
+    capacities = {
+        (service, cluster.name): rps_threshold
+        for cluster in deployment.clusters
+        for service, count in cluster.replicas.items() if count > 0
+    }
+    return WaterfallPolicy(WaterfallConfig(capacities))

@@ -1,0 +1,23 @@
+"""Service-mesh layer: proxies, gateways, routing tables, telemetry."""
+
+from .affinity import weighted_rendezvous
+from .gateway import Classifier, IngressGateway
+from .loadbalancer import (ConsistentHashBalancer, LeastOutstandingBalancer,
+                           RoundRobinBalancer, WeightedRandomSelector)
+from .proxy import RoutingError, SlateProxy
+from .render import destination_rules, rules_to_virtualservices
+from .routing_table import WILDCARD_CLASS, RouteKey, RoutingTable
+from .telemetry import (ClusterEpochReport, ProxyTelemetry, RunTelemetry,
+                        ServiceClassWindow)
+
+__all__ = [
+    "weighted_rendezvous",
+    "Classifier", "IngressGateway",
+    "destination_rules", "rules_to_virtualservices",
+    "ConsistentHashBalancer", "LeastOutstandingBalancer",
+    "RoundRobinBalancer", "WeightedRandomSelector",
+    "RoutingError", "SlateProxy",
+    "WILDCARD_CLASS", "RouteKey", "RoutingTable",
+    "ClusterEpochReport", "ProxyTelemetry", "RunTelemetry",
+    "ServiceClassWindow",
+]

@@ -1,0 +1,62 @@
+"""Weighted rendezvous hashing: sticky cluster choice under fractional rules.
+
+§5 "Caching & data locality": spreading a class across clusters splits its
+working set. But fractional routing doesn't *have* to randomize per
+request — if each data key deterministically maps to one cluster, with the
+population of keys split according to the rule weights, the aggregate
+split matches the optimizer's plan while every key stays cache-local.
+
+That is exactly weighted rendezvous (highest-random-weight) hashing: for a
+key and candidate clusters with weights ``w_i``, score each cluster
+``-w_i / ln(u_i)`` where ``u_i ∈ (0,1)`` is a uniform hash of (key,
+cluster), and pick the argmax. Properties:
+
+* P(cluster i wins) = w_i / Σw — exactly the rule's fractions;
+* fully deterministic per key (affinity);
+* monotone under weight changes: when w_i grows, keys only ever move *to*
+  i, never between bystanders (minimal disruption re-balancing).
+
+The caching benchmark shows this recovering the hit rate a random split
+destroys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+__all__ = ["weighted_rendezvous"]
+
+
+def _uniform_hash(key: int, cluster: str) -> float:
+    """A stable uniform draw in (0, 1) for a (key, cluster) pair."""
+    digest = hashlib.sha256(f"{key}|{cluster}".encode("utf-8")).digest()
+    # 53 bits -> exactly representable float in [0, 1); shift off 0
+    raw = int.from_bytes(digest[:8], "big") >> 11
+    return (raw + 0.5) / (1 << 53)
+
+
+def weighted_rendezvous(key: int, weights: dict[str, float]) -> str:
+    """Pick the cluster owning ``key`` under ``weights``.
+
+    Weights must be non-negative with a positive sum; zero-weight clusters
+    never win. Deterministic across processes and runs.
+    """
+    if not weights:
+        raise ValueError("empty weight map")
+    best_name = None
+    best_score = -math.inf
+    for cluster in sorted(weights):
+        weight = weights[cluster]
+        if weight < 0:
+            raise ValueError(f"negative weight {weight} for {cluster!r}")
+        if weight == 0:
+            continue
+        draw = _uniform_hash(key, cluster)
+        score = -weight / math.log(draw)
+        if score > best_score:
+            best_score = score
+            best_name = cluster
+    if best_name is None:
+        raise ValueError(f"weights sum to zero: {weights}")
+    return best_name

@@ -1,0 +1,81 @@
+"""Cluster ingress gateways.
+
+User requests enter the system at the gateway of their nearest cluster. The
+gateway classifies the request into a traffic class (using whatever
+classifier the control plane installed), records ingress telemetry, and
+hands the request to the dispatcher (the simulation runner) which starts the
+root service call. On response it stamps the completion time — the e2e
+latency the paper's CDFs plot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..sim.request import Request, RequestAttributes
+from .telemetry import ProxyTelemetry, RunTelemetry
+
+__all__ = ["Classifier", "IngressGateway"]
+
+
+class Classifier(Protocol):
+    """Maps request attributes to a traffic-class name.
+
+    Implementations live in :mod:`repro.core.classes`; the mesh depends only
+    on this protocol.
+    """
+
+    def classify(self, attributes: RequestAttributes) -> str: ...
+
+
+class _DefaultClassifier:
+    """Single-class fallback: everything is ``"default"``."""
+
+    def classify(self, attributes: RequestAttributes) -> str:
+        return "default"
+
+
+class IngressGateway:
+    """Entry point of one cluster."""
+
+    def __init__(self, cluster: str, telemetry: ProxyTelemetry,
+                 run_telemetry: RunTelemetry,
+                 classifier: Classifier | None = None) -> None:
+        self.cluster = cluster
+        self._telemetry = telemetry
+        self._run_telemetry = run_telemetry
+        self._classifier: Classifier = classifier or _DefaultClassifier()
+        self._dispatch: Callable[[Request], None] | None = None
+
+    def bind(self, dispatch: Callable[[Request], None]) -> None:
+        """Attach the dispatcher that starts the root call (set by runner)."""
+        self._dispatch = dispatch
+
+    def set_classifier(self, classifier: Classifier) -> None:
+        """Swap the classifier (a control-plane push)."""
+        self._classifier = classifier
+
+    def accept(self, request: Request) -> None:
+        """Admit one request: classify, meter, dispatch."""
+        if self._dispatch is None:
+            raise RuntimeError(
+                f"gateway {self.cluster!r} has no dispatcher bound")
+        if request.ingress_cluster != self.cluster:
+            raise ValueError(
+                f"request for {request.ingress_cluster!r} sent to gateway "
+                f"{self.cluster!r}")
+        request.traffic_class = self._classifier.classify(request.attributes)
+        self._telemetry.record_ingress(request)
+        self._dispatch(request)
+
+    def complete(self, request: Request, now: float) -> None:
+        """Record the response leaving the gateway."""
+        request.completion_time = now
+        self._telemetry.record_completion(request)
+        self._run_telemetry.record_completion(request)
+
+    def fail(self, request: Request, now: float) -> None:
+        """Record the request ending in an error (retries exhausted)."""
+        request.completion_time = now
+        request.failed = True
+        self._run_telemetry.record_failure(request)

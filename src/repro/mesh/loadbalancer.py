@@ -1,0 +1,144 @@
+"""Intra-cluster load-balancing policies.
+
+§2 of the paper: "load balancing of requests among service replicas is done
+locally at each sidecar and uses relatively simple policies like round-robin,
+consistent hashing, or least outstanding requests." These are the policies
+the survey respondents rely on today; SLATE keeps them for the *within-
+cluster* replica choice after its rules pick the cluster.
+
+The simulator's replica pools expose a single FIFO queue per (service,
+cluster), which subsumes the replica choice for queueing purposes, so these
+balancers are exercised by tests and available to library users embedding
+their own endpoint model. ``WeightedRandomSelector`` is the one component in
+the request path: proxies use it to realise SLATE's fractional cluster
+weights.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Protocol, Sequence
+
+import numpy as np
+
+__all__ = ["Endpoint", "LoadBalancer", "RoundRobinBalancer",
+           "LeastOutstandingBalancer", "ConsistentHashBalancer",
+           "WeightedRandomSelector"]
+
+
+class Endpoint(Protocol):
+    """What a balancer needs to know about a backend."""
+
+    name: str
+    outstanding: int
+
+
+class LoadBalancer(Protocol):
+    """Picks one endpoint for a request."""
+
+    def pick(self, endpoints: Sequence[Endpoint],
+             key: str | None = None) -> Endpoint: ...
+
+
+def _require_endpoints(endpoints: Sequence[Endpoint]) -> None:
+    if not endpoints:
+        raise ValueError("cannot balance over an empty endpoint list")
+
+
+class RoundRobinBalancer:
+    """Classic round-robin; state survives endpoint-set changes by index."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, endpoints: Sequence[Endpoint],
+             key: str | None = None) -> Endpoint:
+        _require_endpoints(endpoints)
+        choice = endpoints[self._next % len(endpoints)]
+        self._next += 1
+        return choice
+
+
+class LeastOutstandingBalancer:
+    """Pick the endpoint with the fewest in-flight requests.
+
+    Ties break by position for determinism (Envoy uses power-of-two-choices;
+    exhaustive min is equivalent for the small replica counts tested here).
+    """
+
+    def pick(self, endpoints: Sequence[Endpoint],
+             key: str | None = None) -> Endpoint:
+        _require_endpoints(endpoints)
+        return min(endpoints, key=lambda e: e.outstanding)
+
+
+class ConsistentHashBalancer:
+    """Ring consistent hashing on a request key (session affinity).
+
+    ``vnodes`` virtual nodes per endpoint smooth the distribution; removing
+    an endpoint only remaps keys that hashed to its arcs.
+    """
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self._vnodes = vnodes
+        self._ring: list[tuple[int, int]] = []   # (hash, endpoint index)
+        self._ring_names: tuple[str, ...] = ()
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(value.encode("utf-8")).digest()[:8], "big")
+
+    def _rebuild(self, endpoints: Sequence[Endpoint]) -> None:
+        ring = []
+        for index, endpoint in enumerate(endpoints):
+            for vnode in range(self._vnodes):
+                ring.append((self._hash(f"{endpoint.name}#{vnode}"), index))
+        ring.sort()
+        self._ring = ring
+        self._ring_names = tuple(e.name for e in endpoints)
+
+    def pick(self, endpoints: Sequence[Endpoint],
+             key: str | None = None) -> Endpoint:
+        _require_endpoints(endpoints)
+        if key is None:
+            raise ValueError("consistent hashing requires a request key")
+        names = tuple(e.name for e in endpoints)
+        if names != self._ring_names:
+            self._rebuild(endpoints)
+        point = self._hash(key)
+        hashes = [h for h, _ in self._ring]
+        slot = bisect.bisect_right(hashes, point) % len(self._ring)
+        return endpoints[self._ring[slot][1]]
+
+
+class WeightedRandomSelector:
+    """Sample a name according to normalised weights.
+
+    This realises SLATE's fractional routing rules per request: over many
+    requests the empirical split converges to the rule's weights.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def pick(self, weights: dict[str, float]) -> str:
+        if not weights:
+            raise ValueError("empty weight map")
+        names = list(weights)
+        values = np.fromiter((weights[n] for n in names), dtype=float)
+        total = values.sum()
+        if total <= 0:
+            raise ValueError(f"weights sum to {total}, need > 0")
+        if len(names) == 1:
+            return names[0]
+        point = self._rng.random() * total
+        cumulative = 0.0
+        for name, value in zip(names, values):
+            cumulative += value
+            if point < cumulative:
+                return name
+        return names[-1]   # floating-point edge: point == total

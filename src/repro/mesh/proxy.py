@@ -1,0 +1,88 @@
+"""SLATE-proxy: the data-plane element (§3.1).
+
+One proxy object per cluster stands in for the per-instance sidecars (all
+sidecars in a cluster hold identical rules, so one router per cluster is
+behaviourally equivalent and cheaper to simulate). Its two jobs mirror the
+paper's: *telemetry* (delegated to :class:`~repro.mesh.telemetry
+.ProxyTelemetry`) and *request routing policy enforcement* — per-request,
+per-class weighted cluster selection from the rules the controllers push.
+
+When no rule matches, the proxy applies the mesh default the paper's survey
+found in production: serve locally, failing over to the nearest cluster that
+has the service (Istio locality failover).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.network import LatencyMatrix
+from ..sim.topology import DeploymentSpec
+from .affinity import weighted_rendezvous
+from .loadbalancer import WeightedRandomSelector
+from .routing_table import RoutingTable
+from .telemetry import ProxyTelemetry
+
+__all__ = ["SlateProxy", "RoutingError"]
+
+
+class RoutingError(RuntimeError):
+    """No destination cluster can serve a call."""
+
+
+class SlateProxy:
+    """Outbound router + telemetry reporter for one cluster."""
+
+    def __init__(self, cluster: str, table: RoutingTable,
+                 deployment: DeploymentSpec, latency: LatencyMatrix,
+                 rng: np.random.Generator,
+                 trace_sample_rate: float = 0.0) -> None:
+        self.cluster = cluster
+        self._table = table
+        self._deployment = deployment
+        self._latency = latency
+        self._selector = WeightedRandomSelector(rng)
+        self.telemetry = ProxyTelemetry(cluster,
+                                        trace_sample_rate=trace_sample_rate,
+                                        rng=rng)
+
+    def choose_cluster(self, service: str, traffic_class: str,
+                       exclude: str | None = None,
+                       affinity_key: int | None = None) -> str:
+        """Pick the destination cluster for one call to ``service``.
+
+        Order of precedence:
+
+        1. an installed rule for (service, class, this cluster) — weights are
+           first restricted to clusters where the service is actually
+           deployed, guarding against rules that outlive a decommission;
+        2. the local cluster, if it runs the service;
+        3. locality failover: the nearest cluster running the service.
+
+        ``exclude`` removes one cluster from consideration (retrying after
+        a timeout there) unless it is the only option left. With
+        ``affinity_key`` set, rule weights are realised by weighted
+        rendezvous hashing on the key instead of per-request sampling: the
+        same key always lands on the same cluster while the key population
+        still splits by the weights (cache/data locality, §5).
+        """
+        deployed = self._deployment.clusters_with(service)
+        if not deployed:
+            raise RoutingError(
+                f"service {service!r} is not deployed in any cluster")
+        if exclude is not None and len(deployed) > 1:
+            deployed = [c for c in deployed if c != exclude]
+        weights = self._table.weights_for(service, traffic_class, self.cluster)
+        if weights:
+            usable = {c: w for c, w in weights.items() if c in deployed}
+            if usable:
+                if affinity_key is not None:
+                    return weighted_rendezvous(affinity_key, usable)
+                return self._selector.pick(usable)
+        if self.cluster in deployed:
+            return self.cluster
+        return min(deployed,
+                   key=lambda c: (self._latency.one_way(self.cluster, c), c))
+
+    def __repr__(self) -> str:
+        return f"SlateProxy(cluster={self.cluster!r})"

@@ -1,0 +1,123 @@
+"""Render routing rules as Istio traffic-management manifests.
+
+The paper's prototype enforces rules "in the Envoy data plane" via the
+service mesh; operationally that means the Global Controller's output
+becomes Istio ``VirtualService`` (weighted cluster splits, per-class match
+clauses) and ``DestinationRule`` (one subset per cluster) objects. This
+module performs that translation so the optimizer's plans can be inspected
+— or applied — in mesh-native form.
+
+Per-class matches use the application's class attributes (HTTP method +
+path, §3.3 "Deriving Classes"); per-source-cluster rules are expressed with
+``sourceLabels`` on the topology label Istio multi-cluster setups use.
+YAML is emitted directly (no external dependency) for the limited value
+shapes involved.
+"""
+
+from __future__ import annotations
+
+from ..core.rules import RuleSet
+from ..mesh.routing_table import WILDCARD_CLASS
+from ..sim.apps import AppSpec
+
+__all__ = ["rules_to_virtualservices", "destination_rules",
+           "CLUSTER_LABEL"]
+
+#: the pod label carrying the cluster/locality identity
+CLUSTER_LABEL = "topology.istio.io/cluster"
+
+
+def _match_block(app: AppSpec, traffic_class: str, src_cluster: str,
+                 indent: str) -> list[str]:
+    lines = [f"{indent}- sourceLabels:",
+             f"{indent}    {CLUSTER_LABEL}: {src_cluster}"]
+    if traffic_class != WILDCARD_CLASS and traffic_class in app.classes:
+        attributes = app.classes[traffic_class].attributes
+        lines += [f"{indent}  method:",
+                  f"{indent}    exact: {attributes.method}",
+                  f"{indent}  uri:",
+                  f"{indent}    exact: {attributes.path}"]
+    return lines
+
+
+def rules_to_virtualservices(rules: RuleSet, app: AppSpec,
+                             namespace: str = "default") -> str:
+    """One VirtualService per routed service, YAML multi-document string.
+
+    Routes are ordered class-specific first (wildcard matches last), the
+    order Istio applies them in; weights are rounded to integer percents
+    with the remainder assigned to the largest destination so each route
+    sums to exactly 100.
+    """
+    services = sorted({rule.service for rule in rules})
+    documents = []
+    for service in services:
+        lines = [
+            "apiVersion: networking.istio.io/v1beta1",
+            "kind: VirtualService",
+            "metadata:",
+            f"  name: slate-{service.lower()}",
+            f"  namespace: {namespace}",
+            "spec:",
+            f"  hosts:",
+            f"  - {service.lower()}.{namespace}.svc.cluster.local",
+            "  http:",
+        ]
+        service_rules = [rule for rule in rules if rule.service == service]
+        # class-specific rules must precede wildcard catch-alls
+        service_rules.sort(key=lambda rule: (
+            rule.traffic_class == WILDCARD_CLASS, rule.traffic_class,
+            rule.src_cluster))
+        for rule in service_rules:
+            lines.append("  - match:")
+            lines += _match_block(app, rule.traffic_class,
+                                  rule.src_cluster, "    ")
+            lines.append("    route:")
+            for cluster, percent in _integer_percents(rule.weight_map()):
+                lines += [
+                    "    - destination:",
+                    f"        host: {service.lower()}.{namespace}"
+                    ".svc.cluster.local",
+                    f"        subset: {cluster}",
+                    f"      weight: {percent}",
+                ]
+        documents.append("\n".join(lines))
+    return "\n---\n".join(documents) + "\n"
+
+
+def destination_rules(rules: RuleSet, namespace: str = "default") -> str:
+    """DestinationRules declaring one subset per destination cluster."""
+    subsets: dict[str, set[str]] = {}
+    for rule in rules:
+        subsets.setdefault(rule.service, set()).update(rule.weight_map())
+    documents = []
+    for service in sorted(subsets):
+        lines = [
+            "apiVersion: networking.istio.io/v1beta1",
+            "kind: DestinationRule",
+            "metadata:",
+            f"  name: slate-{service.lower()}",
+            f"  namespace: {namespace}",
+            "spec:",
+            f"  host: {service.lower()}.{namespace}.svc.cluster.local",
+            "  subsets:",
+        ]
+        for cluster in sorted(subsets[service]):
+            lines += [f"  - name: {cluster}",
+                      "    labels:",
+                      f"      {CLUSTER_LABEL}: {cluster}"]
+        documents.append("\n".join(lines))
+    return "\n---\n".join(documents) + "\n"
+
+
+def _integer_percents(weights: dict[str, float]) -> list[tuple[str, int]]:
+    """Round weights to integer percents summing to exactly 100."""
+    ordered = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+    percents = [(cluster, int(round(weight * 100)))
+                for cluster, weight in ordered]
+    drift = 100 - sum(p for _, p in percents)
+    if percents and drift:
+        cluster, percent = percents[0]
+        percents[0] = (cluster, percent + drift)
+    return [(cluster, percent) for cluster, percent in percents
+            if percent > 0]

@@ -1,0 +1,96 @@
+"""Routing tables: the rules SLATE's control plane pushes to proxies.
+
+A rule is keyed by *(callee service, traffic class, source cluster)* and maps
+destination clusters to weights — the paper's "when a request matches class
+X, send 60% to the local cluster, 30% to remote cluster B and 10% to remote
+cluster C" (§3.3). Weights are normalised on insert; lookups fall back from
+the exact class to the wildcard class ``"*"`` so class-agnostic policies
+(Waterfall, locality failover) install one rule per service.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["RouteKey", "RoutingTable", "WILDCARD_CLASS"]
+
+WILDCARD_CLASS = "*"
+
+
+@dataclass(frozen=True)
+class RouteKey:
+    """Identifies one routing rule."""
+
+    service: str
+    traffic_class: str
+    src_cluster: str
+
+
+class RoutingTable:
+    """Weighted per-class cluster-selection rules for one mesh.
+
+    The table is shared by all proxies (in the real system each proxy holds
+    a copy distributed via its Cluster Controller; sharing one object is
+    behaviourally identical in simulation). ``replace_all`` swaps the rule
+    set atomically, mirroring a controller push.
+    """
+
+    def __init__(self) -> None:
+        self._rules: dict[RouteKey, dict[str, float]] = {}
+        self.version = 0
+
+    def set_weights(self, key: RouteKey, weights: dict[str, float]) -> None:
+        """Install one rule; weights are validated and normalised."""
+        self._rules[key] = _normalise(key, weights)
+        self.version += 1
+
+    def replace_all(self, rules: dict[RouteKey, dict[str, float]]) -> None:
+        """Atomically replace the entire rule set (a controller push)."""
+        fresh = {key: _normalise(key, w) for key, w in rules.items()}
+        self._rules = fresh
+        self.version += 1
+
+    def clear(self) -> None:
+        self._rules.clear()
+        self.version += 1
+
+    def weights_for(self, service: str, traffic_class: str,
+                    src_cluster: str) -> dict[str, float] | None:
+        """Look up weights, falling back to the wildcard class.
+
+        Returns ``None`` when no rule matches — the proxy then applies its
+        default (local-first) behaviour.
+        """
+        rule = self._rules.get(RouteKey(service, traffic_class, src_cluster))
+        if rule is None and traffic_class != WILDCARD_CLASS:
+            rule = self._rules.get(
+                RouteKey(service, WILDCARD_CLASS, src_cluster))
+        return rule
+
+    def rules(self) -> dict[RouteKey, dict[str, float]]:
+        """A copy of the installed rules (for inspection/tests)."""
+        return {key: dict(w) for key, w in self._rules.items()}
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __repr__(self) -> str:
+        return f"RoutingTable(rules={len(self._rules)}, version={self.version})"
+
+
+def _normalise(key: RouteKey, weights: dict[str, float]) -> dict[str, float]:
+    if not weights:
+        raise ValueError(f"rule {key}: empty weight map")
+    for cluster, weight in weights.items():
+        if not math.isfinite(weight) or weight < 0:
+            raise ValueError(
+                f"rule {key}: invalid weight {weight} for {cluster!r}")
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError(f"rule {key}: weights sum to {total}, need > 0")
+    normalised = {cluster: weight / total
+                  for cluster, weight in weights.items()}
+    # drop zeros *after* dividing: a subnormal weight can underflow to 0.0
+    return {cluster: weight
+            for cluster, weight in normalised.items() if weight > 0}

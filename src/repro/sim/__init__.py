@@ -1,0 +1,48 @@
+"""Simulation substrate: clusters, replica pools, WAN, workloads, runner.
+
+This package stands in for the paper's Kubernetes + ``tc netem`` testbed; see
+DESIGN.md §4 for the substitution argument.
+"""
+
+from .apps import (AppSpec, CallEdge, TrafficClassSpec, anomaly_detection_app,
+                   fanout_app, linear_chain_app, social_network_app,
+                   two_class_app)
+from .autoscaler import (AutoscalerConfig, HorizontalAutoscaler,
+                         ScalingEvent)
+from .cluster import Cluster
+from .engine import EventHandle, SimulationError, Simulator
+from .network import (GB, EgressLedger, EgressPricing, LatencyMatrix,
+                      WanNetwork)
+from .request import Request, RequestAttributes, Span, Trace
+from .rng import RngRegistry
+from .service import PoolStats, ReplicaPool
+from .topology import (GCP_REGIONS, GCP_RTT_MS, ClusterSpec, DeploymentSpec,
+                       gcp_four_region_latency, two_region_latency)
+from .workload import DemandMatrix, RateProfile, RateSegment, TrafficSource
+
+__all__ = [
+    "AppSpec", "CallEdge", "TrafficClassSpec", "anomaly_detection_app",
+    "fanout_app", "linear_chain_app", "social_network_app",
+    "two_class_app",
+    "AutoscalerConfig", "HorizontalAutoscaler", "ScalingEvent",
+    "Cluster",
+    "EventHandle", "SimulationError", "Simulator",
+    "GB", "EgressLedger", "EgressPricing", "LatencyMatrix", "WanNetwork",
+    "Request", "RequestAttributes", "Span", "Trace",
+    "RngRegistry",
+    "MeshSimulation",
+    "PoolStats", "ReplicaPool",
+    "GCP_REGIONS", "GCP_RTT_MS", "ClusterSpec", "DeploymentSpec",
+    "gcp_four_region_latency", "two_region_latency",
+    "DemandMatrix", "RateProfile", "RateSegment", "TrafficSource",
+]
+
+
+def __getattr__(name: str):
+    # Runner classes are loaded lazily: runner depends on repro.mesh, which
+    # depends on the leaf modules of this package, so importing them eagerly
+    # here would create an import cycle.
+    if name in ("MeshSimulation", "TimeoutPolicy"):
+        from . import runner
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,362 @@
+"""Application models: services, per-class call trees, and resource demands.
+
+A microservice application is described *per traffic class* (§4.4: classes
+may have "completely different call trees"): each :class:`TrafficClassSpec`
+carries a call tree rooted at the ingress-facing service, per-edge request
+and response sizes, and per-service mean compute times.
+
+Execution semantics (matching an async/event-loop RPC server): a service
+occupies a replica only while computing; downstream calls are issued after
+the compute phase and awaited without holding the replica. Children on a
+node are called sequentially by default (the paper's chained apps) or in
+parallel for fan-out nodes.
+
+Builders at the bottom construct the three applications the paper evaluates:
+the linear 3-service chain (§4.1, §4.2), the anomaly-detection FR→MP→DB app
+(§4.3), and the two-class L/H app (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import CacheSpec
+from .request import RequestAttributes
+
+__all__ = ["CallEdge", "TrafficClassSpec", "AppSpec",
+           "linear_chain_app", "anomaly_detection_app", "two_class_app",
+           "fanout_app"]
+
+KB = 1_000
+MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One caller→callee edge in a class's call tree.
+
+    ``calls_per_request`` is the expected number of child invocations per
+    parent execution; non-integer values are realised probabilistically by
+    the simulator and used exactly by the optimizer.
+    """
+
+    caller: str
+    callee: str
+    calls_per_request: float = 1.0
+    request_bytes: int = 1 * KB
+    response_bytes: int = 10 * KB
+
+    def __post_init__(self) -> None:
+        if self.caller == self.callee:
+            raise ValueError(f"self-call edge on {self.caller!r}")
+        if self.calls_per_request < 0:
+            raise ValueError("calls_per_request must be >= 0")
+        if self.request_bytes < 0 or self.response_bytes < 0:
+            raise ValueError("byte sizes must be >= 0")
+
+
+@dataclass
+class TrafficClassSpec:
+    """A traffic class: matching attributes, call tree, resource demands."""
+
+    name: str
+    #: template attributes; the workload generator stamps these on requests
+    attributes: RequestAttributes
+    root_service: str
+    edges: list[CallEdge] = field(default_factory=list)
+    #: mean compute seconds per execution, keyed by service name
+    exec_time: dict[str, float] = field(default_factory=dict)
+    #: services whose children are invoked concurrently (default: sequential)
+    parallel_fanout: frozenset[str] = frozenset()
+    #: bytes for the user→root ingress call and its response
+    ingress_request_bytes: int = 1 * KB
+    ingress_response_bytes: int = 10 * KB
+    #: size of this class's data-key universe; > 0 makes each request draw
+    #: a key uniformly, enabling edge caches (see repro.sim.cache)
+    key_space: int = 0
+    #: route this class with per-key cluster affinity (weighted rendezvous
+    #: hashing over the rule weights) instead of per-request sampling —
+    #: preserves cache/data locality under fractional splits (§5)
+    sticky_affinity: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------ structure
+
+    def validate(self) -> None:
+        """Check the edges form a tree rooted at ``root_service``."""
+        parents: dict[str, str] = {}
+        for edge in self.edges:
+            if edge.callee in parents:
+                raise ValueError(
+                    f"class {self.name!r}: service {edge.callee!r} has two "
+                    f"callers ({parents[edge.callee]!r}, {edge.caller!r}); "
+                    "call graphs must be trees")
+            if edge.callee == self.root_service:
+                raise ValueError(
+                    f"class {self.name!r}: root {self.root_service!r} "
+                    "cannot be a callee")
+            parents[edge.callee] = edge.caller
+        # reachability from the root (also rejects cycles detached from it)
+        reachable = {self.root_service}
+        frontier = [self.root_service]
+        children = self.children_map()
+        while frontier:
+            node = frontier.pop()
+            for edge in children.get(node, []):
+                reachable.add(edge.callee)
+                frontier.append(edge.callee)
+        unreachable = set(parents) - reachable
+        if unreachable:
+            raise ValueError(
+                f"class {self.name!r}: services {sorted(unreachable)} not "
+                f"reachable from root {self.root_service!r}")
+        for service in self.services():
+            if self.exec_time.get(service, 0.0) < 0:
+                raise ValueError(
+                    f"class {self.name!r}: negative exec_time for {service!r}")
+
+    def services(self) -> list[str]:
+        """All services this class touches, root first, in BFS order."""
+        order = [self.root_service]
+        children = self.children_map()
+        index = 0
+        while index < len(order):
+            for edge in children.get(order[index], []):
+                order.append(edge.callee)
+            index += 1
+        return order
+
+    def children_map(self) -> dict[str, list[CallEdge]]:
+        """Caller → ordered child edges."""
+        out: dict[str, list[CallEdge]] = {}
+        for edge in self.edges:
+            out.setdefault(edge.caller, []).append(edge)
+        return out
+
+    def exec_time_of(self, service: str) -> float:
+        """Mean compute seconds for one execution of ``service``."""
+        return self.exec_time.get(service, 0.0)
+
+    def executions_per_request(self) -> dict[str, float]:
+        """Expected executions of each service per ingress request."""
+        rates = {self.root_service: 1.0}
+        for service in self.services():
+            for edge in self.children_map().get(service, []):
+                rates[edge.callee] = (rates.get(edge.callee, 0.0)
+                                      + rates[service] * edge.calls_per_request)
+        return rates
+
+
+@dataclass
+class AppSpec:
+    """An application: a set of traffic classes over a shared service set."""
+
+    name: str
+    classes: dict[str, TrafficClassSpec] = field(default_factory=dict)
+    #: edge caches keyed by (caller, callee); see repro.sim.cache
+    caches: dict[tuple[str, str], "CacheSpec"] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for cls_name, spec in self.classes.items():
+            if cls_name != spec.name:
+                raise ValueError(
+                    f"class keyed {cls_name!r} is named {spec.name!r}")
+        for (caller, callee), cache in self.caches.items():
+            if (caller, callee) != (cache.caller, cache.callee):
+                raise ValueError(
+                    f"cache keyed {(caller, callee)} is for "
+                    f"{(cache.caller, cache.callee)}")
+
+    def cache_for(self, caller: str, callee: str) -> "CacheSpec | None":
+        return self.caches.get((caller, callee))
+
+    def services(self) -> list[str]:
+        """Union of services across classes, stable order."""
+        seen: dict[str, None] = {}
+        for spec in self.classes.values():
+            for service in spec.services():
+                seen.setdefault(service)
+        return list(seen)
+
+    def traffic_class(self, name: str) -> TrafficClassSpec:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise KeyError(f"app {self.name!r} has no class {name!r}; "
+                           f"classes: {sorted(self.classes)}") from None
+
+
+# --------------------------------------------------------------------------
+# Applications from the paper's evaluation
+# --------------------------------------------------------------------------
+
+def linear_chain_app(n_services: int = 3, exec_time: float = 0.010,
+                     request_bytes: int = 1 * KB,
+                     response_bytes: int = 10 * KB,
+                     name: str = "linear-chain") -> AppSpec:
+    """The §4 microbenchmark: ingress → S1 → S2 → ... chained linearly.
+
+    Each service "performs simple file write operations", modelled as
+    ``exec_time`` seconds of compute per call (default 10 ms).
+    """
+    if n_services < 1:
+        raise ValueError("need at least one service")
+    services = [f"S{i}" for i in range(1, n_services + 1)]
+    edges = [
+        CallEdge(caller=services[i], callee=services[i + 1],
+                 request_bytes=request_bytes, response_bytes=response_bytes)
+        for i in range(n_services - 1)
+    ]
+    spec = TrafficClassSpec(
+        name="default",
+        attributes=RequestAttributes.make(services[0], "POST", "/work"),
+        root_service=services[0],
+        edges=edges,
+        exec_time={s: exec_time for s in services},
+        ingress_request_bytes=request_bytes,
+        ingress_response_bytes=response_bytes,
+    )
+    return AppSpec(name=name, classes={"default": spec})
+
+
+def anomaly_detection_app(db_response_bytes: int = 500 * KB,
+                          frontend_response_bytes: int = 50 * KB,
+                          fr_exec: float = 0.002, mp_exec: float = 0.015,
+                          db_exec: float = 0.008) -> AppSpec:
+    """The §4.3 multi-hop app: FR (frontend) → MP (metrics processor) → DB.
+
+    MP pulls a large volume of metrics from DB: the DB→MP response is
+    roughly ten times the MP→FR response, which is what makes the cut
+    placement matter for egress cost (SLATE cuts at FR→MP, locality failover
+    cuts at MP→DB, paying ~10x the bytes).
+    """
+    edges = [
+        CallEdge("FR", "MP", request_bytes=1 * KB,
+                 response_bytes=frontend_response_bytes),
+        CallEdge("MP", "DB", request_bytes=2 * KB,
+                 response_bytes=db_response_bytes),
+    ]
+    spec = TrafficClassSpec(
+        name="default",
+        attributes=RequestAttributes.make("FR", "GET", "/dashboard"),
+        root_service="FR",
+        edges=edges,
+        exec_time={"FR": fr_exec, "MP": mp_exec, "DB": db_exec},
+        ingress_request_bytes=1 * KB,
+        ingress_response_bytes=frontend_response_bytes,
+    )
+    return AppSpec(name="anomaly-detection", classes={"default": spec})
+
+
+def two_class_app(light_exec: float = 0.004, heavy_exec: float = 0.040,
+                  n_services: int = 2) -> AppSpec:
+    """The §4.4 app: one chain serving cheap L and expensive H classes.
+
+    H requests cost ~10x the compute of L requests at every service, so a
+    class-aware router can relieve an overload by moving far fewer requests.
+    """
+    services = [f"S{i}" for i in range(1, n_services + 1)]
+    def chain(request_bytes: int, response_bytes: int) -> list[CallEdge]:
+        return [
+            CallEdge(services[i], services[i + 1],
+                     request_bytes=request_bytes,
+                     response_bytes=response_bytes)
+            for i in range(n_services - 1)
+        ]
+    light = TrafficClassSpec(
+        name="L",
+        attributes=RequestAttributes.make(services[0], "GET", "/light"),
+        root_service=services[0],
+        edges=chain(1 * KB, 5 * KB),
+        exec_time={s: light_exec for s in services},
+    )
+    heavy = TrafficClassSpec(
+        name="H",
+        attributes=RequestAttributes.make(services[0], "POST", "/heavy"),
+        root_service=services[0],
+        edges=chain(2 * KB, 20 * KB),
+        exec_time={s: heavy_exec for s in services},
+    )
+    return AppSpec(name="two-class", classes={"L": light, "H": heavy})
+
+
+def social_network_app() -> AppSpec:
+    """A DeathStarBench-style social network with two traffic classes.
+
+    Exercises the heterogeneity §4.4 argues for — classes with different
+    call trees, byte profiles, and compute demands at shared services:
+
+    * ``read`` (GET /timeline): FE → TL, then TL pulls posts from PS (large
+      responses) and author info from US. Read-heavy, cheap compute,
+      egress-expensive if PS is remote.
+    * ``compose`` (POST /compose): FE → CP, then CP writes to US, MD (media
+      upload — large *request*), PS, and fans out 2 timeline updates to TL.
+      Compute-heavy, write-amplifying.
+    """
+    read = TrafficClassSpec(
+        name="read",
+        attributes=RequestAttributes.make("FE", "GET", "/timeline"),
+        root_service="FE",
+        edges=[
+            CallEdge("FE", "TL", request_bytes=1 * KB,
+                     response_bytes=60 * KB),
+            CallEdge("TL", "PS", request_bytes=2 * KB,
+                     response_bytes=100 * KB),
+            CallEdge("TL", "US", request_bytes=1 * KB,
+                     response_bytes=2 * KB),
+        ],
+        exec_time={"FE": 0.002, "TL": 0.005, "PS": 0.004, "US": 0.001},
+        ingress_request_bytes=1 * KB,
+        ingress_response_bytes=60 * KB,
+    )
+    compose = TrafficClassSpec(
+        name="compose",
+        attributes=RequestAttributes.make("FE", "POST", "/compose"),
+        root_service="FE",
+        edges=[
+            CallEdge("FE", "CP", request_bytes=210 * KB,
+                     response_bytes=2 * KB),
+            CallEdge("CP", "US", request_bytes=1 * KB,
+                     response_bytes=2 * KB),
+            CallEdge("CP", "MD", request_bytes=200 * KB,
+                     response_bytes=1 * KB),
+            CallEdge("CP", "PS", request_bytes=8 * KB,
+                     response_bytes=1 * KB),
+            CallEdge("CP", "TL", calls_per_request=2.0,
+                     request_bytes=2 * KB, response_bytes=1 * KB),
+        ],
+        exec_time={"FE": 0.002, "CP": 0.008, "US": 0.001, "MD": 0.012,
+                   "PS": 0.005, "TL": 0.003},
+        ingress_request_bytes=210 * KB,
+        ingress_response_bytes=2 * KB,
+    )
+    return AppSpec(name="social-network",
+                   classes={"read": read, "compose": compose})
+
+
+def fanout_app(width: int = 3, exec_time: float = 0.008,
+               parallel: bool = True) -> AppSpec:
+    """A frontend fanning out to ``width`` backends (scatter-gather).
+
+    Not evaluated in the paper but exercised by tests and ablations: latency
+    of a parallel fan-out is the max of children, so tail behaviour differs
+    from chains.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    backends = [f"B{i}" for i in range(1, width + 1)]
+    edges = [CallEdge("FE", b, request_bytes=1 * KB, response_bytes=20 * KB)
+             for b in backends]
+    exec_times = {b: exec_time for b in backends}
+    exec_times["FE"] = exec_time / 2
+    spec = TrafficClassSpec(
+        name="default",
+        attributes=RequestAttributes.make("FE", "GET", "/aggregate"),
+        root_service="FE",
+        edges=edges,
+        exec_time=exec_times,
+        parallel_fanout=frozenset({"FE"}) if parallel else frozenset(),
+    )
+    return AppSpec(name="fanout", classes={"default": spec})

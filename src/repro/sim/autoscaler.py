@@ -1,0 +1,194 @@
+"""Horizontal autoscaling of replica pools (§2, §5).
+
+The paper positions request routing as *complementary* to autoscaling:
+autoscalers "operate over seconds to minutes" — resource monitoring period,
+evaluation interval, container image pull, and application initialization —
+while load can shift "at > 1000x faster timescales"; and §5 calls the
+interaction between the two layers out as future work ("cross-cluster
+request routing increases resource utilization in remote clusters").
+
+:class:`HorizontalAutoscaler` models a Kubernetes HPA: every
+``evaluation_period`` it reads each pool's mean utilization over the window
+and computes the classic HPA desired-replica formula
+``ceil(current * utilization / target)``; scale-downs are held back by a
+stabilization window; newly requested replicas only start serving after a
+``provisioning_delay`` (image pull + cold start).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .cluster import Cluster
+from .engine import Simulator
+from .service import ReplicaPool
+
+__all__ = ["AutoscalerConfig", "ScalingEvent", "HorizontalAutoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """HPA-style knobs (defaults shrunk to simulation-friendly scales)."""
+
+    target_utilization: float = 0.6
+    min_replicas: int = 1
+    max_replicas: int = 64
+    #: how often utilization is evaluated (k8s default 15 s)
+    evaluation_period: float = 15.0
+    #: scale-down stabilization window (k8s default 300 s)
+    scale_down_stabilization: float = 60.0
+    #: image pull + container init before new replicas serve traffic
+    provisioning_delay: float = 30.0
+    #: ignore utilization within this band of the target (k8s: 10%)
+    tolerance: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.target_utilization < 1:
+            raise ValueError("target_utilization must be in (0, 1)")
+        if self.min_replicas < 1 or self.max_replicas < self.min_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if self.evaluation_period <= 0 or self.provisioning_delay < 0:
+            raise ValueError("invalid timing configuration")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One executed scaling action."""
+
+    time: float
+    service: str
+    cluster: str
+    from_replicas: int
+    to_replicas: int
+
+    @property
+    def direction(self) -> str:
+        return "up" if self.to_replicas > self.from_replicas else "down"
+
+
+@dataclass
+class _PoolState:
+    last_busy_integral: float = 0.0
+    last_eval_time: float = 0.0
+    last_scale_down_block: float = 0.0
+    pending_target: int | None = None
+
+
+class HorizontalAutoscaler:
+    """Periodically right-sizes every pool of one cluster."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster,
+                 config: AutoscalerConfig | None = None) -> None:
+        self._sim = sim
+        self._cluster = cluster
+        self.config = config or AutoscalerConfig()
+        self.events: list[ScalingEvent] = []
+        self._states: dict[str, _PoolState] = {}
+        self._started = False
+        self._next_evaluation = None
+
+    def start(self) -> None:
+        """Begin the evaluation loop."""
+        if self._started:
+            raise RuntimeError("autoscaler already started")
+        self._started = True
+        self._next_evaluation = self._sim.schedule(
+            self.config.evaluation_period, self._evaluate)
+
+    def stop(self) -> None:
+        """Cancel the evaluation loop (lets the simulation drain)."""
+        if self._next_evaluation is not None:
+            self._next_evaluation.cancel()
+            self._next_evaluation = None
+        self._started = False
+
+    # ------------------------------------------------------------ internal
+
+    def _evaluate(self) -> None:
+        for service, pool in sorted(self._cluster.pools.items()):
+            self._evaluate_pool(service, pool)
+        self._next_evaluation = self._sim.schedule(
+            self.config.evaluation_period, self._evaluate)
+
+    def _window_utilization(self, service: str, pool: ReplicaPool) -> float:
+        state = self._states.setdefault(service, _PoolState())
+        now = self._sim.now
+        busy = pool.lifetime_busy_seconds
+        window = now - state.last_eval_time
+        utilization = 0.0
+        if window > 0 and pool.replicas > 0:
+            utilization = ((busy - state.last_busy_integral)
+                           / (pool.replicas * window))
+        state.last_busy_integral = busy
+        state.last_eval_time = now
+        return utilization
+
+    def _evaluate_pool(self, service: str, pool: ReplicaPool) -> None:
+        config = self.config
+        state = self._states.setdefault(service, _PoolState())
+        utilization = self._window_utilization(service, pool)
+        current = pool.replicas
+        ratio = utilization / config.target_utilization
+        if abs(ratio - 1.0) <= config.tolerance:
+            return
+        desired = math.ceil(current * ratio)
+        desired = max(config.min_replicas, min(config.max_replicas, desired))
+        if desired == current or state.pending_target == desired:
+            return
+        if desired < current:
+            # stabilization: only shrink if we've wanted to for the window
+            if state.last_scale_down_block == 0.0:
+                state.last_scale_down_block = self._sim.now
+                return
+            if (self._sim.now - state.last_scale_down_block
+                    < config.scale_down_stabilization):
+                return
+            state.last_scale_down_block = 0.0
+            self._apply(service, pool, desired)
+        else:
+            state.last_scale_down_block = 0.0
+            # scale up after the provisioning delay (pull + init)
+            state.pending_target = desired
+            self._sim.schedule(config.provisioning_delay,
+                               self._finish_scale_up, service, desired)
+
+    def _finish_scale_up(self, service: str, desired: int) -> None:
+        state = self._states.setdefault(service, _PoolState())
+        state.pending_target = None
+        pool = self._cluster.pools.get(service)
+        if pool is None or desired <= pool.replicas:
+            return
+        self._apply(service, pool, desired)
+
+    def _apply(self, service: str, pool: ReplicaPool, desired: int) -> None:
+        before = pool.replicas
+        pool.resize(desired)
+        self.events.append(ScalingEvent(
+            time=self._sim.now, service=service,
+            cluster=self._cluster.name,
+            from_replicas=before, to_replicas=desired))
+
+    # ------------------------------------------------------------- queries
+
+    def replica_seconds(self, horizon: float) -> float:
+        """Integrated replica-count-seconds up to ``horizon`` (cost proxy).
+
+        Reconstructed from the scaling event log plus initial sizes; used
+        to compare provisioning cost across routing policies.
+        """
+        total = 0.0
+        for service, pool in self._cluster.pools.items():
+            changes = [(e.time, e.from_replicas, e.to_replicas)
+                       for e in self.events if e.service == service]
+            changes.sort()
+            level = changes[0][1] if changes else pool.replicas
+            last_time = 0.0
+            for time, _, to_replicas in changes:
+                total += level * (min(time, horizon) - last_time)
+                level = to_replicas
+                last_time = min(time, horizon)
+            total += level * max(0.0, horizon - last_time)
+        return total

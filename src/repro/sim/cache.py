@@ -1,0 +1,91 @@
+"""Application-layer caching at call edges (§5 "Caching & data locality").
+
+The paper's final open challenge: "Application layer caching and data
+locality are not explicitly considered in SLATE. ... Caching-aware request
+routing framework can further optimize the performance."
+
+This module makes the phenomenon concrete so routing policies can be judged
+against it. A cache sits at a *caller* service in front of one call edge
+(e.g. MP caches DB responses): each request carries a data key, and a
+cache hit skips the downstream call entirely — no network, no child work.
+Entries live for a TTL and optionally under a capacity (FIFO eviction).
+
+The routing coupling emerges naturally: hit rate at a cluster grows with
+the request rate that cluster sees for the class (more traffic keeps more
+of the working set warm), so *spreading* a class across clusters splits its
+working set and lowers the aggregate hit rate — the tension a
+caching-aware router must manage. The caching benchmark quantifies it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["CacheSpec", "EdgeCache", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Configuration of one edge cache (at the caller, per cluster)."""
+
+    caller: str
+    callee: str
+    ttl: float
+    #: max entries per cluster cache; None = unbounded (TTL-only)
+    capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {self.ttl}")
+        if self.capacity is not None and self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one (edge, cluster) cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class EdgeCache:
+    """One cluster's cache for one call edge: TTL + optional capacity."""
+
+    def __init__(self, spec: CacheSpec) -> None:
+        self.spec = spec
+        #: key -> expiry time; insertion-ordered for FIFO eviction
+        self._entries: OrderedDict[int, float] = OrderedDict()
+        self.stats = CacheStats()
+
+    def lookup(self, key: int, now: float) -> bool:
+        """True on hit; expired entries are evicted lazily."""
+        expiry = self._entries.get(key)
+        if expiry is not None and expiry > now:
+            self.stats.hits += 1
+            return True
+        if expiry is not None:
+            del self._entries[key]
+        self.stats.misses += 1
+        return False
+
+    def insert(self, key: int, now: float) -> None:
+        """Cache a fresh response for the key."""
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = now + self.spec.ttl
+        if (self.spec.capacity is not None
+                and len(self._entries) > self.spec.capacity):
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)

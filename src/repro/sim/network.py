@@ -1,0 +1,160 @@
+"""Inter-cluster network: one-way delays, byte metering, egress billing.
+
+The paper emulates WAN latency between Kubernetes clusters with ``tc netem``
+using measured GCP inter-region VM-to-VM latencies (§4.2). Here the network
+is a full mesh of cluster pairs, each with a one-way propagation delay; every
+transfer also meters the bytes leaving the source cluster against a per-pair
+egress price — the quantity behind the paper's 11.6x egress-cost result
+(§4.3).
+
+Bandwidth is not modelled (the paper's experiments are latency- and
+cost-bound, not throughput-bound); a transfer's duration is its one-way
+delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from .engine import Simulator
+
+__all__ = ["LatencyMatrix", "EgressPricing", "EgressLedger", "WanNetwork",
+           "GB"]
+
+GB = 1_000_000_000  # bytes, decimal as billed by cloud providers
+
+
+def _pair(a: str, b: str) -> tuple[str, str]:
+    """Canonical unordered cluster pair."""
+    return (a, b) if a <= b else (b, a)
+
+
+class LatencyMatrix:
+    """Symmetric one-way delay (seconds) between clusters.
+
+    Intra-cluster delay defaults to 0.25 ms (two pod-to-pod hops inside a
+    data center), configurable per deployment.
+    """
+
+    def __init__(self, clusters: Iterable[str],
+                 one_way_delays: Mapping[tuple[str, str], float],
+                 intra_cluster_delay: float = 0.00025) -> None:
+        self.clusters = tuple(clusters)
+        if len(set(self.clusters)) != len(self.clusters):
+            raise ValueError(f"duplicate cluster names in {self.clusters}")
+        if intra_cluster_delay < 0:
+            raise ValueError("intra_cluster_delay must be >= 0")
+        self.intra_cluster_delay = intra_cluster_delay
+        self._delays: dict[tuple[str, str], float] = {}
+        for (a, b), delay in one_way_delays.items():
+            if delay < 0:
+                raise ValueError(f"negative delay for {(a, b)}: {delay}")
+            self._delays[_pair(a, b)] = delay
+        missing = [
+            (a, b)
+            for i, a in enumerate(self.clusters)
+            for b in self.clusters[i + 1:]
+            if _pair(a, b) not in self._delays
+        ]
+        if missing:
+            raise ValueError(f"missing inter-cluster delays for {missing}")
+
+    def one_way(self, src: str, dst: str) -> float:
+        """One-way delay in seconds from ``src`` to ``dst``."""
+        if src == dst:
+            return self.intra_cluster_delay
+        try:
+            return self._delays[_pair(src, dst)]
+        except KeyError:
+            raise KeyError(f"no delay configured for {src!r}<->{dst!r}") from None
+
+    def rtt(self, src: str, dst: str) -> float:
+        """Round-trip time in seconds."""
+        return 2.0 * self.one_way(src, dst)
+
+    @staticmethod
+    def from_ms(clusters: Iterable[str],
+                one_way_ms: Mapping[tuple[str, str], float],
+                intra_cluster_delay_ms: float = 0.25) -> "LatencyMatrix":
+        """Build from millisecond figures (how the paper reports them)."""
+        delays = {pair: ms / 1000.0 for pair, ms in one_way_ms.items()}
+        return LatencyMatrix(clusters, delays,
+                             intra_cluster_delay=intra_cluster_delay_ms / 1000.0)
+
+
+class EgressPricing:
+    """Dollar cost per byte leaving a cluster toward another cluster.
+
+    Cloud providers bill inter-region egress per GB; intra-cluster traffic is
+    free. A flat default price applies unless a pair-specific price is set.
+    """
+
+    def __init__(self, default_price_per_gb: float = 0.02,
+                 pair_prices_per_gb: Mapping[tuple[str, str], float] | None = None) -> None:
+        if default_price_per_gb < 0:
+            raise ValueError("price must be >= 0")
+        self._default = default_price_per_gb / GB
+        self._pairs: dict[tuple[str, str], float] = {}
+        for (a, b), price in (pair_prices_per_gb or {}).items():
+            if price < 0:
+                raise ValueError(f"negative price for {(a, b)}")
+            self._pairs[_pair(a, b)] = price / GB
+
+    def per_byte(self, src: str, dst: str) -> float:
+        """Price in dollars for one byte from ``src`` to ``dst``."""
+        if src == dst:
+            return 0.0
+        return self._pairs.get(_pair(src, dst), self._default)
+
+    def per_gb(self, src: str, dst: str) -> float:
+        return self.per_byte(src, dst) * GB
+
+
+@dataclass
+class EgressLedger:
+    """Accumulated cross-cluster traffic and its cost."""
+
+    bytes_by_pair: dict[tuple[str, str], int] = field(default_factory=dict)
+    cost_by_src: dict[str, float] = field(default_factory=dict)
+    total_bytes: int = 0
+    total_cost: float = 0.0
+
+    def record(self, src: str, dst: str, nbytes: int, cost: float) -> None:
+        key = (src, dst)
+        self.bytes_by_pair[key] = self.bytes_by_pair.get(key, 0) + nbytes
+        self.cost_by_src[src] = self.cost_by_src.get(src, 0.0) + cost
+        self.total_bytes += nbytes
+        self.total_cost += cost
+
+    def reset(self) -> None:
+        self.bytes_by_pair.clear()
+        self.cost_by_src.clear()
+        self.total_bytes = 0
+        self.total_cost = 0.0
+
+
+class WanNetwork:
+    """Delivers messages between clusters with delay and egress billing."""
+
+    def __init__(self, sim: Simulator, latency: LatencyMatrix,
+                 pricing: EgressPricing | None = None) -> None:
+        self._sim = sim
+        self.latency = latency
+        self.pricing = pricing or EgressPricing()
+        self.ledger = EgressLedger()
+
+    def transfer(self, src: str, dst: str, nbytes: int,
+                 on_delivered: Callable[[], None]) -> None:
+        """Send ``nbytes`` from ``src`` to ``dst``; fire callback on arrival.
+
+        Cross-cluster transfers are billed to ``src`` (the cluster the data
+        leaves). Intra-cluster transfers incur only the intra-cluster delay.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if src != dst and nbytes:
+            cost = nbytes * self.pricing.per_byte(src, dst)
+            self.ledger.record(src, dst, nbytes, cost)
+        self._sim.schedule(self.latency.one_way(src, dst),
+                           lambda: on_delivered())

@@ -1,0 +1,46 @@
+"""Shared fixtures: small apps and deployments used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (DemandMatrix, DeploymentSpec, anomaly_detection_app,
+                       linear_chain_app, two_class_app, two_region_latency)
+
+
+@pytest.fixture
+def chain_app():
+    """3-service linear chain, 10 ms exec per service."""
+    return linear_chain_app(n_services=3, exec_time=0.010)
+
+
+@pytest.fixture
+def two_cluster_deployment(chain_app):
+    """west/east, 5 replicas of every chain service, 25 ms one-way."""
+    return DeploymentSpec.uniform(
+        chain_app.services(), ["west", "east"], replicas=5,
+        latency=two_region_latency(25.0))
+
+
+@pytest.fixture
+def light_demand():
+    """Comfortably under capacity on both clusters."""
+    return DemandMatrix({("default", "west"): 200.0,
+                         ("default", "east"): 100.0})
+
+
+@pytest.fixture
+def overload_west_demand():
+    """West beyond its 500 RPS single-cluster capacity."""
+    return DemandMatrix({("default", "west"): 700.0,
+                         ("default", "east"): 100.0})
+
+
+@pytest.fixture
+def anomaly_app():
+    return anomaly_detection_app()
+
+
+@pytest.fixture
+def lh_app():
+    return two_class_app(light_exec=0.003, heavy_exec=0.045, n_services=2)

@@ -1,0 +1,121 @@
+"""Tests for application specs and call-tree validation."""
+
+import pytest
+
+from repro.sim.apps import (AppSpec, CallEdge, TrafficClassSpec,
+                            anomaly_detection_app, fanout_app,
+                            linear_chain_app, two_class_app)
+from repro.sim.request import RequestAttributes
+
+
+def make_class(edges, root="A", **kwargs):
+    return TrafficClassSpec(
+        name="t", attributes=RequestAttributes.make(root), root_service=root,
+        edges=edges, **kwargs)
+
+
+def test_linear_chain_structure():
+    app = linear_chain_app(n_services=3)
+    spec = app.classes["default"]
+    assert spec.root_service == "S1"
+    assert [e.callee for e in spec.edges] == ["S2", "S3"]
+    assert app.services() == ["S1", "S2", "S3"]
+
+
+def test_chain_executions_per_request_all_one():
+    spec = linear_chain_app(n_services=4).classes["default"]
+    assert spec.executions_per_request() == {
+        "S1": 1.0, "S2": 1.0, "S3": 1.0, "S4": 1.0}
+
+
+def test_fanout_multiplies_executions():
+    spec = make_class([
+        CallEdge("A", "B", calls_per_request=2.0),
+        CallEdge("B", "C", calls_per_request=3.0),
+    ])
+    assert spec.executions_per_request() == {"A": 1.0, "B": 2.0, "C": 6.0}
+
+
+def test_two_callers_rejected():
+    with pytest.raises(ValueError, match="two callers"):
+        make_class([CallEdge("A", "C"), CallEdge("B", "C"),
+                    CallEdge("A", "B")])
+
+
+def test_root_as_callee_rejected():
+    with pytest.raises(ValueError, match="root"):
+        make_class([CallEdge("A", "B"), CallEdge("B", "A2")], root="A2")
+
+
+def test_unreachable_subtree_rejected():
+    with pytest.raises(ValueError, match="not reachable"):
+        make_class([CallEdge("X", "Y")], root="A")
+
+
+def test_self_call_rejected():
+    with pytest.raises(ValueError, match="self-call"):
+        CallEdge("A", "A")
+
+
+def test_negative_exec_time_rejected():
+    with pytest.raises(ValueError, match="negative exec_time"):
+        make_class([CallEdge("A", "B")], exec_time={"B": -0.1})
+
+
+def test_services_in_bfs_order():
+    spec = make_class([CallEdge("A", "B"), CallEdge("A", "C"),
+                       CallEdge("B", "D")])
+    assert spec.services() == ["A", "B", "C", "D"]
+
+
+def test_children_map_preserves_edge_order():
+    spec = make_class([CallEdge("A", "B"), CallEdge("A", "C")])
+    assert [e.callee for e in spec.children_map()["A"]] == ["B", "C"]
+
+
+def test_app_key_name_mismatch_rejected():
+    spec = make_class([CallEdge("A", "B")])
+    with pytest.raises(ValueError, match="named"):
+        AppSpec(name="x", classes={"wrong": spec})
+
+
+def test_app_traffic_class_lookup_error_lists_classes():
+    app = linear_chain_app()
+    with pytest.raises(KeyError, match="default"):
+        app.traffic_class("nope")
+
+
+def test_anomaly_detection_db_response_dominates():
+    app = anomaly_detection_app()
+    spec = app.classes["default"]
+    fr_mp = spec.edges[0]
+    mp_db = spec.edges[1]
+    assert fr_mp.caller == "FR" and mp_db.callee == "DB"
+    # the paper's §4.3 size relationship: DB response ~10x the MP response
+    assert mp_db.response_bytes == 10 * fr_mp.response_bytes
+
+
+def test_two_class_app_heavy_is_heavier():
+    app = two_class_app()
+    light = app.classes["L"]
+    heavy = app.classes["H"]
+    assert light.attributes.path != heavy.attributes.path
+    for service in app.services():
+        assert heavy.exec_time_of(service) > light.exec_time_of(service)
+
+
+def test_fanout_app_parallel_flag():
+    app = fanout_app(width=3, parallel=True)
+    spec = app.classes["default"]
+    assert "FE" in spec.parallel_fanout
+    assert len(spec.children_map()["FE"]) == 3
+
+
+def test_fanout_width_validation():
+    with pytest.raises(ValueError):
+        fanout_app(width=0)
+
+
+def test_union_services_stable_order():
+    app = two_class_app(n_services=3)
+    assert app.services() == ["S1", "S2", "S3"]

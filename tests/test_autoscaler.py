@@ -1,0 +1,139 @@
+"""Tests for the HPA-style horizontal autoscaler."""
+
+import pytest
+
+from repro.sim.autoscaler import (AutoscalerConfig, HorizontalAutoscaler,
+                                  ScalingEvent)
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.topology import ClusterSpec
+
+
+def make_world(replicas=2, **config_kwargs):
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterSpec("west", {"A": replicas}))
+    defaults = dict(target_utilization=0.6, evaluation_period=5.0,
+                    provisioning_delay=10.0, scale_down_stabilization=15.0)
+    defaults.update(config_kwargs)
+    autoscaler = HorizontalAutoscaler(sim, cluster,
+                                      AutoscalerConfig(**defaults))
+    autoscaler.start()
+    return sim, cluster, autoscaler
+
+
+def keep_busy(sim, pool, rate_jobs_per_s, work, until):
+    """Open-loop job feed into the pool."""
+    gap = 1.0 / rate_jobs_per_s
+
+    def emit(t):
+        if t >= until:
+            return
+        pool.submit(work, lambda now: None)
+        sim.schedule_at(t + gap, emit, t + gap)
+
+    sim.schedule_at(0.0, emit, 0.0)
+
+
+def test_scale_up_on_sustained_overload():
+    sim, cluster, autoscaler = make_world(replicas=2)
+    pool = cluster.pool("A")
+    # 2 replicas, offered work ~1.9 erlangs -> utilization ~0.95 > 0.6
+    keep_busy(sim, pool, rate_jobs_per_s=190.0, work=0.010, until=60.0)
+    sim.run(until=60.0)
+    ups = [e for e in autoscaler.events if e.direction == "up"]
+    assert ups, "autoscaler never scaled up"
+    # first decision at t=5, applied after the 10s provisioning delay
+    assert ups[0].time == pytest.approx(15.0, abs=0.2)
+    assert pool.replicas > 2
+
+
+def test_scale_up_waits_for_provisioning_delay():
+    sim, cluster, autoscaler = make_world(replicas=2,
+                                          provisioning_delay=20.0)
+    keep_busy(sim, cluster.pool("A"), 190.0, 0.010, until=40.0)
+    sim.run(until=24.0)
+    assert not autoscaler.events            # decision at t=5, apply at t=25
+    sim.run(until=26.0)
+    assert autoscaler.events
+
+
+def test_no_scaling_within_tolerance():
+    sim, cluster, autoscaler = make_world(replicas=2, tolerance=0.15)
+    # utilization ~0.6 = target: inside the band
+    keep_busy(sim, cluster.pool("A"), 120.0, 0.010, until=60.0)
+    sim.run(until=60.0)
+    assert autoscaler.events == []
+
+
+def test_scale_down_respects_stabilization():
+    sim, cluster, autoscaler = make_world(
+        replicas=8, scale_down_stabilization=20.0)
+    # utilization ~0.1: far below target
+    keep_busy(sim, cluster.pool("A"), 80.0, 0.010, until=120.0)
+    sim.run(until=120.0)
+    downs = [e for e in autoscaler.events if e.direction == "down"]
+    assert downs
+    # first shrink no earlier than first-below (t=5) + stabilization
+    assert downs[0].time >= 25.0 - 0.2
+    assert cluster.pool("A").replicas < 8
+
+
+def test_min_replicas_floor():
+    sim, cluster, autoscaler = make_world(
+        replicas=4, min_replicas=2, scale_down_stabilization=5.0)
+    sim.run(until=120.0)   # no load at all
+    assert cluster.pool("A").replicas == 2
+
+
+def test_max_replicas_ceiling():
+    sim, cluster, autoscaler = make_world(replicas=2, max_replicas=3)
+    keep_busy(sim, cluster.pool("A"), 500.0, 0.010, until=90.0)
+    sim.run(until=90.0)
+    assert cluster.pool("A").replicas == 3
+
+
+def test_replica_seconds_accounting():
+    sim, cluster, autoscaler = make_world(replicas=2)
+    keep_busy(sim, cluster.pool("A"), 190.0, 0.010, until=60.0)
+    sim.run(until=60.0)
+    total = autoscaler.replica_seconds(horizon=60.0)
+    # at least the baseline 2 replicas for 60s; more after scale-up
+    assert total > 2 * 60.0
+    flat = HorizontalAutoscaler(sim, Cluster(sim, ClusterSpec("e", {"A": 2})))
+    assert flat.replica_seconds(60.0) == pytest.approx(120.0)
+
+
+def test_start_twice_rejected():
+    sim, cluster, autoscaler = make_world()
+    with pytest.raises(RuntimeError):
+        autoscaler.start()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AutoscalerConfig(target_utilization=1.5)
+    with pytest.raises(ValueError):
+        AutoscalerConfig(min_replicas=5, max_replicas=2)
+    with pytest.raises(ValueError):
+        AutoscalerConfig(evaluation_period=0)
+
+
+def test_scaling_event_direction():
+    up = ScalingEvent(1.0, "A", "west", 2, 4)
+    down = ScalingEvent(1.0, "A", "west", 4, 2)
+    assert up.direction == "up"
+    assert down.direction == "down"
+
+
+def test_lifetime_busy_seconds_monotone():
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterSpec("west", {"A": 2}))
+    pool = cluster.pool("A")
+    pool.submit(1.0, lambda t: None)
+    sim.run()
+    first = pool.lifetime_busy_seconds
+    assert first == pytest.approx(1.0)
+    pool.harvest()   # telemetry reset must not affect the lifetime counter
+    pool.submit(0.5, lambda t: None)
+    sim.run()
+    assert pool.lifetime_busy_seconds == pytest.approx(1.5)

@@ -1,0 +1,80 @@
+"""Tests for the non-Waterfall baseline policies."""
+
+import pytest
+
+from repro.baselines.base import PolicyContext
+from repro.baselines.local_only import LocalOnlyPolicy
+from repro.baselines.locality import LocalityFailoverPolicy
+from repro.baselines.static_split import StaticSplitPolicy
+from repro.sim import (DemandMatrix, DeploymentSpec, linear_chain_app,
+                       two_region_latency)
+from repro.sim.network import LatencyMatrix
+from repro.sim.topology import ClusterSpec
+
+
+def three_cluster_ctx():
+    latency = LatencyMatrix.from_ms(["west", "mid", "east"], {
+        ("west", "mid"): 10.0, ("mid", "east"): 10.0, ("west", "east"): 30.0,
+    })
+    app = linear_chain_app(n_services=2)
+    deployment = DeploymentSpec(
+        clusters=[
+            ClusterSpec("west", {"S1": 2}),             # S2 missing here
+            ClusterSpec("mid", {"S1": 2, "S2": 2}),
+            ClusterSpec("east", {"S1": 2, "S2": 2}),
+        ],
+        latency=latency)
+    return PolicyContext(app, deployment, DemandMatrix())
+
+
+def test_local_only_emits_local_rules_where_deployed():
+    ctx = three_cluster_ctx()
+    rules = LocalOnlyPolicy().compute_rules(ctx)
+    assert rules.rule_for("S1", "*", "west").weight_map() == {"west": 1.0}
+    # S2 not in west: no rule (proxy default handles it)
+    assert rules.rule_for("S2", "*", "west") is None
+
+
+def test_locality_failover_routes_to_nearest():
+    ctx = three_cluster_ctx()
+    rules = LocalityFailoverPolicy().compute_rules(ctx)
+    # S2 missing in west; mid is nearer than east
+    assert rules.rule_for("S2", "*", "west").weight_map() == {"mid": 1.0}
+    assert rules.rule_for("S2", "*", "mid").weight_map() == {"mid": 1.0}
+
+
+def test_static_split_applies_configured_weights():
+    ctx = three_cluster_ctx()
+    policy = StaticSplitPolicy(splits={
+        "west": {"west": 0.5, "mid": 0.5},
+        "mid": {"mid": 1.0},
+        "east": {"east": 1.0},
+    })
+    rules = policy.compute_rules(ctx)
+    assert rules.rule_for("S1", "*", "west").weight_map() == pytest.approx(
+        {"west": 0.5, "mid": 0.5})
+    # S2 does not exist in west: its weight is filtered, rest renormalised
+    assert rules.rule_for("S2", "*", "west").weight_map() == {"mid": 1.0}
+
+
+def test_static_split_per_service_override():
+    ctx = three_cluster_ctx()
+    policy = StaticSplitPolicy(
+        splits={"mid": {"mid": 1.0}},
+        per_service={"S2": {"mid": {"east": 1.0}}})
+    rules = policy.compute_rules(ctx)
+    assert rules.rule_for("S1", "*", "mid").weight_map() == {"mid": 1.0}
+    assert rules.rule_for("S2", "*", "mid").weight_map() == {"east": 1.0}
+
+
+def test_policies_are_static():
+    ctx = three_cluster_ctx()
+    for policy in (LocalOnlyPolicy(), LocalityFailoverPolicy(),
+                   StaticSplitPolicy(splits={})):
+        assert policy.on_epoch([], ctx) is None
+
+
+def test_nearest_clusters_ordering():
+    ctx = three_cluster_ctx()
+    assert ctx.nearest_clusters("west", ["mid", "east"]) == ["mid", "east"]
+    assert ctx.nearest_clusters("west", ["west", "east"])[0] == "west"

@@ -1,0 +1,103 @@
+"""Tests for behaviour-based class derivation (§5 ML direction)."""
+
+import pytest
+
+from repro.core.classes.classifier import canonical_class_name
+from repro.core.classes.derivation import (OTHER_CLASS,
+                                           derive_classes_by_behavior)
+from repro.sim.request import RequestAttributes
+
+
+def attrs(path, method="GET"):
+    return RequestAttributes.make("S", method, path)
+
+
+def samples_for(path, cost, count, method="GET"):
+    return [(attrs(path, method), cost)] * count
+
+
+def sig(path, method="GET"):
+    return canonical_class_name("S", method, path)
+
+
+def test_similar_costs_merge_into_one_class():
+    samples = (samples_for("/a", 0.010, 100)
+               + samples_for("/b", 0.011, 100)      # within 30% of /a
+               + samples_for("/heavy", 0.100, 100))  # far away
+    derived = derive_classes_by_behavior(samples, max_classes=8)
+    assert derived.assignment[sig("/a")] == derived.assignment[sig("/b")]
+    assert (derived.assignment[sig("/heavy")]
+            != derived.assignment[sig("/a")])
+
+
+def test_distinct_costs_stay_separate():
+    samples = samples_for("/l", 0.004, 100) + samples_for("/h", 0.040, 100)
+    derived = derive_classes_by_behavior(samples, max_classes=8)
+    assert derived.assignment[sig("/l")] != derived.assignment[sig("/h")]
+    assert len(derived.class_names) == 2
+
+
+def test_leader_is_most_popular_member():
+    samples = (samples_for("/rare-ish", 0.010, 50)
+               + samples_for("/popular", 0.0105, 500))
+    derived = derive_classes_by_behavior(samples, max_classes=8)
+    assert derived.assignment[sig("/rare-ish")] == sig("/popular")
+
+
+def test_thin_signatures_fold_to_other():
+    samples = (samples_for("/main", 0.010, 100)
+               + samples_for("/once", 5.0, 3))   # below min_samples
+    derived = derive_classes_by_behavior(samples, min_samples=10)
+    assert derived.assignment[sig("/once")] == OTHER_CLASS
+    assert derived.support[OTHER_CLASS] == 3
+
+
+def test_max_classes_cap_folds_smallest_clusters():
+    samples = []
+    # five well-separated cost levels, decreasing popularity
+    for index, count in enumerate((500, 400, 300, 200, 100)):
+        samples += samples_for(f"/p{index}", 0.01 * (3 ** index), count)
+    derived = derive_classes_by_behavior(samples, max_classes=3,
+                                         merge_tolerance=0.2)
+    # 2 kept clusters + catch-all
+    assert len(derived.class_names) == 3
+    assert derived.assignment[sig("/p4")] == OTHER_CLASS   # least popular
+
+
+def test_classifier_routes_merged_members_to_leader():
+    samples = (samples_for("/a", 0.010, 100)
+               + samples_for("/b", 0.011, 300))
+    derived = derive_classes_by_behavior(samples)
+    classifier = derived.classifier()
+    leader = sig("/b")   # more popular member names the class
+    assert classifier.classify(attrs("/a")) == leader
+    assert classifier.classify(attrs("/b")) == leader
+    assert classifier.classify(attrs("/never-seen")) == OTHER_CLASS
+
+
+def test_observation_counts_conserved():
+    samples = (samples_for("/a", 0.01, 40) + samples_for("/b", 0.05, 60)
+               + samples_for("/c", 9.0, 2))
+    derived = derive_classes_by_behavior(samples, min_samples=10)
+    assert derived.total_observations == 102
+    assert sum(derived.support.values()) == 102
+
+
+def test_hundreds_of_urls_collapse_to_few_classes():
+    """The motivating §5 case: many URLs, few behaviours."""
+    samples = []
+    for index in range(200):
+        cost = 0.005 if index % 2 == 0 else 0.050
+        samples += samples_for(f"/url/{index}", cost, 20)
+    derived = derive_classes_by_behavior(samples, max_classes=8,
+                                         merge_tolerance=0.3)
+    assert len(derived.class_names) <= 3   # two behaviours (+ maybe other)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        derive_classes_by_behavior([], max_classes=0)
+    with pytest.raises(ValueError):
+        derive_classes_by_behavior([], merge_tolerance=-1)
+    with pytest.raises(ValueError):
+        derive_classes_by_behavior([(attrs("/x"), -0.5)])

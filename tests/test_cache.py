@@ -1,0 +1,141 @@
+"""Tests for edge caching and its routing/data-locality coupling (§5)."""
+
+import dataclasses
+
+import pytest
+
+from repro.mesh.routing_table import RouteKey
+from repro.sim import (DemandMatrix, DeploymentSpec, anomaly_detection_app,
+                       two_region_latency)
+from repro.sim.apps import AppSpec
+from repro.sim.cache import CacheSpec, EdgeCache
+from repro.sim.runner import MeshSimulation
+
+
+class TestEdgeCache:
+    def make(self, ttl=10.0, capacity=None):
+        return EdgeCache(CacheSpec("MP", "DB", ttl=ttl, capacity=capacity))
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        assert not cache.lookup(7, now=0.0)
+        cache.insert(7, now=0.0)
+        assert cache.lookup(7, now=5.0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_ttl_expiry(self):
+        cache = self.make(ttl=10.0)
+        cache.insert(7, now=0.0)
+        assert not cache.lookup(7, now=10.5)
+        assert len(cache) == 0   # lazily evicted
+
+    def test_capacity_fifo_eviction(self):
+        cache = self.make(capacity=2)
+        for key in (1, 2, 3):
+            cache.insert(key, now=0.0)
+        assert not cache.lookup(1, now=1.0)   # evicted
+        assert cache.lookup(2, now=1.0)
+        assert cache.lookup(3, now=1.0)
+
+    def test_reinsert_refreshes_position_and_ttl(self):
+        cache = self.make(ttl=10.0, capacity=2)
+        cache.insert(1, now=0.0)
+        cache.insert(2, now=1.0)
+        cache.insert(1, now=2.0)   # refresh: now newest
+        cache.insert(3, now=3.0)   # evicts 2, not 1
+        assert cache.lookup(1, now=4.0)
+        assert not cache.lookup(2, now=4.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CacheSpec("a", "b", ttl=0.0)
+        with pytest.raises(ValueError):
+            CacheSpec("a", "b", ttl=1.0, capacity=0)
+
+
+def cached_anomaly_app(key_space=200, ttl=5.0):
+    base = anomaly_detection_app()
+    spec = dataclasses.replace(base.classes["default"], key_space=key_space)
+    return AppSpec(name=base.name, classes={"default": spec},
+                   caches={("MP", "DB"): CacheSpec("MP", "DB", ttl=ttl)})
+
+
+def make_sim(app, seed=3, **kwargs):
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=8,
+        latency=two_region_latency(25.0))
+    return MeshSimulation(app, deployment, seed=seed, **kwargs), deployment
+
+
+class TestCachedSimulation:
+    def test_app_cache_key_mismatch_rejected(self):
+        base = anomaly_detection_app()
+        with pytest.raises(ValueError, match="cache keyed"):
+            AppSpec(name="x", classes=base.classes,
+                    caches={("FR", "MP"): CacheSpec("MP", "DB", ttl=1.0)})
+
+    def test_requests_get_data_keys(self):
+        app = cached_anomaly_app()
+        sim, _ = make_sim(app)
+        sim.run(DemandMatrix({("default", "west"): 50.0}), duration=3.0)
+        assert all(r.data_key is not None and 0 <= r.data_key < 200
+                   for r in sim.telemetry.requests)
+
+    def test_no_key_space_no_keys(self):
+        app = anomaly_detection_app()   # key_space = 0
+        sim, _ = make_sim(app)
+        sim.run(DemandMatrix({("default", "west"): 50.0}), duration=2.0)
+        assert all(r.data_key is None for r in sim.telemetry.requests)
+
+    def test_cache_hits_skip_db_calls(self):
+        app = cached_anomaly_app(key_space=50, ttl=30.0)
+        sim, _ = make_sim(app)
+        sim.run(DemandMatrix({("default", "west"): 200.0}), duration=10.0)
+        cache = sim.edge_cache("MP", "DB", "west")
+        assert cache.stats.hits > 0
+        reports = {r.cluster: r for r in sim.harvest_reports()}
+        db_execs = reports["west"].service_class.get(("DB", "default"))
+        mp_execs = reports["west"].service_class.get(("MP", "default"))
+        # far fewer DB executions than MP executions thanks to the cache
+        assert db_execs.completions < mp_execs.completions * 0.6
+
+    def test_cache_hits_lower_latency(self):
+        def mean_latency(ttl):
+            app = cached_anomaly_app(key_space=50, ttl=ttl)
+            sim, _ = make_sim(app)
+            sim.run(DemandMatrix({("default", "west"): 200.0}),
+                    duration=10.0)
+            lats = sim.telemetry.latencies(after=2.0)
+            return sum(lats) / len(lats)
+
+        assert mean_latency(ttl=30.0) < mean_latency(ttl=0.001)
+
+    def test_spreading_traffic_splits_the_working_set(self):
+        """The §5 data-locality effect: spreading lowers aggregate hit rate."""
+        def aggregate_hit_rate(split):
+            app = cached_anomaly_app(key_space=300, ttl=5.0)
+            sim, _ = make_sim(app)
+            sim.table.set_weights(RouteKey("MP", "default", "west"), split)
+            sim.run(DemandMatrix({("default", "west"): 200.0}),
+                    duration=15.0)
+            hits = misses = 0
+            for cluster in ("west", "east"):
+                try:
+                    stats = sim.edge_cache("MP", "DB", cluster).stats
+                except KeyError:
+                    continue
+                hits += stats.hits
+                misses += stats.misses
+            return hits / (hits + misses)
+
+        concentrated = aggregate_hit_rate({"west": 1.0})
+        spread = aggregate_hit_rate({"west": 0.5, "east": 0.5})
+        assert concentrated > spread
+
+    def test_unconfigured_edge_cache_lookup_raises(self):
+        app = cached_anomaly_app()
+        sim, _ = make_sim(app)
+        with pytest.raises(KeyError):
+            sim.edge_cache("FR", "MP", "west")

@@ -1,0 +1,213 @@
+"""Tests for call-graph inference from trace telemetry."""
+
+import pytest
+
+from repro.core.classes.callgraph import CallGraphLearner
+from repro.core.controller.global_controller import (GlobalController,
+                                                     GlobalControllerConfig)
+from repro.sim import (DemandMatrix, DeploymentSpec, fanout_app,
+                       linear_chain_app, two_class_app, two_region_latency)
+from repro.sim.request import RequestAttributes, Span
+from repro.sim.runner import MeshSimulation
+
+
+def make_span(service, caller, cls="default", exec_time=0.01,
+              request_bytes=1000, response_bytes=10000):
+    return Span(request_id=1, traffic_class=cls, service=service,
+                cluster="west", caller_service=caller,
+                caller_cluster="west", enqueue_time=0.0, start_time=0.0,
+                end_time=exec_time, exec_time=exec_time,
+                request_bytes=request_bytes, response_bytes=response_bytes)
+
+
+def chain_spans(n_requests, cls="default"):
+    spans = []
+    for _ in range(n_requests):
+        spans.append(make_span("S1", None, cls=cls))
+        spans.append(make_span("S2", "S1", cls=cls))
+        spans.append(make_span("S3", "S2", cls=cls))
+    return spans
+
+
+class TestLearner:
+    def test_not_ready_without_evidence(self):
+        learner = CallGraphLearner(min_executions=20)
+        assert not learner.ready("default")
+        learner.ingest(chain_spans(5))
+        assert not learner.ready("default")
+        learner.ingest(chain_spans(20))
+        assert learner.ready("default")
+
+    def test_root_detection(self):
+        learner = CallGraphLearner()
+        learner.ingest(chain_spans(30))
+        assert learner.root_service("default") == "S1"
+
+    def test_infer_recovers_chain(self):
+        learner = CallGraphLearner()
+        learner.ingest(chain_spans(50))
+        spec = learner.infer_spec("default", RequestAttributes.make("S1"))
+        assert spec.root_service == "S1"
+        assert {(e.caller, e.callee) for e in spec.edges} == {
+            ("S1", "S2"), ("S2", "S3")}
+        for edge in spec.edges:
+            assert edge.calls_per_request == pytest.approx(1.0)
+            assert edge.request_bytes == 1000
+            assert edge.response_bytes == 10000
+        assert spec.exec_time["S2"] == pytest.approx(0.01)
+
+    def test_infer_recovers_fanout_multiplicity(self):
+        learner = CallGraphLearner()
+        spans = []
+        for _ in range(40):
+            spans.append(make_span("FE", None))
+            for _ in range(3):
+                spans.append(make_span("B", "FE"))
+        learner.ingest(spans)
+        spec = learner.infer_spec("default", RequestAttributes.make("FE"))
+        assert spec.edges[0].calls_per_request == pytest.approx(3.0)
+
+    def test_fractional_fanout(self):
+        learner = CallGraphLearner()
+        spans = []
+        for index in range(100):
+            spans.append(make_span("P", None))
+            if index % 2 == 0:
+                spans.append(make_span("Q", "P"))
+        learner.ingest(spans)
+        spec = learner.infer_spec("default", RequestAttributes.make("P"))
+        assert spec.edges[0].calls_per_request == pytest.approx(0.5)
+
+    def test_tree_violation_flagged_dominant_kept(self):
+        learner = CallGraphLearner(min_executions=10)
+        spans = []
+        for _ in range(30):
+            spans.append(make_span("A", None))
+            spans.append(make_span("B", "A"))
+            spans.append(make_span("C", "B"))
+        for _ in range(5):   # minority caller A -> C
+            spans.append(make_span("A", None))
+            spans.append(make_span("C", "A"))
+        learner.ingest(spans)
+        spec = learner.infer_spec("default", RequestAttributes.make("A"))
+        callers = {e.callee: e.caller for e in spec.edges}
+        assert callers["C"] == "B"   # dominant caller wins
+        assert "C" in learner.tree_violations["default"]
+
+    def test_classes_tracked_separately(self):
+        learner = CallGraphLearner(min_executions=5)
+        learner.ingest(chain_spans(10, cls="a"))
+        learner.ingest([make_span("X", None, cls="b")] * 10)
+        assert learner.classes_seen == ["a", "b"]
+        assert learner.root_service("a") == "S1"
+        assert learner.root_service("b") == "X"
+
+    def test_infer_unready_raises(self):
+        learner = CallGraphLearner()
+        with pytest.raises(ValueError, match="not enough"):
+            learner.infer_spec("default", RequestAttributes.make("S1"))
+
+    def test_min_executions_validation(self):
+        with pytest.raises(ValueError):
+            CallGraphLearner(min_executions=0)
+
+
+class TestEndToEnd:
+    def run_learning(self, app, demand, sample_rate=1.0, duration=10.0):
+        from repro.core.classes.classifier import AppSpecClassifier
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=10,
+            latency=two_region_latency(25.0))
+        sim = MeshSimulation(app, deployment, seed=4,
+                             classifier=AppSpecClassifier(app),
+                             trace_sample_rate=sample_rate)
+        controller = GlobalController(
+            app, deployment,
+            GlobalControllerConfig(learn_structure=True))
+        sim.run(demand, duration=duration, epoch=duration / 2,
+                on_epoch=lambda reports, s: controller.observe(reports))
+        return controller
+
+    def test_learns_chain_structure_from_simulation(self):
+        app = linear_chain_app(n_services=3, exec_time=0.010)
+        demand = DemandMatrix({("default", "west"): 100.0})
+        controller = self.run_learning(app, demand)
+        spec = controller.callgraph.infer_spec(
+            "default", app.classes["default"].attributes)
+        truth = app.classes["default"]
+        assert [(e.caller, e.callee) for e in spec.edges] == [
+            (e.caller, e.callee) for e in truth.edges]
+        for service in truth.services():
+            assert spec.exec_time_of(service) == pytest.approx(
+                truth.exec_time_of(service), rel=0.15)
+
+    def test_learned_structure_plans_successfully(self):
+        app = two_class_app()
+        demand = DemandMatrix({("L", "west"): 150.0, ("H", "west"): 50.0,
+                               ("L", "east"): 50.0})
+        controller = self.run_learning(app, demand)
+        result = controller.plan()
+        assert result is not None and result.ok
+
+    def test_sampled_traces_still_approximate_structure(self):
+        app = fanout_app(width=3, exec_time=0.005)
+        demand = DemandMatrix({("default", "west"): 300.0})
+        controller = self.run_learning(app, demand, sample_rate=0.2,
+                                       duration=15.0)
+        spec = controller.callgraph.infer_spec(
+            "default", app.classes["default"].attributes)
+        total_cpr = sum(e.calls_per_request for e in spec.edges)
+        # 3 backend edges with cpr 1 each; stride sampling keeps ratios
+        assert total_cpr == pytest.approx(3.0, rel=0.15)
+
+
+class TestTelemetrySampling:
+    def test_zero_rate_keeps_no_spans(self):
+        app = linear_chain_app()
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=5,
+            latency=two_region_latency(25.0))
+        sim = MeshSimulation(app, deployment, seed=1, trace_sample_rate=0.0)
+        sim.run(DemandMatrix({("default", "west"): 100.0}), duration=3.0)
+        reports = sim.harvest_reports()
+        assert all(not r.span_samples for r in reports)
+
+    def test_rate_controls_sample_volume(self):
+        app = linear_chain_app()
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=5,
+            latency=two_region_latency(25.0))
+        sim = MeshSimulation(app, deployment, seed=1, trace_sample_rate=0.1)
+        sim.run(DemandMatrix({("default", "west"): 100.0}), duration=5.0)
+        reports = {r.cluster: r for r in sim.harvest_reports()}
+        west = reports["west"]
+        total_spans = sum(w.completions
+                          for w in west.service_class.values())
+        # Bernoulli sampling: ~10% of spans, binomial noise
+        assert len(west.span_samples) == pytest.approx(total_spans / 10,
+                                                       rel=0.35)
+
+    def test_sampling_does_not_alias_periodic_span_patterns(self):
+        """Chain apps emit spans periodically (S1, S2, S3, ...); the
+        sampler must not systematically prefer one service."""
+        from collections import Counter
+        app = linear_chain_app(n_services=3)
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=5,
+            latency=two_region_latency(25.0))
+        sim = MeshSimulation(app, deployment, seed=2, trace_sample_rate=0.1)
+        sim.run(DemandMatrix({("default", "west"): 200.0}), duration=10.0)
+        reports = {r.cluster: r for r in sim.harvest_reports()}
+        counts = Counter(s.service for s in reports["west"].span_samples)
+        assert set(counts) == {"S1", "S2", "S3"}
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_fractional_sampling_requires_rng(self):
+        from repro.mesh.telemetry import ProxyTelemetry
+        with pytest.raises(ValueError, match="rng"):
+            ProxyTelemetry("west", trace_sample_rate=0.5)
+
+    def test_invalid_rate_rejected(self):
+        from repro.mesh.telemetry import ProxyTelemetry
+        with pytest.raises(ValueError):
+            ProxyTelemetry("west", trace_sample_rate=1.5)

@@ -1,0 +1,153 @@
+"""Tests for traffic classification and automatic class derivation."""
+
+import pytest
+
+from repro.core.classes.classifier import (AppSpecClassifier, MatchRule,
+                                           MethodPathClassifier,
+                                           RuleBasedClassifier,
+                                           SingleClassClassifier,
+                                           canonical_class_name)
+from repro.core.classes.derivation import (OTHER_CLASS, derive_classes)
+from repro.sim.apps import two_class_app
+from repro.sim.request import RequestAttributes
+
+
+def attrs(service="S1", method="GET", path="/", headers=None):
+    return RequestAttributes.make(service, method, path, headers)
+
+
+class TestSingleClass:
+    def test_everything_same_class(self):
+        classifier = SingleClassClassifier()
+        assert classifier.classify(attrs()) == "default"
+        assert classifier.classify(attrs(path="/other")) == "default"
+
+
+class TestRuleBased:
+    def test_first_match_wins(self):
+        classifier = RuleBasedClassifier(rules=[
+            MatchRule("heavy", path_prefix="/big"),
+            MatchRule("get", method="GET"),
+        ])
+        assert classifier.classify(attrs(method="GET", path="/big")) == "heavy"
+        assert classifier.classify(attrs(method="GET")) == "get"
+
+    def test_fallback(self):
+        classifier = RuleBasedClassifier(rules=[MatchRule("x", method="PUT")],
+                                         fallback="misc")
+        assert classifier.classify(attrs()) == "misc"
+
+    def test_header_match_case_insensitive_name(self):
+        classifier = RuleBasedClassifier(rules=[
+            MatchRule("gold", header=("X-Tier", "gold"))])
+        assert classifier.classify(
+            attrs(headers={"x-tier": "gold"})) == "gold"
+        assert classifier.classify(
+            attrs(headers={"x-tier": "silver"})) == "default"
+
+    def test_service_match(self):
+        classifier = RuleBasedClassifier(rules=[MatchRule("a", service="A")])
+        assert classifier.classify(attrs(service="A")) == "a"
+        assert classifier.classify(attrs(service="B")) == "default"
+
+
+class TestMethodPath:
+    def test_canonical_name(self):
+        classifier = MethodPathClassifier()
+        assert (classifier.classify(attrs("S", "POST", "/work"))
+                == canonical_class_name("S", "POST", "/work"))
+
+    def test_allow_list_enforced(self):
+        known = {canonical_class_name("S", "GET", "/a")}
+        classifier = MethodPathClassifier(known=known, fallback="other")
+        assert classifier.classify(attrs("S", "GET", "/a")) != "other"
+        assert classifier.classify(attrs("S", "GET", "/b")) == "other"
+
+
+class TestAppSpecClassifier:
+    def test_matches_app_classes(self):
+        app = two_class_app()
+        classifier = AppSpecClassifier(app)
+        light = app.classes["L"].attributes
+        heavy = app.classes["H"].attributes
+        assert classifier.classify(light) == "L"
+        assert classifier.classify(heavy) == "H"
+
+    def test_unknown_attributes_raise_without_fallback(self):
+        classifier = AppSpecClassifier(two_class_app())
+        with pytest.raises(KeyError):
+            classifier.classify(attrs("S1", "GET", "/unknown"))
+
+    def test_fallback_used_for_unknown(self):
+        classifier = AppSpecClassifier(two_class_app(), fallback="L")
+        assert classifier.classify(attrs("S1", "GET", "/unknown")) == "L"
+
+    def test_single_class_app_gets_implicit_fallback(self):
+        from repro.sim.apps import linear_chain_app
+        classifier = AppSpecClassifier(linear_chain_app())
+        assert classifier.classify(attrs("S1", "GET", "/whatever")) == "default"
+
+
+class TestDerivation:
+    def observations(self):
+        data = []
+        data += [attrs("S", "GET", "/popular")] * 500
+        data += [attrs("S", "POST", "/heavy")] * 300
+        data += [attrs("S", "GET", "/rare")] * 5
+        data += [attrs("S", "GET", f"/long-tail/{i}") for i in range(20)]
+        return data
+
+    def test_popular_signatures_kept(self):
+        derived = derive_classes(self.observations(), max_classes=8,
+                                 min_share=0.01, min_samples=30)
+        popular = canonical_class_name("S", "GET", "/popular")
+        heavy = canonical_class_name("S", "POST", "/heavy")
+        assert derived.assignment[popular] == popular
+        assert derived.assignment[heavy] == heavy
+
+    def test_tail_folds_into_other(self):
+        derived = derive_classes(self.observations(), max_classes=8,
+                                 min_share=0.01, min_samples=30)
+        rare = canonical_class_name("S", "GET", "/rare")
+        assert derived.assignment[rare] == OTHER_CLASS
+        assert derived.support[OTHER_CLASS] == 25
+
+    def test_max_classes_cap(self):
+        derived = derive_classes(self.observations(), max_classes=2,
+                                 min_share=0.0, min_samples=1)
+        # one kept class + catch-all
+        assert len(derived.class_names) == 2
+
+    def test_shares_sum_to_one(self):
+        derived = derive_classes(self.observations())
+        total = sum(derived.share(name) for name in derived.class_names)
+        assert total == pytest.approx(1.0)
+
+    def test_derived_classifier_routes_tail_to_other(self):
+        derived = derive_classes(self.observations(), max_classes=8,
+                                 min_share=0.01, min_samples=30)
+        classifier = derived.classifier()
+        assert classifier.classify(attrs("S", "GET", "/rare")) == OTHER_CLASS
+        popular = canonical_class_name("S", "GET", "/popular")
+        assert classifier.classify(attrs("S", "GET", "/popular")) == popular
+
+    def test_empty_observations(self):
+        derived = derive_classes([])
+        assert derived.total_observations == 0
+        assert derived.share("anything") == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            derive_classes([], max_classes=0)
+        with pytest.raises(ValueError):
+            derive_classes([], min_share=2.0)
+        with pytest.raises(ValueError):
+            derive_classes([], min_samples=0)
+
+    def test_determinism_under_ties(self):
+        data = [attrs("S", "GET", "/a")] * 50 + [attrs("S", "GET", "/b")] * 50
+        first = derive_classes(data, max_classes=2, min_share=0.0,
+                               min_samples=1)
+        second = derive_classes(data, max_classes=2, min_share=0.0,
+                                min_samples=1)
+        assert first.assignment == second.assignment

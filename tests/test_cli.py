@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6a" in out and "fig4" in out
+    assert "chain" in out and "social" in out
+
+
+def test_solve_command_prints_rules(capsys):
+    assert main(["solve", "--app", "chain", "--west", "650",
+                 "--east", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "status: optimal" in out
+    assert "predicted mean latency" in out
+    assert "S1 [default] @ west" in out
+
+
+def test_solve_multiclass_app(capsys):
+    assert main(["solve", "--app", "two-class", "--west", "400",
+                 "--east", "100", "--replicas", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "[L]" in out and "[H]" in out
+
+
+def test_figure_fig3_analytic(capsys):
+    assert main(["figure", "fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "static-threshold" in out
+    assert "SLATE (ms)" in out
+
+
+def test_figure_fig4_analytic(capsys):
+    assert main(["figure", "fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "locally served RPS" in out
+    assert "local @ 5ms" in out
+
+
+def test_figure_simulated_short(capsys):
+    assert main(["figure", "fig6a", "--duration", "6", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "latency CDF" in out
+    assert "mean-latency ratio" in out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig99"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_solve_render_istio(capsys):
+    assert main(["solve", "--app", "chain", "--west", "650",
+                 "--render-istio"]) == 0
+    out = capsys.readouterr().out
+    assert "kind: VirtualService" in out
+    assert "kind: DestinationRule" in out
+    assert "weight:" in out

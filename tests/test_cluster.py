@@ -1,0 +1,58 @@
+"""Tests for the runtime cluster container."""
+
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Simulator
+from repro.sim.topology import ClusterSpec
+
+
+def make_cluster(replicas=None):
+    sim = Simulator()
+    spec = ClusterSpec("west", replicas if replicas is not None
+                       else {"A": 2, "B": 3})
+    return sim, Cluster(sim, spec)
+
+
+def test_pools_created_from_spec():
+    _, cluster = make_cluster()
+    assert cluster.has("A")
+    assert cluster.pool("A").replicas == 2
+    assert cluster.pool("B").replicas == 3
+
+
+def test_zero_replica_services_not_deployed():
+    _, cluster = make_cluster({"A": 1, "B": 0})
+    assert cluster.has("A")
+    assert not cluster.has("B")
+
+
+def test_missing_pool_lookup_raises():
+    _, cluster = make_cluster()
+    with pytest.raises(KeyError, match="not deployed"):
+        cluster.pool("missing")
+
+
+def test_deploy_resizes_existing_pool():
+    _, cluster = make_cluster()
+    pool = cluster.pool("A")
+    resized = cluster.deploy("A", 5)
+    assert resized is pool
+    assert pool.replicas == 5
+
+
+def test_undeploy_removes_pool():
+    _, cluster = make_cluster()
+    cluster.undeploy("A")
+    assert not cluster.has("A")
+    cluster.undeploy("A")   # idempotent
+
+
+def test_harvest_stats_covers_all_pools():
+    sim, cluster = make_cluster()
+    cluster.pool("A").submit(1.0, lambda t: None)
+    sim.run()
+    stats = cluster.harvest_stats()
+    assert set(stats) == {"A", "B"}
+    assert stats["A"].completions == 1
+    assert stats["B"].completions == 0

@@ -1,0 +1,141 @@
+"""Tests for topology contraction (§5 scalability heuristic)."""
+
+import pytest
+
+from repro.analysis.fluid import evaluate_rules
+from repro.core.optimizer import TEProblem, solve
+from repro.core.optimizer.contraction import (contract_problem,
+                                              group_clusters,
+                                              solve_contracted)
+from repro.sim import (DemandMatrix, DeploymentSpec, LatencyMatrix,
+                       linear_chain_app)
+
+
+def six_cluster_latency():
+    """Two geographic bundles of three clusters each, far apart."""
+    names = ["e0", "e1", "e2", "w0", "w1", "w2"]
+    delays = {}
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            same_coast = a[0] == b[0]
+            delays[(a, b)] = 0.002 if same_coast else 0.040
+    return LatencyMatrix(names, delays)
+
+
+def make_problem(west_heavy=True):
+    app = linear_chain_app(n_services=3, exec_time=0.010)
+    latency = six_cluster_latency()
+    deployment = DeploymentSpec.uniform(app.services(),
+                                        list(latency.clusters), replicas=4,
+                                        latency=latency)
+    demand = DemandMatrix()
+    for cluster in latency.clusters:
+        heavy = cluster.startswith("w") == west_heavy
+        demand.set("default", cluster, 330.0 if heavy else 80.0)
+    return app, deployment, TEProblem.from_specs(app, deployment, demand)
+
+
+class TestGrouping:
+    def test_groups_by_proximity(self):
+        latency = six_cluster_latency()
+        groups = group_clusters(latency, list(latency.clusters), 2)
+        assert groups == [["e0", "e1", "e2"], ["w0", "w1", "w2"]]
+
+    def test_full_contraction_and_identity(self):
+        latency = six_cluster_latency()
+        clusters = list(latency.clusters)
+        assert len(group_clusters(latency, clusters, 1)) == 1
+        identity = group_clusters(latency, clusters, 6)
+        assert identity == [[c] for c in sorted(clusters)]
+
+    def test_validation(self):
+        latency = six_cluster_latency()
+        with pytest.raises(ValueError):
+            group_clusters(latency, list(latency.clusters), 0)
+        with pytest.raises(ValueError):
+            group_clusters(latency, list(latency.clusters), 7)
+
+
+class TestContraction:
+    def test_contracted_problem_sums_capacity_and_demand(self):
+        app, deployment, problem = make_problem()
+        groups = group_clusters(problem.latency, problem.clusters, 2)
+        contracted = contract_problem(problem, groups)
+        assert contracted.clusters == ["e0+e1+e2", "w0+w1+w2"]
+        assert contracted.replica_count("S1", "w0+w1+w2") == 12
+        assert contracted.workloads["default"].demand[
+            "w0+w1+w2"] == pytest.approx(3 * 330.0)
+        assert contracted.total_demand() == pytest.approx(
+            problem.total_demand())
+
+    def test_contracted_latency_is_mean_of_pairs(self):
+        app, deployment, problem = make_problem()
+        groups = group_clusters(problem.latency, problem.clusters, 2)
+        contracted = contract_problem(problem, groups)
+        assert contracted.latency.one_way(
+            "e0+e1+e2", "w0+w1+w2") == pytest.approx(0.040)
+
+    def test_incomplete_groups_rejected(self):
+        app, deployment, problem = make_problem()
+        with pytest.raises(ValueError, match="do not cover"):
+            contract_problem(problem, [["e0", "e1"]])
+
+
+class TestSolveContracted:
+    def test_rules_reference_real_clusters(self):
+        app, deployment, problem = make_problem()
+        solution = solve_contracted(problem, n_groups=2)
+        clusters = set(problem.clusters)
+        for rule in solution.rules:
+            assert rule.src_cluster in clusters
+            assert set(rule.weight_map()) <= clusters
+
+    def test_expanded_rules_feasible_and_near_optimal(self):
+        app, deployment, problem = make_problem()
+        solution = solve_contracted(problem, n_groups=2)
+        prediction = evaluate_rules(app, deployment,
+                                    DemandMatrix({
+                                        ("default", c):
+                                        problem.workloads["default"]
+                                        .demand.get(c, 0.0)
+                                        for c in problem.clusters
+                                    }), solution.rules)
+        assert prediction.stable
+        full = solve(problem)
+        # contraction loses some optimality but stays in the ballpark
+        assert prediction.mean_latency <= full.predicted_mean_latency * 1.6
+
+    def test_identity_contraction_matches_full_solve(self):
+        app, deployment, problem = make_problem()
+        solution = solve_contracted(problem, n_groups=len(problem.clusters))
+        full = solve(problem)
+        assert solution.contracted_result.objective == pytest.approx(
+            full.objective, rel=1e-6)
+
+    def test_single_group_keeps_everything_internal(self):
+        app, deployment, problem = make_problem()
+        solution = solve_contracted(problem, n_groups=1)
+        # one super-cluster: the contracted view sees no WAN at all
+        assert solution.contracted_result.predicted_egress_cost_rate == 0.0
+        # local-affinity expansion: intra-group weight stays at the source
+        rule = solution.rules.rule_for("S1", "default", "w0")
+        assert rule.weight_map() == {"w0": pytest.approx(1.0)}
+
+
+def test_unknown_expansion_mode_rejected():
+    from repro.core.optimizer.contraction import expand_rules
+    app, deployment, problem = make_problem()
+    groups = group_clusters(problem.latency, problem.clusters, 2)
+    contracted = solve(contract_problem(problem, groups))
+    with pytest.raises(ValueError, match="expansion"):
+        expand_rules(problem, groups, contracted, expansion="magic")
+
+
+def test_rebalance_expansion_spreads_intra_group():
+    app, deployment, problem = make_problem()
+    solution = solve_contracted(problem, n_groups=1, expansion="rebalance")
+    rule = solution.rules.rule_for("S1", "default", "w0")
+    weights = rule.weight_map()
+    # capacity-proportional across all six members, not pinned to w0
+    assert len(weights) == 6
+    assert all(w == pytest.approx(1 / 6) for w in weights.values())

@@ -1,0 +1,134 @@
+"""Edge-case sweep over under-covered paths across modules.
+
+Purely additive coverage: error branches, formatting corners, and small
+behaviours that no scenario test reaches naturally.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.baselines.waterfall import WaterfallConfig, cascade_loads
+from repro.core.latency.mm1 import erlang_c
+from repro.core.optimizer.piecewise import linearize_convex
+from repro.sim import (DemandMatrix, DeploymentSpec, linear_chain_app,
+                       two_region_latency)
+from repro.sim.engine import Simulator
+from repro.sim.network import EgressPricing
+from repro.sim.workload import RateProfile, RateSegment
+
+
+class TestEngineCorners:
+    def test_cancel_inside_callback(self):
+        sim = Simulator()
+        seen = []
+        later = sim.schedule(2.0, seen.append, "later")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert seen == []
+
+    def test_schedule_at_exactly_now(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        seen = []
+        sim.schedule_at(sim.now, seen.append, "now")
+        sim.run()
+        assert seen == ["now"]
+
+    def test_zero_delay_self_chain_ordered(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.0, seen.append, 1)
+        sim.schedule(0.0, lambda: sim.schedule(0.0, seen.append, 3))
+        sim.schedule(0.0, seen.append, 2)
+        sim.run()
+        assert seen == [1, 2, 3]
+
+
+class TestReportCorners:
+    def test_format_table_handles_extremes(self):
+        text = format_table(["a", "b"], [[0.0, 1e9], [1e-7, -3.5]])
+        assert "0" in text
+        assert "1000000000" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text
+        assert len(text.splitlines()) == 2
+
+
+class TestPricingCorners:
+    def test_zero_price(self):
+        pricing = EgressPricing(default_price_per_gb=0.0)
+        assert pricing.per_byte("a", "b") == 0.0
+
+    def test_negative_default_rejected(self):
+        with pytest.raises(ValueError):
+            EgressPricing(default_price_per_gb=-0.01)
+
+    def test_negative_pair_rejected(self):
+        with pytest.raises(ValueError):
+            EgressPricing(pair_prices_per_gb={("a", "b"): -1.0})
+
+
+class TestWaterfallCorners:
+    def test_zero_exec_time_service_gets_infinite_capacity(self):
+        app = linear_chain_app(n_services=2, exec_time=0.010)
+        spec = app.classes["default"]
+        spec.exec_time["S2"] = 0.0   # e.g. a pure proxy hop
+        deployment = DeploymentSpec.uniform(
+            ["S1", "S2"], ["west", "east"], replicas=2,
+            latency=two_region_latency(25.0))
+        config = WaterfallConfig.from_deployment(app, deployment, 0.8)
+        assert config.capacity("S2", "west") == float("inf")
+        # the cascade keeps everything local for the uncapped service
+        split, _ = cascade_loads(
+            app, deployment, DemandMatrix({("default", "west"): 500.0}),
+            config)
+        assert split["S2"]["west"] == {"west": 1.0}
+
+    def test_unknown_pool_capacity_is_zero(self):
+        config = WaterfallConfig({("S", "west"): 10.0})
+        assert config.capacity("S", "east") == 0.0
+
+
+class TestQueueingCorners:
+    def test_erlang_c_one_server_zero_load(self):
+        assert erlang_c(1, 0.0) == 0.0
+
+    def test_linearize_single_segment(self):
+        segments = linearize_convex(lambda x: 2 * x, 4.0,
+                                    knot_fractions=(0.0, 1.0))
+        assert len(segments) == 1
+        assert segments[0].slope == pytest.approx(2.0)
+
+
+class TestWorkloadCorners:
+    def test_profile_beyond_end_is_none(self):
+        profile = RateProfile([RateSegment(0, 5, 10.0)])
+        assert profile.segment_at(5.0) is None
+        assert profile.segment_at(100.0) is None
+
+    def test_demand_matrix_unknown_lookup_zero(self):
+        demand = DemandMatrix()
+        assert demand.rps("any", "where") == 0.0
+        assert demand.total_rps() == 0.0
+        assert demand.classes() == []
+
+
+class TestRuleSetCorners:
+    def test_empty_rule_set_apply_clears_table(self):
+        from repro.core.rules import RuleSet
+        from repro.mesh.routing_table import RouteKey, RoutingTable
+        table = RoutingTable()
+        table.set_weights(RouteKey("S", "c", "w"), {"w": 1.0})
+        RuleSet().apply(table)
+        assert len(table) == 0
+
+    def test_iteration_order_stable(self):
+        from repro.core.rules import RoutingRule, RuleSet
+        rules = RuleSet([
+            RoutingRule.make("B", "c", "w", {"w": 1.0}),
+            RoutingRule.make("A", "c", "w", {"w": 1.0}),
+        ])
+        assert [r.service for r in rules] == ["B", "A"]   # insertion order

@@ -1,0 +1,65 @@
+"""Tests for the hard egress-budget constraint."""
+
+import pytest
+
+from repro.core.optimizer import SolverError, TEProblem, solve
+from repro.sim import (DemandMatrix, DeploymentSpec, anomaly_detection_app,
+                       two_region_latency)
+from repro.sim.topology import ClusterSpec
+
+
+def make_problem(egress_budget=None, west_rps=300.0):
+    """The fig6c-like setting where latency optimum costs real egress."""
+    app = anomaly_detection_app()
+    deployment = DeploymentSpec(
+        clusters=[ClusterSpec("west", {"FR": 4, "MP": 5}),     # no DB
+                  ClusterSpec("east", {"FR": 4, "MP": 8, "DB": 8})],
+        latency=two_region_latency(25.0))
+    demand = DemandMatrix({("default", "west"): west_rps,
+                           ("default", "east"): 100.0})
+    return TEProblem.from_specs(app, deployment, demand,
+                                egress_budget=egress_budget)
+
+
+def test_unconstrained_baseline_cost():
+    result = solve(make_problem())
+    assert result.predicted_egress_cost_rate > 0
+
+
+def test_budget_binds_and_is_respected():
+    unconstrained = solve(make_problem())
+    budget = unconstrained.predicted_egress_cost_rate * 0.5
+    constrained = solve(make_problem(egress_budget=budget))
+    assert constrained.predicted_egress_cost_rate <= budget * 1.001
+    # paying less means accepting worse latency
+    assert (constrained.predicted_mean_latency
+            >= unconstrained.predicted_mean_latency - 1e-9)
+
+
+def test_loose_budget_changes_nothing():
+    unconstrained = solve(make_problem())
+    loose = solve(make_problem(
+        egress_budget=unconstrained.predicted_egress_cost_rate * 10))
+    assert loose.objective == pytest.approx(unconstrained.objective,
+                                            rel=1e-6)
+
+
+def test_impossible_budget_infeasible():
+    # West traffic MUST reach DB in east somehow: zero budget is infeasible
+    with pytest.raises(SolverError):
+        solve(make_problem(egress_budget=0.0))
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        make_problem(egress_budget=-1.0)
+
+
+def test_budget_tightening_is_monotone():
+    unconstrained = solve(make_problem())
+    base_cost = unconstrained.predicted_egress_cost_rate
+    latencies = []
+    for fraction in (1.0, 0.7, 0.4):
+        result = solve(make_problem(egress_budget=base_cost * fraction))
+        latencies.append(result.predicted_mean_latency)
+    assert latencies == sorted(latencies)   # tighter budget, more latency

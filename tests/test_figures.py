@@ -1,0 +1,172 @@
+"""Integration tests: every paper figure's qualitative result holds.
+
+Shortened versions of the benchmark scenarios (smaller durations) asserting
+the *shape* each figure demonstrates: who wins and the mechanism behind it.
+The full-length runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.analysis.fluid import evaluate_rules
+from repro.core.controller.global_controller import GlobalController
+from repro.experiments.harness import compare_policies, run_policy
+from repro.experiments.scenarios import (fig3_threshold_scenario,
+                                         fig4_offload_threshold_problem,
+                                         fig6a_how_much,
+                                         fig6b_which_cluster, fig6c_multihop,
+                                         fig6d_traffic_classes,
+                                         locality_failover_policy,
+                                         waterfall_with_absolute_threshold)
+
+
+@pytest.fixture(scope="module")
+def fig6a():
+    setup = fig6a_how_much(duration=20.0)
+    return setup, compare_policies(setup.scenario, setup.policies)
+
+
+@pytest.fixture(scope="module")
+def fig6c():
+    setup = fig6c_multihop(duration=20.0)
+    comparison = compare_policies(
+        setup.scenario, setup.policies + [locality_failover_policy()])
+    return setup, comparison
+
+
+class TestFig6a:
+    def test_slate_beats_waterfall_on_mean(self, fig6a):
+        _, comparison = fig6a
+        assert comparison.latency_ratio("waterfall", "slate") > 1.5
+
+    def test_slate_beats_waterfall_on_tail(self, fig6a):
+        _, comparison = fig6a
+        assert comparison.latency_ratio("waterfall", "slate",
+                                        stat="p99") > 1.5
+
+    def test_slate_offloads_waterfall_stays_local(self, fig6a):
+        _, comparison = fig6a
+        # the mechanism: SLATE pays more egress to win latency here
+        assert (comparison.outcome("slate").egress_bytes
+                > comparison.outcome("waterfall").egress_bytes)
+
+
+class TestFig6b:
+    def test_slate_beats_greedy_on_gcp_topology(self):
+        setup = fig6b_which_cluster(duration=20.0)
+        comparison = compare_policies(setup.scenario, setup.policies)
+        assert comparison.latency_ratio("waterfall", "slate") > 1.15
+
+    def test_waterfall_ignores_sc_slate_uses_it(self):
+        setup = fig6b_which_cluster()
+        ctx = setup.scenario.context()
+        wf_rules = setup.waterfall.compute_rules(ctx)
+        slate_rules = setup.slate.compute_rules(ctx)
+
+        def sc_inflow(rules):
+            total = 0.0
+            for rule in rules:
+                if rule.src_cluster in ("OR", "IOW"):
+                    total += rule.weight_map().get("SC", 0.0)
+            return total
+
+        assert sc_inflow(wf_rules) == 0.0
+        assert sc_inflow(slate_rules) > 0.0
+
+
+class TestFig6c:
+    def test_slate_cuts_early_for_10x_egress_saving(self, fig6c):
+        _, comparison = fig6c
+        # paper: 11.6x; the size ratio here gives ~9x
+        assert comparison.egress_cost_ratio("waterfall", "slate") > 5.0
+        assert comparison.egress_cost_ratio("locality-failover",
+                                            "slate") > 5.0
+
+    def test_slate_latency_no_worse(self, fig6c):
+        _, comparison = fig6c
+        assert comparison.latency_ratio("waterfall", "slate") > 0.95
+
+    def test_mechanism_cut_placement(self, fig6c):
+        setup, _ = fig6c
+        scenario = setup.scenario
+        rules = setup.slate.compute_rules(scenario.context())
+        prediction = evaluate_rules(scenario.app, scenario.deployment,
+                                    scenario.demand, rules)
+        # SLATE moves the cut to FR->MP: no MP executions left in west
+        assert prediction.pool_work.get(("MP", "west"), 0.0) < 0.2
+
+
+class TestFig6d:
+    def test_slate_beats_class_blind_waterfall(self):
+        setup = fig6d_traffic_classes(duration=20.0)
+        comparison = compare_policies(setup.scenario, setup.policies)
+        assert comparison.latency_ratio("waterfall", "slate") > 1.05
+        # mechanism: SLATE crosses fewer requests (moves mostly H)
+        assert (comparison.outcome("slate").egress_bytes
+                < comparison.outcome("waterfall").egress_bytes)
+
+    def test_slate_offloads_heavy_not_light(self):
+        setup = fig6d_traffic_classes()
+        scenario = setup.scenario
+        result = GlobalController.oracle(
+            scenario.app, scenario.deployment, scenario.demand)
+        assert result.ingress_local_fraction("L", "west") > 0.95
+        assert result.ingress_local_fraction("H", "west") < 0.8
+
+
+class TestFig4:
+    def test_offload_point_moves_with_network_latency(self):
+        """Lower WAN latency => offloading starts at lower load."""
+        def first_offload_load(one_way_ms):
+            for west_rps in range(200, 1001, 100):
+                scenario = fig4_offload_threshold_problem(
+                    one_way_ms, float(west_rps))
+                result = GlobalController.oracle(
+                    scenario.app, scenario.deployment, scenario.demand)
+                if result.ingress_local_fraction("default", "west") < 0.999:
+                    return west_rps
+            return 1001
+
+        cheap_wan = first_offload_load(5.0)
+        pricey_wan = first_offload_load(50.0)
+        assert cheap_wan <= pricey_wan
+
+    def test_local_rate_capped_by_capacity(self):
+        scenario = fig4_offload_threshold_problem(25.0, 1000.0)
+        result = GlobalController.oracle(
+            scenario.app, scenario.deployment, scenario.demand)
+        local_rps = (result.ingress_local_fraction("default", "west")
+                     * 1000.0)
+        # 6 replicas x 100 rps x 0.95 cap = 570
+        assert local_rps <= 570.0 + 1.0
+
+
+class TestFig3:
+    def test_no_static_threshold_matches_slate_everywhere(self):
+        """Conservative loses at high load kept remote; aggressive queues."""
+        from repro.core.controller.policy import SlatePolicy
+        loads = [200.0, 350.0, 470.0]
+        conservative, aggressive, slate = [], [], []
+        for west in loads:
+            scenario = fig3_threshold_scenario(west)
+            ctx = scenario.context()
+            for policy, sink in (
+                    (waterfall_with_absolute_threshold(
+                        scenario.app, scenario.deployment, 250.0),
+                     conservative),
+                    (waterfall_with_absolute_threshold(
+                        scenario.app, scenario.deployment, 480.0),
+                     aggressive),
+                    (SlatePolicy(), slate)):
+                rules = policy.compute_rules(ctx)
+                prediction = evaluate_rules(scenario.app,
+                                            scenario.deployment,
+                                            scenario.demand, rules)
+                sink.append(prediction.mean_latency)
+        # SLATE within epsilon of best everywhere
+        for i in range(len(loads)):
+            assert slate[i] <= min(conservative[i], aggressive[i]) + 1e-4
+        # conservative wastes RTT at moderate load (it offloads at 250 RPS
+        # when the local cluster could absorb 350), aggressive queues at
+        # high load
+        assert conservative[1] > slate[1] * 1.1
+        assert aggressive[-1] > slate[-1] * 1.5

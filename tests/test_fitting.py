@@ -1,0 +1,118 @@
+"""Tests for latency-profile learning."""
+
+import pytest
+
+from repro.core.latency.fitting import (LoadLatencySample, fit_mmc_service_time,
+                                        service_time_from_window)
+from repro.core.latency.mm1 import mmc_sojourn
+from repro.core.latency.profiles import ProfileRegistry
+from repro.mesh.telemetry import ClusterEpochReport, ServiceClassWindow
+from repro.sim.request import Span
+
+
+def window_with_execs(execs):
+    window = ServiceClassWindow()
+    for exec_time in execs:
+        window.observe(Span(
+            request_id=1, traffic_class="c", service="s", cluster="west",
+            caller_service=None, caller_cluster="west", enqueue_time=0.0,
+            start_time=0.0, end_time=exec_time, exec_time=exec_time))
+    return window
+
+
+def test_service_time_from_window_is_mean_exec():
+    window = window_with_execs([0.010, 0.020, 0.030])
+    assert service_time_from_window(window) == pytest.approx(0.020)
+
+
+def test_service_time_from_empty_window_none():
+    assert service_time_from_window(ServiceClassWindow()) is None
+
+
+def test_fit_recovers_true_service_time():
+    st_true, servers = 0.012, 5
+    samples = [LoadLatencySample(lam, mmc_sojourn(lam, st_true, servers))
+               for lam in (50.0, 150.0, 250.0, 350.0)]
+    fit = fit_mmc_service_time(samples, servers)
+    assert fit.service_time == pytest.approx(st_true, rel=0.02)
+    assert fit.residual < 1e-8
+
+
+def test_fit_with_noise_close_to_truth():
+    st_true, servers = 0.010, 4
+    noise = [1.03, 0.97, 1.05, 0.96, 1.02]
+    samples = [
+        LoadLatencySample(lam, mmc_sojourn(lam, st_true, servers) * eps)
+        for lam, eps in zip((40.0, 120.0, 200.0, 280.0, 360.0), noise)
+    ]
+    fit = fit_mmc_service_time(samples, servers)
+    assert fit.service_time == pytest.approx(st_true, rel=0.10)
+
+
+def test_fit_rejects_too_few_samples():
+    samples = [LoadLatencySample(10.0, 0.02)]
+    with pytest.raises(ValueError, match="at least"):
+        fit_mmc_service_time(samples, 2)
+
+
+def test_fit_rejects_invalid_servers():
+    with pytest.raises(ValueError):
+        fit_mmc_service_time([], 0)
+
+
+def test_sample_validation():
+    with pytest.raises(ValueError):
+        LoadLatencySample(-1.0, 0.5)
+
+
+def make_report(cluster, service_times, completions=10):
+    report = ClusterEpochReport(cluster=cluster, start_time=0.0, duration=5.0)
+    for (service, cls), st in service_times.items():
+        report.service_class[(service, cls)] = window_with_execs(
+            [st] * completions)
+    return report
+
+
+class TestProfileRegistry:
+    def test_first_observation_taken_directly(self):
+        registry = ProfileRegistry()
+        registry.ingest([make_report("west", {("A", "c"): 0.02})])
+        assert registry.service_time("A", "c") == pytest.approx(0.02)
+        assert registry.known("A", "c")
+
+    def test_unknown_pair_uses_default(self):
+        registry = ProfileRegistry(default_service_time=0.007)
+        assert registry.service_time("A", "c") == 0.007
+        assert not registry.known("A", "c")
+
+    def test_ewma_smoothing(self):
+        registry = ProfileRegistry(alpha=0.5)
+        registry.ingest([make_report("west", {("A", "c"): 0.02})])
+        registry.ingest([make_report("west", {("A", "c"): 0.04})])
+        assert registry.service_time("A", "c") == pytest.approx(0.03)
+
+    def test_cross_cluster_merge_weighted_by_completions(self):
+        registry = ProfileRegistry()
+        registry.ingest([
+            make_report("west", {("A", "c"): 0.010}, completions=90),
+            make_report("east", {("A", "c"): 0.030}, completions=10),
+        ])
+        assert registry.service_time("A", "c") == pytest.approx(0.012)
+
+    def test_exec_time_map(self):
+        registry = ProfileRegistry(default_service_time=0.005)
+        registry.ingest([make_report("west", {("A", "c"): 0.02})])
+        mapping = registry.exec_time_map("c", ["A", "B"])
+        assert mapping == {"A": pytest.approx(0.02), "B": 0.005}
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ProfileRegistry(alpha=0.0)
+        with pytest.raises(ValueError):
+            ProfileRegistry(alpha=1.5)
+
+    def test_len_counts_profiles(self):
+        registry = ProfileRegistry()
+        registry.ingest([make_report("west", {("A", "c"): 0.02,
+                                              ("B", "c"): 0.01})])
+        assert len(registry) == 2

@@ -1,0 +1,78 @@
+"""Tests for hedged requests (tail-cutting duplicates)."""
+
+import statistics
+
+import pytest
+
+from repro.sim import (DemandMatrix, DeploymentSpec, linear_chain_app,
+                       two_region_latency)
+from repro.sim.runner import MeshSimulation, TimeoutPolicy
+from repro.sim.topology import ClusterSpec
+
+
+def test_hedge_delay_validation():
+    with pytest.raises(ValueError, match="hedge_delay must be > 0"):
+        TimeoutPolicy(call_timeout=1.0, hedge_delay=0.0)
+    with pytest.raises(ValueError, match="precede"):
+        TimeoutPolicy(call_timeout=1.0, hedge_delay=1.5)
+
+
+def hot_west_sim(timeouts, seed=41):
+    """West S1 pool is undersized: queueing creates a heavy tail."""
+    app = linear_chain_app(n_services=1, exec_time=0.010)
+    deployment = DeploymentSpec(
+        clusters=[ClusterSpec("west", {"S1": 2}),    # 200 rps capacity
+                  ClusterSpec("east", {"S1": 10})],
+        latency=two_region_latency(10.0))
+    return MeshSimulation(app, deployment, seed=seed, timeouts=timeouts)
+
+
+def run(timeouts, seed=41):
+    sim = hot_west_sim(timeouts, seed=seed)
+    sim.run(DemandMatrix({("default", "west"): 180.0}), duration=30.0)
+    lats = sim.telemetry.latencies(after=5.0)
+    return sim, lats
+
+
+def test_no_hedging_below_delay():
+    sim, _ = run(TimeoutPolicy(call_timeout=10.0, hedge_delay=5.0))
+    # queueing at rho 0.9 on 2 replicas rarely exceeds 5 s
+    assert sim.hedged_calls == 0
+
+
+def test_hedging_fires_on_slow_calls():
+    sim, _ = run(TimeoutPolicy(call_timeout=5.0, hedge_delay=0.08))
+    assert sim.hedged_calls > 0
+    assert sim.telemetry.failed_requests == []
+
+
+def test_hedging_cuts_the_tail():
+    def p99(lats):
+        return sorted(lats)[int(0.99 * len(lats))]
+
+    # hedge at ~p70 of the local wait distribution: stragglers get a fresh
+    # start on the idle remote pool (20 ms RTT + 10 ms exec ~= 60 ms total,
+    # well under the 100 ms+ local tail)
+    _, plain = run(TimeoutPolicy(call_timeout=5.0))
+    _, hedged = run(TimeoutPolicy(call_timeout=5.0, hedge_delay=0.03))
+    assert p99(hedged) < p99(plain) * 0.85
+    # mean should not get worse either (hedges only fire on stragglers)
+    assert statistics.mean(hedged) <= statistics.mean(plain) * 1.05
+
+
+def test_first_response_wins_exactly_once():
+    sim, lats = run(TimeoutPolicy(call_timeout=5.0, hedge_delay=0.05))
+    generated = sum(r.ingress_counts.get("default", 0)
+                    for r in sim.harvest_reports())
+    assert len(sim.telemetry.requests) == generated
+
+
+def test_failed_hedge_branch_does_not_kill_primary():
+    # hedge goes to east; kill east S1 so the hedge branch is dropped and
+    # eventually the *primary* (west) answers
+    sim = hot_west_sim(TimeoutPolicy(call_timeout=5.0, hedge_delay=0.05))
+    sim.sim.schedule(3.0, sim.fail_service, "east", "S1")
+    sim.run(DemandMatrix({("default", "west"): 180.0}), duration=20.0)
+    # hedges to the dead cluster were dropped; primaries still completed
+    assert sim.telemetry.failed_requests == []
+    assert len(sim.telemetry.requests) > 3000

@@ -1,0 +1,182 @@
+"""Cross-feature interplay tests: the combinations users will actually run.
+
+Each feature works alone (its own test file proves it); these exercise the
+pairings with non-obvious interactions — caches under timeouts, affinity
+under retries, fan-out under failures, autoscaling under adaptive routing.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.controller.global_controller import (GlobalController,
+                                                     GlobalControllerConfig)
+from repro.mesh.routing_table import RouteKey
+from repro.sim import (AutoscalerConfig, DemandMatrix, DeploymentSpec,
+                       HorizontalAutoscaler, anomaly_detection_app,
+                       fanout_app, linear_chain_app, two_region_latency)
+from repro.sim.apps import AppSpec
+from repro.sim.cache import CacheSpec
+from repro.sim.runner import MeshSimulation, TimeoutPolicy
+from repro.sim.topology import ClusterSpec
+
+
+def cached_app(sticky=False, ttl=8.0):
+    base = anomaly_detection_app()
+    spec = dataclasses.replace(base.classes["default"], key_space=300,
+                               sticky_affinity=sticky)
+    return AppSpec(name=base.name, classes={"default": spec},
+                   caches={("MP", "DB"): CacheSpec("MP", "DB", ttl=ttl)})
+
+
+class TestCacheWithTimeouts:
+    def test_cache_hits_never_time_out(self):
+        """A hit skips the downstream call entirely — no deadline to hit."""
+        app = cached_app(ttl=60.0)
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=8,
+            latency=two_region_latency(25.0))
+        sim = MeshSimulation(app, deployment, seed=51,
+                             timeouts=TimeoutPolicy(call_timeout=0.5,
+                                                    max_attempts=1))
+        sim.run(DemandMatrix({("default", "west"): 200.0}), duration=10.0)
+        assert sim.edge_cache("MP", "DB", "west").stats.hits > 0
+        assert sim.telemetry.failed_requests == []
+
+    def test_timed_out_call_does_not_populate_cache(self):
+        """Only successful responses insert; timeouts must not."""
+        app = cached_app(ttl=60.0)
+        # DB exists only east: every DB call crosses 25 ms each way, but
+        # the deadline is shorter than the RTT — every DB call times out
+        deployment = DeploymentSpec(
+            clusters=[ClusterSpec("west", {"FR": 4, "MP": 8}),
+                      ClusterSpec("east", {"FR": 4, "MP": 8, "DB": 8})],
+            latency=two_region_latency(25.0))
+        sim = MeshSimulation(app, deployment, seed=52,
+                             timeouts=TimeoutPolicy(call_timeout=0.04,
+                                                    max_attempts=1))
+        sim.table.set_weights(RouteKey("MP", "default", "west"),
+                              {"west": 1.0})
+        sim.run(DemandMatrix({("default", "west"): 50.0}), duration=5.0)
+        cache = sim.edge_cache("MP", "DB", "west")
+        assert cache.stats.hits == 0
+        assert len(cache) == 0
+        assert len(sim.telemetry.failed_requests) > 0
+
+
+class TestAffinityWithRetries:
+    def test_affinity_key_respected_on_hedge_exclusion(self):
+        """After excluding the timed-out cluster the rendezvous choice
+        falls to the remaining candidate — never crashes, never loops."""
+        app = dataclasses.replace(
+            linear_chain_app(n_services=2).classes["default"],
+            key_space=100, sticky_affinity=True)
+        app = AppSpec(name="chain", classes={"default": app})
+        deployment = DeploymentSpec.uniform(
+            ["S1", "S2"], ["west", "east"], replicas=5,
+            latency=two_region_latency(25.0))
+        sim = MeshSimulation(app, deployment, seed=53,
+                             timeouts=TimeoutPolicy(call_timeout=0.3,
+                                                    max_attempts=2))
+        sim.table.set_weights(RouteKey("S2", "default", "west"),
+                              {"east": 1.0})
+        sim.sim.schedule(2.0, sim.fail_service, "east", "S2")
+        sim.run(DemandMatrix({("default", "west"): 150.0}), duration=8.0)
+        # retries rerouted the lost calls to west: no failures
+        assert sim.telemetry.failed_requests == []
+        assert sim.timed_out_calls > 0
+
+
+class TestParallelFanoutFailures:
+    def test_one_dead_branch_fails_the_fanout_without_deadlock(self):
+        app = fanout_app(width=3, exec_time=0.005, parallel=True)
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=8,
+            latency=two_region_latency(25.0))
+        sim = MeshSimulation(app, deployment, seed=54,
+                             timeouts=TimeoutPolicy(call_timeout=0.2,
+                                                    max_attempts=1))
+        # B2 calls from west go to east; kill east B2 so those calls drop
+        sim.table.set_weights(RouteKey("B2", "default", "west"),
+                              {"east": 1.0})
+        sim.sim.schedule(2.0, sim.fail_service, "east", "B2")
+        sim.run(DemandMatrix({("default", "west"): 100.0}), duration=6.0)
+        # requests settle exactly once: completions + failures = generated
+        generated = sum(r.ingress_counts.get("default", 0)
+                        for r in sim.harvest_reports())
+        settled = (len(sim.telemetry.requests)
+                   + len(sim.telemetry.failed_requests))
+        assert settled == generated
+        assert len(sim.telemetry.failed_requests) > 0
+
+
+class TestAutoscalerWithAdaptiveRouting:
+    def test_routing_and_scaling_together_stay_stable(self):
+        app = linear_chain_app(n_services=2, exec_time=0.010)
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=4,
+            latency=two_region_latency(25.0))
+        sim = MeshSimulation(app, deployment, seed=55)
+        controller = GlobalController(
+            app, deployment, GlobalControllerConfig(learn_profiles=False))
+        autoscalers = []
+        for cluster in sim.clusters.values():
+            autoscaler = HorizontalAutoscaler(
+                sim.sim, cluster,
+                AutoscalerConfig(target_utilization=0.6,
+                                 evaluation_period=5.0,
+                                 provisioning_delay=8.0,
+                                 min_replicas=4))
+            autoscaler.start()
+            autoscalers.append(autoscaler)
+
+        def on_epoch(reports, simulation):
+            controller.observe(reports)
+            result = controller.plan()
+            if result is not None:
+                result.rules().apply(simulation.table)
+
+        # the autoscaler loop reschedules itself forever; stop it inside
+        # simulated time so run()'s drain can complete
+        for autoscaler in autoscalers:
+            sim.sim.schedule(39.5, autoscaler.stop)
+        sim.run(DemandMatrix({("default", "west"): 500.0,
+                              ("default", "east"): 100.0}),
+                duration=40.0, epoch=4.0, on_epoch=on_epoch)
+        # routing offloaded, the autoscaler grew west, nothing failed
+        assert sim.clusters["west"].pool("S1").replicas > 4
+        tail = sim.telemetry.latencies(after=30.0)
+        assert sum(tail) / len(tail) < 0.2
+
+    def test_controller_sees_resized_capacity(self):
+        """After a scale-up the controller's next plan can keep more load
+        local — the §5 co-design loop closing."""
+        app = linear_chain_app(n_services=2, exec_time=0.010)
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=4,
+            latency=two_region_latency(25.0))
+        sim = MeshSimulation(app, deployment, seed=56)
+        controller = GlobalController(
+            app, deployment, GlobalControllerConfig(learn_profiles=False))
+        locals_seen = []
+
+        def on_epoch(reports, simulation):
+            controller.observe(reports)
+            result = controller.plan()
+            if result is not None:
+                result.rules().apply(simulation.table)
+                locals_seen.append(
+                    result.ingress_local_fraction("default", "west"))
+
+        def scale_up():
+            sim.clusters["west"].deploy("S1", 8)
+            sim.clusters["west"].deploy("S2", 8)
+            deployment.cluster("west").replicas["S1"] = 8
+            deployment.cluster("west").replicas["S2"] = 8
+
+        sim.sim.schedule(15.0, scale_up)
+        sim.run(DemandMatrix({("default", "west"): 500.0}),
+                duration=30.0, epoch=3.0, on_epoch=on_epoch)
+        # before the resize the plan offloads; afterwards it keeps all local
+        assert min(locals_seen[:4]) < 1.0
+        assert locals_seen[-1] == pytest.approx(1.0)

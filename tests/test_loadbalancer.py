@@ -1,0 +1,112 @@
+"""Tests for intra-cluster load balancers and the weighted selector."""
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.mesh.loadbalancer import (ConsistentHashBalancer,
+                                     LeastOutstandingBalancer,
+                                     RoundRobinBalancer,
+                                     WeightedRandomSelector)
+
+
+@dataclass
+class FakeEndpoint:
+    name: str
+    outstanding: int = 0
+
+
+def endpoints(n=3):
+    return [FakeEndpoint(f"e{i}") for i in range(n)]
+
+
+class TestRoundRobin:
+    def test_cycles_through_endpoints(self):
+        lb = RoundRobinBalancer()
+        eps = endpoints(3)
+        picks = [lb.pick(eps).name for _ in range(6)]
+        assert picks == ["e0", "e1", "e2", "e0", "e1", "e2"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinBalancer().pick([])
+
+
+class TestLeastOutstanding:
+    def test_picks_least_loaded(self):
+        eps = endpoints(3)
+        eps[0].outstanding = 5
+        eps[1].outstanding = 1
+        eps[2].outstanding = 3
+        assert LeastOutstandingBalancer().pick(eps).name == "e1"
+
+    def test_tie_breaks_by_position(self):
+        eps = endpoints(3)
+        assert LeastOutstandingBalancer().pick(eps).name == "e0"
+
+
+class TestConsistentHash:
+    def test_same_key_same_endpoint(self):
+        lb = ConsistentHashBalancer()
+        eps = endpoints(4)
+        assert lb.pick(eps, key="user-42") is lb.pick(eps, key="user-42")
+
+    def test_requires_key(self):
+        with pytest.raises(ValueError):
+            ConsistentHashBalancer().pick(endpoints(), key=None)
+
+    def test_removal_remaps_only_some_keys(self):
+        lb = ConsistentHashBalancer(vnodes=128)
+        eps = endpoints(5)
+        keys = [f"key-{i}" for i in range(200)]
+        before = {k: lb.pick(eps, key=k).name for k in keys}
+        survivors = eps[:-1]   # remove e4
+        after = {k: lb.pick(survivors, key=k).name for k in keys}
+        moved = sum(1 for k in keys
+                    if before[k] != after[k] and before[k] != "e4")
+        # keys not on the removed endpoint should overwhelmingly stay put
+        assert moved <= len(keys) * 0.05
+
+    def test_distribution_roughly_uniform(self):
+        lb = ConsistentHashBalancer(vnodes=256)
+        eps = endpoints(4)
+        counts = Counter(lb.pick(eps, key=f"k{i}").name for i in range(4000))
+        for name in ("e0", "e1", "e2", "e3"):
+            assert 600 <= counts[name] <= 1400
+
+
+class TestWeightedRandom:
+    def test_single_choice_short_circuit(self):
+        selector = WeightedRandomSelector(np.random.default_rng(0))
+        assert selector.pick({"only": 0.2}) == "only"
+
+    def test_empirical_split_matches_weights(self):
+        selector = WeightedRandomSelector(np.random.default_rng(1))
+        counts = Counter(selector.pick({"a": 0.7, "b": 0.3})
+                         for _ in range(10000))
+        assert counts["a"] / 10000 == pytest.approx(0.7, abs=0.02)
+
+    def test_unnormalised_weights_ok(self):
+        selector = WeightedRandomSelector(np.random.default_rng(2))
+        counts = Counter(selector.pick({"a": 7, "b": 3})
+                         for _ in range(10000))
+        assert counts["a"] / 10000 == pytest.approx(0.7, abs=0.02)
+
+    def test_empty_rejected(self):
+        selector = WeightedRandomSelector(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            selector.pick({})
+
+    def test_zero_total_rejected(self):
+        selector = WeightedRandomSelector(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            selector.pick({"a": 0.0})
+
+    def test_deterministic_given_seed(self):
+        picks1 = [WeightedRandomSelector(np.random.default_rng(7)).pick(
+            {"a": 1, "b": 1}) for _ in range(1)]
+        picks2 = [WeightedRandomSelector(np.random.default_rng(7)).pick(
+            {"a": 1, "b": 1}) for _ in range(1)]
+        assert picks1 == picks2

@@ -1,0 +1,119 @@
+"""Tests for the WAN model: delays, egress metering, pricing."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import (GB, EgressPricing, LatencyMatrix, WanNetwork)
+
+
+def simple_latency():
+    return LatencyMatrix.from_ms(["a", "b", "c"], {
+        ("a", "b"): 10.0, ("b", "c"): 20.0, ("a", "c"): 25.0,
+    })
+
+
+def test_one_way_symmetric():
+    lat = simple_latency()
+    assert lat.one_way("a", "b") == pytest.approx(0.010)
+    assert lat.one_way("b", "a") == pytest.approx(0.010)
+
+
+def test_rtt_is_twice_one_way():
+    lat = simple_latency()
+    assert lat.rtt("a", "c") == pytest.approx(0.050)
+
+
+def test_intra_cluster_delay_default():
+    lat = simple_latency()
+    assert lat.one_way("a", "a") == pytest.approx(0.00025)
+
+
+def test_missing_pair_rejected_at_construction():
+    with pytest.raises(ValueError, match="missing"):
+        LatencyMatrix.from_ms(["a", "b", "c"], {("a", "b"): 10.0})
+
+
+def test_unknown_cluster_lookup_raises():
+    lat = simple_latency()
+    with pytest.raises(KeyError):
+        lat.one_way("a", "zz")
+
+
+def test_duplicate_cluster_names_rejected():
+    with pytest.raises(ValueError):
+        LatencyMatrix.from_ms(["a", "a"], {})
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        LatencyMatrix(["a", "b"], {("a", "b"): -0.001})
+
+
+def test_pricing_default_and_pair_override():
+    pricing = EgressPricing(default_price_per_gb=0.02,
+                            pair_prices_per_gb={("a", "b"): 0.08})
+    assert pricing.per_gb("a", "b") == pytest.approx(0.08)
+    assert pricing.per_gb("b", "a") == pytest.approx(0.08)   # symmetric
+    assert pricing.per_gb("a", "c") == pytest.approx(0.02)
+
+
+def test_intra_cluster_traffic_is_free():
+    pricing = EgressPricing(default_price_per_gb=0.02)
+    assert pricing.per_byte("a", "a") == 0.0
+
+
+def test_transfer_delivers_after_one_way_delay():
+    sim = Simulator()
+    net = WanNetwork(sim, simple_latency())
+    arrivals = []
+    net.transfer("a", "b", 1000, lambda: arrivals.append(sim.now))
+    sim.run()
+    assert arrivals == [pytest.approx(0.010)]
+
+
+def test_cross_cluster_transfer_billed_to_source():
+    sim = Simulator()
+    net = WanNetwork(sim, simple_latency(),
+                     EgressPricing(default_price_per_gb=0.02))
+    net.transfer("a", "b", GB, lambda: None)
+    sim.run()
+    assert net.ledger.total_bytes == GB
+    assert net.ledger.total_cost == pytest.approx(0.02)
+    assert net.ledger.cost_by_src == {"a": pytest.approx(0.02)}
+
+
+def test_intra_cluster_transfer_not_metered():
+    sim = Simulator()
+    net = WanNetwork(sim, simple_latency())
+    net.transfer("a", "a", GB, lambda: None)
+    sim.run()
+    assert net.ledger.total_bytes == 0
+    assert net.ledger.total_cost == 0.0
+
+
+def test_ledger_accumulates_per_pair():
+    sim = Simulator()
+    net = WanNetwork(sim, simple_latency())
+    net.transfer("a", "b", 100, lambda: None)
+    net.transfer("a", "b", 200, lambda: None)
+    net.transfer("b", "a", 50, lambda: None)
+    sim.run()
+    assert net.ledger.bytes_by_pair[("a", "b")] == 300
+    assert net.ledger.bytes_by_pair[("b", "a")] == 50
+
+
+def test_ledger_reset():
+    sim = Simulator()
+    net = WanNetwork(sim, simple_latency())
+    net.transfer("a", "b", 100, lambda: None)
+    sim.run()
+    net.ledger.reset()
+    assert net.ledger.total_bytes == 0
+    assert net.ledger.bytes_by_pair == {}
+
+
+def test_negative_bytes_rejected():
+    sim = Simulator()
+    net = WanNetwork(sim, simple_latency())
+    with pytest.raises(ValueError):
+        net.transfer("a", "b", -1, lambda: None)

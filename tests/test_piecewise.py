@@ -1,0 +1,72 @@
+"""Tests for convex piecewise-linearization."""
+
+import pytest
+
+from repro.core.latency.mm1 import PoolDelayModel
+from repro.core.optimizer.piecewise import (Segment, evaluate,
+                                            linearize_convex)
+
+
+def test_exact_at_knots():
+    fn = lambda x: x * x
+    segments = linearize_convex(fn, 10.0, knot_fractions=(0, 0.5, 1.0))
+    for x in (0.0, 5.0, 10.0):
+        assert evaluate(segments, x) == pytest.approx(fn(x))
+
+
+def test_upper_approximation_between_knots():
+    fn = lambda x: x * x
+    segments = linearize_convex(fn, 10.0, knot_fractions=(0, 0.5, 1.0))
+    for x in (1.0, 3.0, 7.0, 9.0):
+        assert evaluate(segments, x) >= fn(x) - 1e-12
+
+
+def test_slopes_nondecreasing():
+    model = PoolDelayModel(5)
+    segments = linearize_convex(model.backlog, 4.75)
+    slopes = [s.slope for s in segments]
+    assert slopes == sorted(slopes)
+
+
+def test_linear_function_exact_everywhere():
+    fn = lambda x: 3.0 * x + 1.0
+    segments = linearize_convex(fn, 10.0)
+    for x in (0.0, 2.7, 10.0):
+        assert evaluate(segments, x) == pytest.approx(fn(x))
+
+
+def test_more_knots_tighter_approximation():
+    model = PoolDelayModel(5)
+    coarse = linearize_convex(model.backlog, 4.75,
+                              knot_fractions=(0, 0.5, 1.0))
+    fine = linearize_convex(model.backlog, 4.75)
+    x = 3.0
+    true = model.backlog(x)
+    assert abs(evaluate(fine, x) - true) <= abs(evaluate(coarse, x) - true)
+
+
+def test_infinite_value_rejected():
+    model = PoolDelayModel(5)
+    with pytest.raises(ValueError, match="finite"):
+        linearize_convex(model.backlog, 5.0)   # pole at capacity
+
+
+def test_invalid_domain_rejected():
+    with pytest.raises(ValueError):
+        linearize_convex(lambda x: x, 0.0)
+
+
+def test_knot_fraction_validation():
+    with pytest.raises(ValueError):
+        linearize_convex(lambda x: x, 1.0, knot_fractions=(0, 1.5))
+    with pytest.raises(ValueError):
+        linearize_convex(lambda x: x, 1.0, knot_fractions=(0.5,))
+
+
+def test_evaluate_empty_rejected():
+    with pytest.raises(ValueError):
+        evaluate([], 1.0)
+
+
+def test_segment_value():
+    assert Segment(slope=2.0, intercept=1.0).value(3.0) == 7.0

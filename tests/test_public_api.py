@@ -1,0 +1,56 @@
+"""Public API integrity: everything advertised is importable and coherent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = ["repro.sim", "repro.mesh", "repro.core", "repro.baselines",
+               "repro.analysis", "repro.experiments"]
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        assert getattr(module, name, None) is not None, (module_name, name)
+
+
+def test_lazy_sim_attributes():
+    import repro.sim
+    assert repro.sim.MeshSimulation is not None
+    assert repro.sim.TimeoutPolicy is not None
+    with pytest.raises(AttributeError):
+        repro.sim.NotAThing
+
+
+def test_version_is_a_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_entry_points_have_docstrings():
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        obj = getattr(repro, name)
+        if callable(obj):
+            assert obj.__doc__, f"{name} lacks a docstring"
+
+
+def test_import_order_independence():
+    """core <-> mesh <-> sim import in any entry order (no hidden cycles)."""
+    import subprocess
+    import sys
+    for first in ("repro.mesh", "repro.core", "repro.sim",
+                  "repro.experiments"):
+        outcome = subprocess.run(
+            [sys.executable, "-c", f"import {first}; import repro"],
+            capture_output=True, text=True)
+        assert outcome.returncode == 0, (first, outcome.stderr)

@@ -1,0 +1,92 @@
+"""Tests for Istio manifest rendering of routing rules."""
+
+import re
+
+import pytest
+
+from repro.core.controller.global_controller import GlobalController
+from repro.core.rules import RoutingRule, RuleSet
+from repro.mesh.render import (CLUSTER_LABEL, destination_rules,
+                               rules_to_virtualservices)
+from repro.sim import (DemandMatrix, DeploymentSpec, two_class_app,
+                       two_region_latency)
+
+
+@pytest.fixture
+def app():
+    return two_class_app()
+
+
+def sample_rules():
+    return RuleSet([
+        RoutingRule.make("S1", "H", "west", {"west": 0.6, "east": 0.4}),
+        RoutingRule.make("S1", "*", "west", {"west": 1.0}),
+        RoutingRule.make("S2", "L", "east", {"east": 1.0}),
+    ])
+
+
+def test_one_virtualservice_per_service(app):
+    yaml_text = rules_to_virtualservices(sample_rules(), app)
+    assert yaml_text.count("kind: VirtualService") == 2
+    assert "name: slate-s1" in yaml_text
+    assert "name: slate-s2" in yaml_text
+
+
+def test_weights_are_integer_percents_summing_to_100(app):
+    yaml_text = rules_to_virtualservices(sample_rules(), app)
+    weights = [int(w) for w in re.findall(r"weight: (\d+)", yaml_text)]
+    assert 60 in weights and 40 in weights
+    # the two single-destination routes render as 100
+    assert weights.count(100) == 2
+
+
+def test_rounding_drift_absorbed_by_largest(app):
+    rules = RuleSet([RoutingRule.make("S1", "H", "west",
+                                      {"a": 1 / 3, "b": 1 / 3, "c": 1 / 3})])
+    yaml_text = rules_to_virtualservices(rules, app)
+    weights = [int(w) for w in re.findall(r"weight: (\d+)", yaml_text)]
+    assert sum(weights) == 100
+    assert sorted(weights) == [33, 33, 34]
+
+
+def test_class_matches_carry_method_and_path(app):
+    yaml_text = rules_to_virtualservices(sample_rules(), app)
+    # class H matches POST /heavy (two_class_app's attributes)
+    assert "exact: POST" in yaml_text
+    assert "exact: /heavy" in yaml_text
+
+
+def test_wildcard_rule_has_no_method_match_and_comes_last(app):
+    yaml_text = rules_to_virtualservices(sample_rules(), app)
+    s1_doc = [d for d in yaml_text.split("---") if "slate-s1" in d][0]
+    class_pos = s1_doc.find("exact: POST")
+    # the wildcard route's source-only match appears after the class route
+    wildcard_pos = s1_doc.rfind(f"{CLUSTER_LABEL}: west")
+    assert 0 < class_pos < wildcard_pos
+
+
+def test_source_cluster_labels_present(app):
+    yaml_text = rules_to_virtualservices(sample_rules(), app)
+    assert f"{CLUSTER_LABEL}: west" in yaml_text
+    assert f"{CLUSTER_LABEL}: east" in yaml_text
+
+
+def test_destination_rules_declare_subsets(app):
+    yaml_text = destination_rules(sample_rules())
+    assert yaml_text.count("kind: DestinationRule") == 2
+    s1_doc = [d for d in yaml_text.split("---") if "slate-s1" in d][0]
+    assert "- name: east" in s1_doc and "- name: west" in s1_doc
+
+
+def test_round_trip_from_optimizer(app):
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=8,
+        latency=two_region_latency(25.0))
+    demand = DemandMatrix({("L", "west"): 450.0, ("H", "west"): 130.0,
+                           ("L", "east"): 100.0, ("H", "east"): 30.0})
+    result = GlobalController.oracle(app, deployment, demand)
+    yaml_text = rules_to_virtualservices(result.rules(), app)
+    assert "VirtualService" in yaml_text
+    # every routed service appears
+    for rule in result.rules():
+        assert f"slate-{rule.service.lower()}" in yaml_text

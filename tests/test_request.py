@@ -1,0 +1,77 @@
+"""Tests for the request/span/trace data model."""
+
+import pytest
+
+from repro.sim.request import (Request, RequestAttributes, Span, Trace,
+                               new_request_id)
+
+
+def test_request_ids_unique():
+    ids = {new_request_id() for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_attributes_header_lookup_case_insensitive():
+    attrs = RequestAttributes.make("S", headers={"X-User-Tier": "gold"})
+    assert attrs.header("x-user-tier") == "gold"
+    assert attrs.header("missing") is None
+    assert attrs.header("missing", "dflt") == "dflt"
+
+
+def test_attributes_hashable_and_equal():
+    a = RequestAttributes.make("S", "GET", "/x", {"k": "v"})
+    b = RequestAttributes.make("S", "GET", "/x", {"k": "v"})
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def make_request():
+    return Request(request_id=1,
+                   attributes=RequestAttributes.make("S1"),
+                   ingress_cluster="west", arrival_time=10.0)
+
+
+def test_latency_requires_completion():
+    request = make_request()
+    assert not request.done
+    with pytest.raises(ValueError):
+        _ = request.latency
+    request.completion_time = 10.25
+    assert request.done
+    assert request.latency == pytest.approx(0.25)
+
+
+def make_span(**kwargs):
+    defaults = dict(request_id=1, traffic_class="default", service="S1",
+                    cluster="west", caller_service=None,
+                    caller_cluster="west", enqueue_time=1.0, start_time=1.2,
+                    end_time=1.5, exec_time=0.1)
+    defaults.update(kwargs)
+    return Span(**defaults)
+
+
+def test_span_timing_properties():
+    span = make_span()
+    assert span.queue_wait == pytest.approx(0.2)
+    assert span.total_time == pytest.approx(0.5)
+
+
+def test_span_remote_detection():
+    assert not make_span().remote
+    assert make_span(caller_cluster="east").remote
+    assert not make_span(caller_cluster=None).remote
+
+
+def test_trace_rejects_foreign_span():
+    trace = Trace(request_id=1)
+    with pytest.raises(ValueError):
+        trace.add(make_span(request_id=2))
+
+
+def test_trace_queries():
+    trace = Trace(request_id=1)
+    trace.add(make_span(service="A"))
+    trace.add(make_span(service="B", caller_cluster="east"))
+    trace.add(make_span(service="B"))
+    assert len(trace.spans_for("B")) == 2
+    assert trace.cross_cluster_hops == 1

@@ -1,0 +1,100 @@
+"""Tests for routing tables and rule normalisation."""
+
+import pytest
+
+from repro.mesh.routing_table import WILDCARD_CLASS, RouteKey, RoutingTable
+
+
+def key(service="S1", cls="default", src="west"):
+    return RouteKey(service, cls, src)
+
+
+def test_weights_normalised_on_insert():
+    table = RoutingTable()
+    table.set_weights(key(), {"west": 6, "east": 3, "north": 1})
+    weights = table.weights_for("S1", "default", "west")
+    assert weights == pytest.approx({"west": 0.6, "east": 0.3, "north": 0.1})
+
+
+def test_zero_weight_destinations_dropped():
+    table = RoutingTable()
+    table.set_weights(key(), {"west": 1.0, "east": 0.0})
+    assert table.weights_for("S1", "default", "west") == {"west": 1.0}
+
+
+def test_missing_rule_returns_none():
+    table = RoutingTable()
+    assert table.weights_for("S1", "default", "west") is None
+
+
+def test_wildcard_fallback():
+    table = RoutingTable()
+    table.set_weights(key(cls=WILDCARD_CLASS), {"east": 1.0})
+    assert table.weights_for("S1", "anything", "west") == {"east": 1.0}
+
+
+def test_exact_class_takes_precedence_over_wildcard():
+    table = RoutingTable()
+    table.set_weights(key(cls=WILDCARD_CLASS), {"east": 1.0})
+    table.set_weights(key(cls="H"), {"west": 1.0})
+    assert table.weights_for("S1", "H", "west") == {"west": 1.0}
+    assert table.weights_for("S1", "L", "west") == {"east": 1.0}
+
+
+def test_empty_weights_rejected():
+    table = RoutingTable()
+    with pytest.raises(ValueError):
+        table.set_weights(key(), {})
+
+
+def test_negative_weight_rejected():
+    table = RoutingTable()
+    with pytest.raises(ValueError):
+        table.set_weights(key(), {"west": -0.5, "east": 1.5})
+
+
+def test_all_zero_weights_rejected():
+    table = RoutingTable()
+    with pytest.raises(ValueError):
+        table.set_weights(key(), {"west": 0.0})
+
+
+def test_nan_weight_rejected():
+    table = RoutingTable()
+    with pytest.raises(ValueError):
+        table.set_weights(key(), {"west": float("nan")})
+
+
+def test_replace_all_swaps_atomically():
+    table = RoutingTable()
+    table.set_weights(key(service="OLD"), {"west": 1.0})
+    table.replace_all({key(service="NEW"): {"east": 1.0}})
+    assert table.weights_for("OLD", "default", "west") is None
+    assert table.weights_for("NEW", "default", "west") == {"east": 1.0}
+    assert len(table) == 1
+
+
+def test_replace_all_validates_before_swapping():
+    table = RoutingTable()
+    table.set_weights(key(), {"west": 1.0})
+    with pytest.raises(ValueError):
+        table.replace_all({key(service="BAD"): {}})
+    # old rules intact after failed push
+    assert table.weights_for("S1", "default", "west") == {"west": 1.0}
+
+
+def test_version_bumps_on_changes():
+    table = RoutingTable()
+    v0 = table.version
+    table.set_weights(key(), {"west": 1.0})
+    table.replace_all({})
+    table.clear()
+    assert table.version == v0 + 3
+
+
+def test_rules_returns_copies():
+    table = RoutingTable()
+    table.set_weights(key(), {"west": 1.0})
+    snapshot = table.rules()
+    snapshot[key()]["west"] = 99.0
+    assert table.weights_for("S1", "default", "west") == {"west": 1.0}

@@ -1,0 +1,40 @@
+"""Tests for the §2 survey data module."""
+
+from repro.experiments.survey import (RESPONDENTS, SURVEY, SurveyStat,
+                                      survey_table)
+
+
+def test_headline_motivation_numbers_present():
+    by_topic = {stat.topic: stat.value for stat in SURVEY}
+    # the §2 numbers the paper leans on
+    assert by_topic["deploy multi-cluster services"] == "53%"
+    assert by_topic["use cross-cluster routing"] == "81%"
+    assert by_topic["would find cross-cluster optimization useful"] == "90%"
+    assert by_topic["directly optimize latency or cost"] == "0%"
+
+
+def test_respondent_counts():
+    assert RESPONDENTS == 31
+
+
+def test_usefulness_breakdown_sums_sanely():
+    # the per-reason percentages are "of respondents" and may overlap, but
+    # none can exceed the 90% headline
+    reasons = [stat for stat in SURVEY if stat.topic.startswith("...")]
+    assert len(reasons) == 4
+    for stat in reasons:
+        assert int(stat.value.rstrip("%")) <= 90
+
+
+def test_table_renders_every_stat():
+    text = survey_table()
+    for stat in SURVEY:
+        assert stat.topic in text
+    assert "n=31" in text
+
+
+def test_stats_are_immutable():
+    import dataclasses
+    import pytest
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        SURVEY[0].value = "99%"

@@ -1,0 +1,118 @@
+"""Tests for proxy/run telemetry accumulation."""
+
+import pytest
+
+from repro.mesh.telemetry import ProxyTelemetry, RunTelemetry
+from repro.sim.request import Request, RequestAttributes, Span
+
+
+def make_span(service="S1", cluster="west", cls="default",
+              enqueue=0.0, start=0.1, end=0.4, exec_time=0.2,
+              caller_cluster="west"):
+    return Span(request_id=1, traffic_class=cls, service=service,
+                cluster=cluster, caller_service=None,
+                caller_cluster=caller_cluster, enqueue_time=enqueue,
+                start_time=start, end_time=end, exec_time=exec_time)
+
+
+def make_request(cluster="west", arrival=0.0, completion=0.5):
+    request = Request(request_id=1,
+                      attributes=RequestAttributes.make("S1"),
+                      ingress_cluster=cluster, arrival_time=arrival,
+                      traffic_class="default")
+    request.completion_time = completion
+    return request
+
+
+def test_span_aggregation_per_service_class():
+    telemetry = ProxyTelemetry("west")
+    telemetry.record_span(make_span())
+    telemetry.record_span(make_span(end=0.6))
+    report = telemetry.harvest(10.0, pool_stats={})
+    window = report.service_class[("S1", "default")]
+    assert window.completions == 2
+    assert window.mean_latency == pytest.approx((0.4 + 0.6) / 2)
+    assert window.mean_exec == pytest.approx(0.2)
+    assert window.mean_queue_wait == pytest.approx(0.1)
+
+
+def test_remote_arrivals_counted():
+    telemetry = ProxyTelemetry("west")
+    telemetry.record_span(make_span(caller_cluster="east"))
+    telemetry.record_span(make_span(caller_cluster="west"))
+    report = telemetry.harvest(1.0, pool_stats={})
+    assert report.service_class[("S1", "default")].remote_arrivals == 1
+
+
+def test_wrong_cluster_span_rejected():
+    telemetry = ProxyTelemetry("west")
+    with pytest.raises(ValueError):
+        telemetry.record_span(make_span(cluster="east"))
+
+
+def test_ingress_counting_and_rps():
+    telemetry = ProxyTelemetry("west")
+    for _ in range(20):
+        telemetry.record_ingress(make_request())
+    report = telemetry.harvest(10.0, pool_stats={})
+    assert report.ingress_counts["default"] == 20
+    assert report.ingress_rps("default") == pytest.approx(2.0)
+    assert report.ingress_rps("other") == 0.0
+
+
+def test_harvest_resets_accumulators():
+    telemetry = ProxyTelemetry("west")
+    telemetry.record_span(make_span())
+    telemetry.record_ingress(make_request())
+    telemetry.harvest(5.0, pool_stats={})
+    report = telemetry.harvest(10.0, pool_stats={})
+    assert report.service_class == {}
+    assert report.ingress_counts == {}
+    assert report.start_time == 5.0
+    assert report.duration == 5.0
+
+
+def test_service_rps_from_report():
+    telemetry = ProxyTelemetry("west")
+    for _ in range(30):
+        telemetry.record_span(make_span())
+    report = telemetry.harvest(10.0, pool_stats={})
+    assert report.service_rps("S1", "default") == pytest.approx(3.0)
+    assert report.service_rps("S9", "default") == 0.0
+
+
+def test_completion_latencies_recorded():
+    telemetry = ProxyTelemetry("west")
+    telemetry.record_completion(make_request(completion=0.75))
+    report = telemetry.harvest(1.0, pool_stats={})
+    assert report.request_latencies == [pytest.approx(0.75)]
+
+
+def test_run_telemetry_warmup_filter():
+    run = RunTelemetry()
+    run.record_completion(make_request(arrival=1.0, completion=1.5))
+    run.record_completion(make_request(arrival=6.0, completion=6.2))
+    assert len(run.latencies()) == 2
+    assert run.latencies(after=5.0) == [pytest.approx(0.2)]
+
+
+def test_run_telemetry_by_class():
+    run = RunTelemetry()
+    fast = make_request()
+    fast.traffic_class = "L"
+    slow = make_request(completion=2.0)
+    slow.traffic_class = "H"
+    run.record_completion(fast)
+    run.record_completion(slow)
+    by_class = run.latencies_by_class()
+    assert set(by_class) == {"L", "H"}
+    assert by_class["H"] == [pytest.approx(2.0)]
+
+
+def test_run_telemetry_span_retention_flag():
+    keeping = RunTelemetry(keep_spans=True)
+    dropping = RunTelemetry(keep_spans=False)
+    keeping.record_span(make_span())
+    dropping.record_span(make_span())
+    assert len(keeping.spans) == 1
+    assert len(dropping.spans) == 0

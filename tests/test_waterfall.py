@@ -1,0 +1,212 @@
+"""Tests for the Waterfall baseline (Traffic Director / ServiceRouter)."""
+
+import pytest
+
+from repro.baselines.base import PolicyContext
+from repro.baselines.waterfall import (WaterfallConfig, WaterfallPolicy,
+                                       cascade_loads, waterfall_split)
+from repro.sim import (DemandMatrix, DeploymentSpec, linear_chain_app,
+                       two_class_app, gcp_four_region_latency,
+                       two_region_latency)
+from repro.sim.topology import ClusterSpec
+
+
+class TestSplit:
+    def proximity(self, clusters):
+        # alphabetic proximity stub: everything equidistant
+        return {src: [c for c in clusters] for src in clusters}
+
+    def test_under_capacity_all_local(self):
+        split = waterfall_split(
+            loads={"a": 100.0, "b": 50.0},
+            capacities={"a": 200.0, "b": 200.0},
+            deployed=["a", "b"],
+            proximity={"a": ["b", "a"], "b": ["a", "b"]})
+        assert split["a"] == {"a": 1.0}
+        assert split["b"] == {"b": 1.0}
+
+    def test_excess_spills_to_nearest_spare(self):
+        split = waterfall_split(
+            loads={"a": 300.0, "b": 50.0},
+            capacities={"a": 200.0, "b": 200.0},
+            deployed=["a", "b"],
+            proximity={"a": ["b"], "b": ["a"]})
+        assert split["a"]["a"] == pytest.approx(200 / 300)
+        assert split["a"]["b"] == pytest.approx(100 / 300)
+
+    def test_no_spare_overloads_locally(self):
+        split = waterfall_split(
+            loads={"a": 300.0, "b": 190.0},
+            capacities={"a": 200.0, "b": 200.0},
+            deployed=["a", "b"],
+            proximity={"a": ["b"], "b": ["a"]})
+        # only 10 rps of spare at b; the rest stays local despite overload
+        assert split["a"]["b"] == pytest.approx(10 / 300)
+        assert split["a"]["a"] == pytest.approx(290 / 300)
+
+    def test_undeployed_source_fails_over_entirely(self):
+        split = waterfall_split(
+            loads={"x": 100.0},
+            capacities={"a": 500.0, "b": 500.0},
+            deployed=["a", "b"],
+            proximity={"x": ["a", "b"]})
+        assert split["x"] == {"a": 1.0}
+
+    def test_undeployed_source_no_spare_dumps_nearest(self):
+        split = waterfall_split(
+            loads={"x": 100.0, "a": 600.0},
+            capacities={"a": 500.0},
+            deployed=["a"],
+            proximity={"x": ["a"], "a": []})
+        assert split["x"] == {"a": 1.0}
+
+    def test_uncoordinated_double_booking(self):
+        # two overloaded sources each see the same spare at c
+        split = waterfall_split(
+            loads={"a": 300.0, "b": 300.0, "c": 0.0},
+            capacities={"a": 200.0, "b": 200.0, "c": 150.0},
+            deployed=["a", "b", "c"],
+            proximity={"a": ["c", "b"], "b": ["c", "a"], "c": []},
+            coordinated=False)
+        # both dump their full 100 excess on c: 200 total into 150 spare
+        assert split["a"]["c"] == pytest.approx(100 / 300)
+        assert split["b"]["c"] == pytest.approx(100 / 300)
+
+    def test_coordinated_respects_shared_spare(self):
+        split = waterfall_split(
+            loads={"a": 300.0, "b": 300.0, "c": 0.0},
+            capacities={"a": 200.0, "b": 200.0, "c": 150.0},
+            deployed=["a", "b", "c"],
+            proximity={"a": ["c", "b"], "b": ["c", "a"], "c": []},
+            coordinated=True)
+        sent_to_c = (split["a"].get("c", 0) * 300
+                     + split["b"].get("c", 0) * 300)
+        assert sent_to_c == pytest.approx(150.0)
+
+    def test_empty_deployment_rejected(self):
+        with pytest.raises(ValueError):
+            waterfall_split({}, {}, [], {})
+
+
+class TestConfig:
+    def test_capacity_from_deployment(self):
+        app = linear_chain_app(exec_time=0.010)
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=5,
+            latency=two_region_latency(25.0))
+        config = WaterfallConfig.from_deployment(app, deployment,
+                                                 threshold_rho=0.8)
+        # 0.8 * 5 replicas / 10ms = 400 rps
+        assert config.capacity("S1", "west") == pytest.approx(400.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            WaterfallConfig({("S", "west"): -1.0})
+
+    def test_threshold_validation(self):
+        app = linear_chain_app()
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=5,
+            latency=two_region_latency(25.0))
+        with pytest.raises(ValueError):
+            WaterfallConfig.from_deployment(app, deployment, threshold_rho=0)
+
+
+class TestCascade:
+    def test_chain_load_propagates(self):
+        app = linear_chain_app(n_services=3, exec_time=0.010)
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=5,
+            latency=two_region_latency(25.0))
+        demand = DemandMatrix({("default", "west"): 300.0})
+        config = WaterfallConfig.from_deployment(app, deployment, 0.8)
+        split, offered = cascade_loads(app, deployment, demand, config)
+        # all under threshold: everything local and each service sees 300
+        for service in ("S1", "S2", "S3"):
+            assert offered[service]["west"] == pytest.approx(300.0)
+            assert split[service]["west"] == {"west": 1.0}
+
+    def test_spill_at_parent_moves_child_origin(self):
+        app = linear_chain_app(n_services=2, exec_time=0.010)
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=5,
+            latency=two_region_latency(25.0))
+        demand = DemandMatrix({("default", "west"): 500.0})
+        config = WaterfallConfig.from_deployment(app, deployment, 0.8)
+        split, offered = cascade_loads(app, deployment, demand, config)
+        # S1 spills 100 east; S2 calls then originate 400 west, 100 east
+        assert offered["S2"]["west"] == pytest.approx(400.0)
+        assert offered["S2"]["east"] == pytest.approx(100.0)
+
+    def test_missing_service_fails_over(self):
+        app = linear_chain_app(n_services=2, exec_time=0.010)
+        deployment = DeploymentSpec(
+            clusters=[ClusterSpec("west", {"S1": 5}),
+                      ClusterSpec("east", {"S1": 5, "S2": 5})],
+            latency=two_region_latency(25.0))
+        demand = DemandMatrix({("default", "west"): 100.0})
+        config = WaterfallConfig.from_deployment(app, deployment, 0.8)
+        split, _ = cascade_loads(app, deployment, demand, config)
+        assert split["S2"]["west"] == {"east": 1.0}
+
+    def test_class_blind_same_split_for_all_classes(self):
+        app = two_class_app()
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=8,
+            latency=two_region_latency(25.0))
+        demand = DemandMatrix({("L", "west"): 400.0, ("H", "west"): 150.0})
+        config = WaterfallConfig.from_deployment(app, deployment, 0.8)
+        policy = WaterfallPolicy(config)
+        ctx = PolicyContext(app, deployment, demand)
+        rules = policy.compute_rules(ctx)
+        rule = rules.rule_for("S1", "*", "west")
+        assert rule is not None   # one wildcard rule, not per-class rules
+        assert rules.rule_for("S1", "L", "west") is None
+
+    def test_gcp_greedy_dogpiles_ut(self):
+        # the §4.2 pathology: OR and IOW both spill to UT, nothing to SC
+        app = linear_chain_app(n_services=3, exec_time=0.010)
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["OR", "UT", "IOW", "SC"], replicas=5,
+            latency=gcp_four_region_latency())
+        demand = DemandMatrix({("default", "OR"): 590.0,
+                               ("default", "IOW"): 590.0,
+                               ("default", "UT"): 100.0,
+                               ("default", "SC"): 100.0})
+        config = WaterfallConfig.from_deployment(app, deployment, 0.8)
+        split, _ = cascade_loads(app, deployment, demand, config,
+                                 coordinated=False)
+        for src in ("OR", "IOW"):
+            assert split["S1"][src].get("UT", 0) > 0
+            assert split["S1"][src].get("SC", 0) == 0
+
+
+class TestPolicy:
+    def test_adaptive_recomputes_from_reports(self):
+        from repro.mesh.telemetry import ClusterEpochReport
+        app = linear_chain_app(exec_time=0.010)
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=5,
+            latency=two_region_latency(25.0))
+        config = WaterfallConfig.from_deployment(app, deployment, 0.8)
+        policy = WaterfallPolicy(config, adaptive=True)
+        ctx = PolicyContext(app, deployment,
+                            DemandMatrix({("default", "west"): 100.0}))
+        report = ClusterEpochReport(cluster="west", start_time=0.0,
+                                    duration=5.0,
+                                    ingress_counts={"default": 2500})
+        rules = policy.on_epoch([report], ctx)
+        # observed 500 rps > 400 threshold: the refreshed rules spill
+        assert rules is not None
+        assert rules.rule_for("S1", "*", "west").weight_map().get(
+            "east", 0) > 0
+
+    def test_static_policy_ignores_epochs(self):
+        app = linear_chain_app()
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=5,
+            latency=two_region_latency(25.0))
+        config = WaterfallConfig.from_deployment(app, deployment, 0.8)
+        policy = WaterfallPolicy(config, adaptive=False)
+        ctx = PolicyContext(app, deployment, DemandMatrix())
+        assert policy.on_epoch([], ctx) is None

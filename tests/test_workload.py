@@ -1,0 +1,126 @@
+"""Tests for demand matrices and arrival processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.request import RequestAttributes
+from repro.sim.rng import RngRegistry
+from repro.sim.workload import (DemandMatrix, RateProfile, RateSegment,
+                                TrafficSource)
+
+
+class TestDemandMatrix:
+    def test_set_and_get(self):
+        demand = DemandMatrix()
+        demand.set("default", "west", 100.0)
+        assert demand.rps("default", "west") == 100.0
+        assert demand.rps("default", "east") == 0.0
+
+    def test_zero_clears_entry(self):
+        demand = DemandMatrix({("a", "west"): 5.0})
+        demand.set("a", "west", 0.0)
+        assert demand.items() == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DemandMatrix({("a", "west"): -1.0})
+
+    def test_totals(self):
+        demand = DemandMatrix({("a", "west"): 100.0, ("b", "west"): 50.0,
+                               ("a", "east"): 25.0})
+        assert demand.total_rps() == 175.0
+        assert demand.cluster_rps("west") == 150.0
+        assert demand.classes() == ["a", "b"]
+        assert demand.clusters() == ["east", "west"]
+
+    def test_scaled(self):
+        demand = DemandMatrix({("a", "west"): 100.0})
+        assert demand.scaled(0.5).rps("a", "west") == 50.0
+        with pytest.raises(ValueError):
+            demand.scaled(-1)
+
+    def test_items_deterministic_order(self):
+        demand = DemandMatrix({("b", "west"): 1.0, ("a", "east"): 2.0})
+        assert demand.items() == [("a", "east", 2.0), ("b", "west", 1.0)]
+
+
+class TestRateProfile:
+    def test_constant(self):
+        profile = RateProfile.constant(10.0, 5.0)
+        assert profile.end == 5.0
+        assert profile.segment_at(2.0).rps == 10.0
+        assert profile.segment_at(5.0) is None
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            RateProfile([RateSegment(0, 2, 1.0), RateSegment(1, 3, 1.0)])
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError):
+            RateSegment(1.0, 1.0, 5.0)
+
+    def test_gap_yields_zero_rate_filler(self):
+        profile = RateProfile([RateSegment(0, 1, 5.0), RateSegment(2, 3, 5.0)])
+        filler = profile.segment_at(1.5)
+        assert filler.rps == 0.0
+        assert filler.end == 2.0
+
+
+def run_source(profile, deterministic, seed=0):
+    sim = Simulator()
+    accepted = []
+    source = TrafficSource(
+        sim=sim, profile=profile,
+        attributes=RequestAttributes.make("S1"),
+        ingress_cluster="west", accept=accepted.append,
+        rng=RngRegistry(seed).stream("arrivals"),
+        deterministic=deterministic)
+    source.start()
+    sim.run()
+    return accepted
+
+
+def test_deterministic_source_exact_count():
+    requests = run_source(RateProfile.constant(10.0, 2.0),
+                          deterministic=True)
+    # interarrival 0.1s over [0, 2): arrivals at 0.1 .. 1.9 = 19 requests
+    assert len(requests) == 19
+    assert requests[0].arrival_time == pytest.approx(0.1)
+
+
+def test_poisson_source_rate_approximately_right():
+    requests = run_source(RateProfile.constant(200.0, 30.0),
+                          deterministic=False)
+    assert len(requests) == pytest.approx(6000, rel=0.10)
+
+
+def test_poisson_reproducible_by_seed():
+    a = run_source(RateProfile.constant(50.0, 5.0), False, seed=3)
+    b = run_source(RateProfile.constant(50.0, 5.0), False, seed=3)
+    assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+
+
+def test_arrivals_stop_at_profile_end():
+    requests = run_source(RateProfile.constant(100.0, 1.0), True)
+    assert all(r.arrival_time < 1.0 for r in requests)
+
+
+def test_rate_change_mid_run():
+    profile = RateProfile([RateSegment(0, 1, 100.0), RateSegment(1, 2, 10.0)])
+    requests = run_source(profile, deterministic=True)
+    first = sum(1 for r in requests if r.arrival_time < 1.0)
+    second = sum(1 for r in requests if r.arrival_time >= 1.0)
+    assert first == pytest.approx(99, abs=2)
+    assert second == pytest.approx(10, abs=2)
+
+
+def test_zero_rate_segment_produces_nothing():
+    profile = RateProfile([RateSegment(0, 1, 0.0), RateSegment(1, 2, 10.0)])
+    requests = run_source(profile, deterministic=True)
+    assert all(r.arrival_time >= 1.0 for r in requests)
+
+
+def test_request_attributes_stamped():
+    requests = run_source(RateProfile.constant(10.0, 1.0), True)
+    assert all(r.attributes.service == "S1" for r in requests)
+    assert all(r.ingress_cluster == "west" for r in requests)
