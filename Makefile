@@ -1,13 +1,20 @@
 # SLATE reproduction — convenience targets
 PYTHON ?= python3
 
-.PHONY: install test bench examples figures clean
+.PHONY: install test lint check bench examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src tests benchmarks examples
+
+# lint + tier-1 tests with runtime invariant checks enabled
+check: lint
+	REPRO_DEBUG_INVARIANTS=1 PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

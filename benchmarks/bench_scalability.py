@@ -131,8 +131,8 @@ def test_contraction_speedup(benchmark, report_sink):
         clusters = [
             ClusterSpec(cluster, {
                 service: problem.replica_count(service, cluster)
-                for service in {s for w in problem.workloads.values()
-                                for s in w.spec.services()}
+                for service in sorted({s for w in problem.workloads.values()
+                                       for s in w.spec.services()})
             }) for cluster in problem.clusters
         ]
         deployment = DeploymentSpec(clusters, problem.latency,

@@ -17,6 +17,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+__all__ = ["APPS", "FIGURES", "build_parser", "cmd_figure", "cmd_list",
+           "cmd_solve", "cmd_survey", "main"]
+
 from .analysis.report import format_cdf_series, format_comparison, format_table
 from .core.controller.global_controller import GlobalController
 from .experiments.harness import compare_policies

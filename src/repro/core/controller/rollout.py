@@ -81,7 +81,10 @@ class IncrementalRollout:
                 # rollback actually overwrites what the proxies hold
                 restored = {
                     key: self._previous.get(key, {key.src_cluster: 1.0})
-                    for key in set(self._current) | set(self._previous)
+                    for key in sorted(
+                        set(self._current) | set(self._previous),
+                        key=lambda k: (k.service, k.traffic_class,
+                                       k.src_cluster))
                 }
                 self._current = restored
                 self._previous = None

@@ -33,7 +33,8 @@ from ..latency.mm1 import PoolDelayModel
 from .piecewise import DEFAULT_KNOT_FRACTIONS, Segment, linearize_convex
 from .problem import TEProblem
 
-__all__ = ["EdgeRef", "RouteVar", "LinearModel", "build_model"]
+__all__ = ["EdgeRef", "RouteVar", "LinearModel", "build_model",
+           "class_edges"]
 
 INGRESS_EDGE = -1   # edge index of the user → root pseudo-edge
 

@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-__all__ = ["Segment", "linearize_convex", "DEFAULT_KNOT_FRACTIONS"]
+__all__ = ["Segment", "evaluate", "linearize_convex",
+           "DEFAULT_KNOT_FRACTIONS"]
 
 #: Fractions of the usable load range where chords are anchored.
 DEFAULT_KNOT_FRACTIONS = (0.0, 0.3, 0.5, 0.65, 0.75, 0.82, 0.88, 0.92,

@@ -1,0 +1,38 @@
+"""Developer tooling: determinism lint + runtime invariant checks.
+
+Two layers guard the reproducibility discipline the simulator's results
+rest on (a run must be exactly reproducible from its seed, and every
+routing decision must obey the optimizer's conservation constraints):
+
+* :mod:`repro.devtools.lint` — an AST-based static analysis pass
+  (``python -m repro.devtools.lint src tests``) with codebase-specific
+  rules: all randomness through :class:`~repro.sim.rng.RngRegistry`, no
+  wall-clock reads in simulated code, no iteration over unordered sets in
+  decision paths, and so on. See :mod:`repro.devtools.rules` and
+  ``docs/devtools.md``.
+* :mod:`repro.devtools.invariants` — runtime checks the engine, pools,
+  gateways, and runner perform when ``REPRO_DEBUG_INVARIANTS=1``:
+  event-time monotonicity, request conservation, routing rows summing
+  to one, non-negative queue depths.
+"""
+
+from __future__ import annotations
+
+from .config import LintConfig
+from .findings import Finding, Severity
+from .invariants import (INVARIANTS_ENV, InvariantViolation,
+                         invariants_enabled)
+from .rules import ALL_RULES, Rule
+
+__all__ = ["ALL_RULES", "Finding", "INVARIANTS_ENV", "InvariantViolation",
+           "LintConfig", "Linter", "Rule", "Severity", "invariants_enabled",
+           "lint_paths"]
+
+
+def __getattr__(name: str):
+    # the lint runner is loaded lazily so `python -m repro.devtools.lint`
+    # does not find the module pre-imported in sys.modules (runpy warning)
+    if name in ("Linter", "lint_paths"):
+        from . import lint
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

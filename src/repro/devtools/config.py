@@ -1,0 +1,54 @@
+"""Lint configuration: per-rule severity overrides and rule selection.
+
+Defaults treat every rule as an error (the determinism invariants are
+load-bearing, not stylistic). A JSON config file can downgrade or disable
+rules::
+
+    {"severities": {"D04": "warning", "D06": "off"}}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Severity
+
+__all__ = ["LintConfig"]
+
+
+@dataclass
+class LintConfig:
+    """Runtime knobs for one lint invocation."""
+
+    #: rule id → severity override; unlisted rules use their default
+    severities: dict[str, Severity] = field(default_factory=dict)
+    #: when set, only these rule ids run (``--select D01,D03``)
+    select: frozenset[str] | None = None
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "LintConfig":
+        """Load severity overrides from a JSON file."""
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict):
+            raise ValueError(f"{path}: config root must be an object")
+        severities: dict[str, Severity] = {}
+        for rule, level in raw.get("severities", {}).items():
+            try:
+                severities[rule] = Severity(level)
+            except ValueError:
+                choices = ", ".join(s.value for s in Severity)
+                raise ValueError(
+                    f"{path}: invalid severity {level!r} for {rule} "
+                    f"(choose from {choices})") from None
+        return cls(severities=severities)
+
+    def severity_for(self, rule_id: str, default: Severity) -> Severity:
+        return self.severities.get(rule_id, default)
+
+    def runs(self, rule_id: str) -> bool:
+        """Whether a rule participates in this invocation at all."""
+        if self.select is not None and rule_id not in self.select:
+            return False
+        return self.severity_for(rule_id, Severity.ERROR) is not Severity.OFF

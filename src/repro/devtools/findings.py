@@ -1,0 +1,84 @@
+"""Lint findings and per-line suppressions.
+
+A :class:`Finding` is one rule violation at one source location. Findings
+can be silenced in the source with a trailing comment::
+
+    t = time.perf_counter()   # lint: ignore[D02]
+
+Multiple rules separate with commas (``# lint: ignore[D01,D02]``); a bare
+``# lint: ignore`` silences every rule on that line. Suppressions are
+parsed per physical line, so a violation is silenced only by a marker on
+its own line.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+__all__ = ["Finding", "Severity", "Suppressions"]
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9,\s]*)\])?")
+
+#: Sentinel stored for a blanket ``# lint: ignore`` (no rule list).
+_ALL_RULES = "*"
+
+
+class Severity(enum.Enum):
+    """How a finding is treated by the CLI exit code."""
+
+    ERROR = "error"       # fails the lint run
+    WARNING = "warning"   # reported, does not fail the run
+    OFF = "off"           # rule disabled entirely
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "severity": str(self.severity),
+                "message": self.message}
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+
+class Suppressions:
+    """Per-line ``# lint: ignore[...]`` markers for one file."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _IGNORE_RE.search(text)
+            if match is None:
+                continue
+            rules = match.group(1)
+            if rules is None:
+                self._by_line[lineno] = {_ALL_RULES}
+            else:
+                ids = {r.strip() for r in rules.split(",") if r.strip()}
+                self._by_line[lineno] = ids or {_ALL_RULES}
+
+    def silences(self, line: int, rule: str) -> bool:
+        """True when ``rule`` is suppressed on ``line``."""
+        ids = self._by_line.get(line)
+        if ids is None:
+            return False
+        return _ALL_RULES in ids or rule in ids
+
+    def __len__(self) -> int:
+        return len(self._by_line)

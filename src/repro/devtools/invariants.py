@@ -1,0 +1,116 @@
+"""Runtime invariant checks for the simulator and control plane.
+
+Enabled by setting ``REPRO_DEBUG_INVARIANTS=1`` in the environment; all
+checks are no-ops otherwise, so production runs pay nothing. The engine,
+replica pools, gateways, and :class:`~repro.sim.runner.MeshSimulation`
+call in at the natural checkpoints:
+
+* **event-time monotonicity** — the heap loop never executes an event
+  before the current virtual time;
+* **request conservation** — at quiesce, every admitted request is
+  accounted for: ``admitted == completed + failed + in_flight`` per
+  gateway, with ``in_flight >= 0``;
+* **routing-matrix stochasticity** — every installed rule's weights are
+  non-negative and sum to 1 ± 1e-9 per (service, class, source cluster);
+* **non-negative queue depths** — a pool never records negative busy
+  replicas or queue length.
+
+Violations raise :class:`InvariantViolation` with a message naming the
+offending stream/service/cluster so the report is actionable.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+__all__ = ["INVARIANTS_ENV", "InvariantViolation", "ROW_SUM_TOLERANCE",
+           "check_event_monotonic", "check_pool_depths",
+           "check_request_conservation", "check_routing_table",
+           "invariants_enabled"]
+
+INVARIANTS_ENV = "REPRO_DEBUG_INVARIANTS"
+
+#: allowed deviation of a routing row's weight sum from 1.0
+ROW_SUM_TOLERANCE = 1e-9
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+class InvariantViolation(AssertionError):
+    """A debug-mode invariant failed; the message names the culprit."""
+
+
+def invariants_enabled() -> bool:
+    """Whether ``REPRO_DEBUG_INVARIANTS`` is set to a truthy value."""
+    return os.environ.get(INVARIANTS_ENV, "").strip().lower() in _TRUTHY
+
+
+def check_event_monotonic(now: float, event_time: float,
+                          callback: object) -> None:
+    """The next event must not precede the current virtual time."""
+    if event_time < now:
+        name = getattr(callback, "__qualname__", repr(callback))
+        raise InvariantViolation(
+            f"event-time monotonicity violated: event {name!r} scheduled "
+            f"at t={event_time!r} popped while now={now!r}")
+
+
+def check_routing_table(table) -> None:
+    """Every installed rule must be a proper probability row.
+
+    ``table`` is a :class:`~repro.mesh.routing_table.RoutingTable`; its
+    ``rules()`` accessor returns (key → cluster → weight) mappings.
+    """
+    for key, weights in table.rules().items():
+        if not weights:
+            raise InvariantViolation(
+                f"routing rule for service={key.service!r} "
+                f"class={key.traffic_class!r} src={key.src_cluster!r} "
+                f"has an empty weight row")
+        for cluster, weight in weights.items():
+            if not math.isfinite(weight) or weight < 0:
+                raise InvariantViolation(
+                    f"routing rule for service={key.service!r} "
+                    f"class={key.traffic_class!r} src={key.src_cluster!r} "
+                    f"has invalid weight {weight!r} for cluster "
+                    f"{cluster!r}")
+        total = sum(weights.values())
+        if abs(total - 1.0) > ROW_SUM_TOLERANCE:
+            raise InvariantViolation(
+                f"routing rule for service={key.service!r} "
+                f"class={key.traffic_class!r} src={key.src_cluster!r} "
+                f"sums to {total!r}, expected 1 ± {ROW_SUM_TOLERANCE}")
+
+
+def check_request_conservation(gateways) -> None:
+    """At quiesce, each gateway's admissions must be fully accounted for.
+
+    ``gateways`` maps cluster name → :class:`IngressGateway`; gateways
+    keep always-on admission/completion/failure counters.
+    """
+    for cluster, gateway in sorted(gateways.items()):
+        admitted = gateway.admitted_count
+        completed = gateway.completed_count
+        failed = gateway.failed_count
+        in_flight = admitted - completed - failed
+        if in_flight < 0:
+            raise InvariantViolation(
+                f"request conservation violated at cluster {cluster!r}: "
+                f"admitted={admitted} < completed={completed} + "
+                f"failed={failed} (a request settled twice?)")
+        if gateway.open_requests != in_flight:
+            raise InvariantViolation(
+                f"request conservation violated at cluster {cluster!r}: "
+                f"admitted={admitted}, completed={completed}, "
+                f"failed={failed} imply {in_flight} in flight, but "
+                f"{gateway.open_requests} are tracked open")
+
+
+def check_pool_depths(pool) -> None:
+    """A replica pool must never report negative occupancy."""
+    if pool.busy_replicas < 0 or pool.queue_length < 0:
+        raise InvariantViolation(
+            f"negative queue depth at service={pool.service!r} "
+            f"cluster={pool.cluster!r}: busy={pool.busy_replicas}, "
+            f"queued={pool.queue_length}")

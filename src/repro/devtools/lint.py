@@ -1,0 +1,180 @@
+"""AST lint runner and CLI.
+
+Run over the tree with::
+
+    python -m repro.devtools.lint src tests
+
+Human-readable output by default, ``--format json`` for machines; exits
+nonzero when any error-severity finding survives suppression. See
+``docs/devtools.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .config import LintConfig
+from .findings import Finding, Severity, Suppressions
+from .rules import ALL_RULES, ModuleSource, Rule
+
+__all__ = ["Linter", "build_parser", "lint_paths", "main"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache",
+                        ".hypothesis", "build", "dist"})
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterable[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+
+
+class Linter:
+    """Applies the rule set to files, honouring config and suppressions."""
+
+    def __init__(self, config: LintConfig | None = None,
+                 rules: Sequence[type[Rule]] = ALL_RULES) -> None:
+        self.config = config or LintConfig()
+        self.rules: list[Rule] = [cls() for cls in rules
+                                  if self.config.runs(cls.rule_id)]
+        #: files that failed to parse: (path, message)
+        self.parse_errors: list[tuple[str, str]] = []
+
+    def lint_source(self, source: str, path: str) -> list[Finding]:
+        """Lint one in-memory module (fixtures, tests)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.parse_errors.append((path, str(exc)))
+            return []
+        module = ModuleSource(path=path, tree=tree, source=source)
+        suppressions = Suppressions(source)
+        findings: dict[Finding, None] = {}
+        for rule in self.rules:
+            if not rule.applies_to(module):
+                continue
+            severity = self.config.severity_for(rule.rule_id,
+                                                rule.default_severity)
+            for found in rule.check(module):
+                if suppressions.silences(found.line, found.rule):
+                    continue
+                if severity is not found.severity:
+                    found = Finding(found.path, found.line, found.col,
+                                    found.rule, severity, found.message)
+                findings[found] = None
+        return sorted(findings, key=lambda f: (f.path, f.line, f.col,
+                                               f.rule, f.message))
+
+    def lint_file(self, path: str | Path) -> list[Finding]:
+        text = Path(path).read_text(encoding="utf-8")
+        return self.lint_source(text, str(path))
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        findings: list[Finding] = []
+        for path in _iter_python_files(paths):
+            findings.extend(self.lint_file(path))
+        return findings
+
+
+def lint_paths(paths: Iterable[str | Path],
+               config: LintConfig | None = None) -> list[Finding]:
+    """Convenience wrapper: lint files/directories with a fresh linter."""
+    return Linter(config).lint_paths(paths)
+
+
+def _render_text(findings: list[Finding],
+                 parse_errors: list[tuple[str, str]]) -> str:
+    lines = [f.render() for f in findings]
+    lines.extend(f"{path}: parse error: {message}"
+                 for path, message in parse_errors)
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    if findings or parse_errors:
+        lines.append(f"{errors} error(s), {warnings} warning(s), "
+                     f"{len(parse_errors)} unparseable file(s)")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def _render_json(findings: list[Finding],
+                 parse_errors: list[tuple[str, str]]) -> str:
+    return json.dumps({
+        "findings": [f.as_dict() for f in findings],
+        "parse_errors": [{"path": p, "message": m}
+                         for p, m in parse_errors],
+        "error_count": sum(1 for f in findings
+                           if f.severity is Severity.ERROR),
+        "warning_count": sum(1 for f in findings
+                             if f.severity is Severity.WARNING),
+    }, indent=2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Determinism & invariant lint for the SLATE repo.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--config", metavar="FILE",
+                        help="JSON file with per-rule severity overrides")
+    parser.add_argument("--select", metavar="IDS",
+                        help="comma-separated rule ids to run (e.g. D01,D03)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.rule_id}  {cls.summary}")
+        return 0
+    try:
+        config = (LintConfig.from_file(args.config) if args.config
+                  else LintConfig())
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.select:
+        config.select = frozenset(s.strip() for s in args.select.split(",")
+                                  if s.strip())
+        known = {cls.rule_id for cls in ALL_RULES}
+        unknown = sorted(config.select - known)
+        if unknown:
+            print(f"error: unknown rule id(s) in --select: "
+                  f"{', '.join(unknown)} (see --list-rules)",
+                  file=sys.stderr)
+            return 2
+    linter = Linter(config)
+    try:
+        findings = linter.lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(_render_json(findings, linter.parse_errors))
+    else:
+        print(_render_text(findings, linter.parse_errors))
+    failed = (linter.parse_errors
+              or any(f.severity is Severity.ERROR for f in findings))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

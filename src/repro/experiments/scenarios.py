@@ -25,7 +25,8 @@ from .harness import Scenario
 
 __all__ = ["FigureSetup", "fig6a_how_much", "fig6b_which_cluster",
            "fig6c_multihop", "fig6d_traffic_classes",
-           "fig4_offload_threshold_problem", "fig3_threshold_scenario"]
+           "fig4_offload_threshold_problem", "fig3_threshold_scenario",
+           "locality_failover_policy", "waterfall_with_absolute_threshold"]
 
 
 @dataclass

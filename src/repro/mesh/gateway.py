@@ -46,6 +46,12 @@ class IngressGateway:
         self._run_telemetry = run_telemetry
         self._classifier: Classifier = classifier or _DefaultClassifier()
         self._dispatch: Callable[[Request], None] | None = None
+        # lifetime conservation counters (read by the debug invariant
+        # checker: admitted == completed + failed + open at quiesce)
+        self.admitted_count = 0
+        self.completed_count = 0
+        self.failed_count = 0
+        self.open_requests = 0
 
     def bind(self, dispatch: Callable[[Request], None]) -> None:
         """Attach the dispatcher that starts the root call (set by runner)."""
@@ -65,12 +71,16 @@ class IngressGateway:
                 f"request for {request.ingress_cluster!r} sent to gateway "
                 f"{self.cluster!r}")
         request.traffic_class = self._classifier.classify(request.attributes)
+        self.admitted_count += 1
+        self.open_requests += 1
         self._telemetry.record_ingress(request)
         self._dispatch(request)
 
     def complete(self, request: Request, now: float) -> None:
         """Record the response leaving the gateway."""
         request.completion_time = now
+        self.completed_count += 1
+        self.open_requests -= 1
         self._telemetry.record_completion(request)
         self._run_telemetry.record_completion(request)
 
@@ -78,4 +88,6 @@ class IngressGateway:
         """Record the request ending in an error (retries exhausted)."""
         request.completion_time = now
         request.failed = True
+        self.failed_count += 1
+        self.open_requests -= 1
         self._run_telemetry.record_failure(request)

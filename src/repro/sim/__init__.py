@@ -30,7 +30,7 @@ __all__ = [
     "GB", "EgressLedger", "EgressPricing", "LatencyMatrix", "WanNetwork",
     "Request", "RequestAttributes", "Span", "Trace",
     "RngRegistry",
-    "MeshSimulation",
+    "MeshSimulation", "TimeoutPolicy",
     "PoolStats", "ReplicaPool",
     "GCP_REGIONS", "GCP_RTT_MS", "ClusterSpec", "DeploymentSpec",
     "gcp_four_region_latency", "two_region_latency",

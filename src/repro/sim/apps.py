@@ -25,7 +25,7 @@ from .request import RequestAttributes
 
 __all__ = ["CallEdge", "TrafficClassSpec", "AppSpec",
            "linear_chain_app", "anomaly_detection_app", "two_class_app",
-           "fanout_app"]
+           "fanout_app", "social_network_app"]
 
 KB = 1_000
 MB = 1_000_000

@@ -15,6 +15,8 @@ import heapq
 import itertools
 from typing import Any, Callable
 
+from ..devtools.invariants import check_event_monotonic, invariants_enabled
+
 __all__ = ["EventHandle", "Simulator", "SimulationError"]
 
 
@@ -70,6 +72,7 @@ class Simulator:
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._debug_invariants = invariants_enabled()
 
     @property
     def now(self) -> float:
@@ -128,6 +131,9 @@ class Simulator:
                 if max_events is not None and executed >= max_events:
                     break
                 heapq.heappop(self._heap)
+                if self._debug_invariants:
+                    check_event_monotonic(self._now, head.time,
+                                          head.callback)
                 self._now = head.time
                 head.callback(*head.args)
                 self._events_processed += 1

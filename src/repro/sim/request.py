@@ -13,14 +13,37 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-__all__ = ["RequestAttributes", "Request", "Span", "Trace", "new_request_id"]
+__all__ = ["RequestAttributes", "Request", "RequestIdAllocator", "Span",
+           "Trace", "new_request_id"]
 
-_request_ids = itertools.count(1)
+
+class RequestIdAllocator:
+    """Sequential request ids scoped to one simulation run.
+
+    Each :class:`~repro.sim.runner.MeshSimulation` owns its own allocator
+    so request ids — and everything exported with them — are a pure
+    function of the run's seed, not of how many simulations the process
+    ran before.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._ids = itertools.count(start)
+
+    def __call__(self) -> int:
+        return next(self._ids)
+
+
+_request_ids = RequestIdAllocator()
 
 
 def new_request_id() -> int:
-    """Allocate a process-unique request id."""
-    return next(_request_ids)
+    """Allocate a process-unique request id.
+
+    Fallback for standalone :class:`TrafficSource` uses; simulations
+    should allocate from their own :class:`RequestIdAllocator` so reruns
+    are byte-identical.
+    """
+    return _request_ids()
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,11 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["RngRegistry", "stable_stream_key"]
+__all__ = ["MAX_SEED", "RngRegistry", "stable_stream_key"]
+
+#: seeds must fit in 64 bits so they round-trip through every export
+#: format (JSON, CSV, C extensions) without silent truncation
+MAX_SEED = 2**64 - 1
 
 
 def stable_stream_key(name: str) -> int:
@@ -43,6 +47,9 @@ class RngRegistry:
     def __init__(self, seed: int = 0) -> None:
         if seed < 0:
             raise ValueError(f"seed must be non-negative, got {seed}")
+        if seed > MAX_SEED:
+            raise ValueError(
+                f"seed must fit in 64 bits (<= {MAX_SEED}), got {seed}")
         self._seed = int(seed)
         self._streams: dict[str, np.random.Generator] = {}
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
+from ..devtools import invariants
 from ..mesh.gateway import Classifier, IngressGateway
 from ..mesh.proxy import SlateProxy
 from ..mesh.routing_table import RoutingTable
@@ -32,7 +33,7 @@ from .cache import EdgeCache
 from .cluster import Cluster
 from .engine import Simulator
 from .network import WanNetwork
-from .request import Request, Span
+from .request import Request, RequestIdAllocator, Span
 from .rng import RngRegistry
 from .topology import DeploymentSpec
 from .workload import DemandMatrix, install_sources
@@ -102,6 +103,9 @@ class MeshSimulation:
         self.deployment = deployment
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
+        #: run-scoped id allocator: request ids restart at 1 per simulation
+        #: so exports are a pure function of the seed
+        self.request_ids = RequestIdAllocator()
         self.network = WanNetwork(self.sim, deployment.latency,
                                   deployment.pricing)
         self.table = RoutingTable()
@@ -208,6 +212,7 @@ class MeshSimulation:
             accept_for=lambda cluster: self.gateways[cluster].accept,
             rng_for=self.rngs.stream,
             deterministic=deterministic_arrivals,
+            request_ids=self.request_ids,
         )
         if epoch is not None:
             if epoch <= 0:
@@ -216,10 +221,13 @@ class MeshSimulation:
             while boundary < duration:
                 self.sim.schedule_at(boundary, self._epoch_tick, on_epoch)
                 boundary += epoch
+        if invariants.invariants_enabled():
+            invariants.check_routing_table(self.table)
         self.sim.run(until=duration)
         self.sim.run_until_idle()
         if epoch is not None:
             self._epoch_tick(on_epoch)
+        self._verify_invariants()
 
     def run_timeline(self, timeline, epoch: float | None = None,
                      on_epoch: EpochHook | None = None,
@@ -242,10 +250,13 @@ class MeshSimulation:
             while boundary < duration:
                 self.sim.schedule_at(boundary, self._epoch_tick, on_epoch)
                 boundary += epoch
+        if invariants.invariants_enabled():
+            invariants.check_routing_table(self.table)
         self.sim.run(until=duration)
         self.sim.run_until_idle()
         if epoch is not None:
             self._epoch_tick(on_epoch)
+        self._verify_invariants()
 
     def harvest_reports(self) -> list[ClusterEpochReport]:
         """Collect and reset every cluster's epoch telemetry."""
@@ -260,6 +271,19 @@ class MeshSimulation:
         reports = self.harvest_reports()
         if on_epoch is not None:
             on_epoch(reports, self)
+            if invariants.invariants_enabled():
+                # the hook may have pushed new rules; re-verify the table
+                invariants.check_routing_table(self.table)
+
+    def _verify_invariants(self) -> None:
+        """Debug-mode end-of-run checks (``REPRO_DEBUG_INVARIANTS=1``)."""
+        if not invariants.invariants_enabled():
+            return
+        invariants.check_routing_table(self.table)
+        invariants.check_request_conservation(self.gateways)
+        for cluster in self.clusters.values():
+            for pool in cluster.pools.values():
+                invariants.check_pool_depths(pool)
 
     def _check_demand(self, demand: DemandMatrix) -> None:
         for cls, cluster, _ in demand.items():

@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
+from ..devtools.invariants import check_pool_depths, invariants_enabled
 from .engine import Simulator
 
 __all__ = ["ReplicaPool", "PoolStats"]
@@ -84,6 +85,7 @@ class ReplicaPool:
         self._last_change = sim.now
         self._window_start = sim.now
         self._stats = PoolStats()
+        self._debug_invariants = invariants_enabled()
 
     # ------------------------------------------------------------------ API
 
@@ -183,6 +185,8 @@ class ReplicaPool:
         self._accumulate_busy()
         self._busy -= 1
         self._stats.completions += 1
+        if self._debug_invariants:
+            check_pool_depths(self)
         self._drain_queue()
         job.on_complete(self._sim.now)
 

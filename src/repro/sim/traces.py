@@ -168,6 +168,7 @@ def install_timeline(simulation, timeline: DemandTimeline,
             accept=simulation.gateways[cluster].accept,
             rng=simulation.rngs.stream(f"arrivals/{cls}/{cluster}"),
             deterministic=deterministic,
+            request_ids=simulation.request_ids,
         )
         source.start()
         sources.append(source)

@@ -130,7 +130,8 @@ class TrafficSource:
                  attributes: RequestAttributes, ingress_cluster: str,
                  accept: Callable[[Request], None],
                  rng: np.random.Generator,
-                 deterministic: bool = False) -> None:
+                 deterministic: bool = False,
+                 request_ids: Callable[[], int] | None = None) -> None:
         self._sim = sim
         self._profile = profile
         self._attributes = attributes
@@ -138,6 +139,7 @@ class TrafficSource:
         self._accept = accept
         self._rng = rng
         self._deterministic = deterministic
+        self._request_ids = request_ids or new_request_id
         self.generated = 0
 
     def start(self) -> None:
@@ -163,7 +165,7 @@ class TrafficSource:
 
     def _emit(self, arrival: float) -> None:
         request = Request(
-            request_id=new_request_id(),
+            request_id=self._request_ids(),
             attributes=self._attributes,
             ingress_cluster=self._cluster,
             arrival_time=arrival,
@@ -177,12 +179,15 @@ def install_sources(sim: Simulator, demand: DemandMatrix, duration: float,
                     attributes_for: Callable[[str], RequestAttributes],
                     accept_for: Callable[[str], Callable[[Request], None]],
                     rng_for: Callable[[str], np.random.Generator],
-                    deterministic: bool = False) -> list[TrafficSource]:
+                    deterministic: bool = False,
+                    request_ids: Callable[[], int] | None = None,
+                    ) -> list[TrafficSource]:
     """Create and start one source per (class, cluster) demand entry.
 
     ``attributes_for(cls)`` supplies the request template for a class,
-    ``accept_for(cluster)`` the gateway sink, and ``rng_for(name)`` a named
-    random stream (one per source, so runs are reproducible).
+    ``accept_for(cluster)`` the gateway sink, ``rng_for(name)`` a named
+    random stream (one per source, so runs are reproducible), and
+    ``request_ids`` the run-scoped id allocator.
     """
     sources = []
     for cls, cluster, rps in demand.items():
@@ -194,6 +199,7 @@ def install_sources(sim: Simulator, demand: DemandMatrix, duration: float,
             accept=accept_for(cluster),
             rng=rng_for(f"arrivals/{cls}/{cluster}"),
             deterministic=deterministic,
+            request_ids=request_ids,
         )
         source.start()
         sources.append(source)

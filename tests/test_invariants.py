@@ -1,0 +1,164 @@
+"""Tests for the debug-mode runtime invariant checker.
+
+The checker must stay silent on healthy runs (the whole suite runs under
+``REPRO_DEBUG_INVARIANTS=1`` in ``make check``) and fire with an
+actionable message — naming the service/cluster/stream — when state is
+corrupted behind the simulator's back.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.invariants import (INVARIANTS_ENV, InvariantViolation,
+                                       check_event_monotonic,
+                                       check_pool_depths,
+                                       check_request_conservation,
+                                       check_routing_table,
+                                       invariants_enabled)
+from repro.mesh.routing_table import RouteKey, RoutingTable
+from repro.sim import (DemandMatrix, DeploymentSpec, ReplicaPool, Simulator,
+                       linear_chain_app, two_region_latency)
+from repro.sim.runner import MeshSimulation
+
+
+@pytest.fixture
+def debug_invariants(monkeypatch):
+    monkeypatch.setenv(INVARIANTS_ENV, "1")
+
+
+def small_sim(seed: int = 0) -> MeshSimulation:
+    app = linear_chain_app(n_services=2, exec_time=0.005)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=3,
+        latency=two_region_latency(20.0))
+    return MeshSimulation(app, deployment, seed=seed)
+
+
+def test_env_flag_parsing(monkeypatch):
+    for value in ("1", "true", "YES", " on "):
+        monkeypatch.setenv(INVARIANTS_ENV, value)
+        assert invariants_enabled()
+    for value in ("", "0", "false", "off"):
+        monkeypatch.setenv(INVARIANTS_ENV, value)
+        assert not invariants_enabled()
+    monkeypatch.delenv(INVARIANTS_ENV)
+    assert not invariants_enabled()
+
+
+# ------------------------------------------------------------- engine loop
+
+def test_engine_detects_time_travel(debug_invariants):
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run(until=0.5)           # now == 0.5, event still pending
+    handle.time = 0.25           # corrupt the heap entry into the past
+    with pytest.raises(InvariantViolation, match="monotonicity"):
+        sim.run()
+
+
+def test_check_event_monotonic_names_the_callback():
+    def my_handler():
+        pass
+
+    with pytest.raises(InvariantViolation, match="my_handler"):
+        check_event_monotonic(2.0, 1.0, my_handler)
+    check_event_monotonic(1.0, 1.0, my_handler)   # equal time is fine
+
+
+# ---------------------------------------------------------- routing matrix
+
+def test_corrupted_routing_table_fires_with_context(debug_invariants):
+    sim = small_sim()
+    key = RouteKey("s0", "default", "west")
+    sim.table.set_weights(key, {"west": 0.6, "east": 0.4})
+    # corrupt the installed row behind the normaliser's back
+    sim.table._rules[key]["west"] = 5.0
+    demand = DemandMatrix({("default", "west"): 50.0})
+    with pytest.raises(InvariantViolation) as excinfo:
+        sim.run(demand, duration=0.5)
+    message = str(excinfo.value)
+    assert "'s0'" in message and "'west'" in message
+    assert "sums to" in message
+
+
+def test_corrupted_table_ignored_without_flag(monkeypatch):
+    monkeypatch.delenv(INVARIANTS_ENV, raising=False)
+    sim = small_sim()
+    key = RouteKey("s0", "default", "west")
+    sim.table.set_weights(key, {"west": 0.6, "east": 0.4})
+    sim.table._rules[key]["west"] = 5.0
+    # weights no longer sum to 1 but checks are off: the run completes
+    sim.run(DemandMatrix({("default", "west"): 20.0}), duration=0.2)
+    assert sim.telemetry.requests
+
+
+def test_check_routing_table_rejects_bad_rows():
+    table = RoutingTable()
+    key = RouteKey("svc", "*", "east")
+    table.set_weights(key, {"east": 1.0})
+    check_routing_table(table)   # healthy table passes
+    table._rules[key] = {}
+    with pytest.raises(InvariantViolation, match="empty weight row"):
+        check_routing_table(table)
+    table._rules[key] = {"east": -0.5, "west": 1.5}
+    with pytest.raises(InvariantViolation, match="invalid weight"):
+        check_routing_table(table)
+
+
+# ----------------------------------------------------- request conservation
+
+def test_conservation_violation_names_the_cluster(debug_invariants):
+    sim = small_sim()
+    sim.run(DemandMatrix({("default", "west"): 50.0}), duration=0.5)
+    gateway = sim.gateways["west"]
+    gateway.completed_count += 5   # pretend 5 requests settled twice
+    with pytest.raises(InvariantViolation, match="conservation.*'west'"):
+        check_request_conservation(sim.gateways)
+
+
+def test_conservation_detects_untracked_open_requests(debug_invariants):
+    sim = small_sim()
+    sim.run(DemandMatrix({("default", "west"): 50.0}), duration=0.5)
+    gateway = sim.gateways["east"]
+    gateway.open_requests += 1     # accept bypassed the counters
+    with pytest.raises(InvariantViolation, match="'east'"):
+        check_request_conservation(sim.gateways)
+
+
+# ------------------------------------------------------------ queue depths
+
+def test_negative_pool_depth_fires_with_context():
+    pool = ReplicaPool(Simulator(), "auth", "west", replicas=2)
+    check_pool_depths(pool)        # healthy pool passes
+    pool._busy = -1
+    with pytest.raises(InvariantViolation, match="'auth'.*'west'"):
+        check_pool_depths(pool)
+
+
+def test_pool_detects_double_finish(debug_invariants):
+    sim = Simulator()
+    pool = ReplicaPool(sim, "auth", "west", replicas=1)
+    finished = []
+    pool.submit(0.01, on_complete=finished.append)
+    sim.run()
+    assert finished
+    # replay the finish event: busy goes negative, the pool notices
+    with pytest.raises(InvariantViolation, match="negative queue depth"):
+        pool._finish(
+            type("Job", (), {"on_complete": staticmethod(lambda now: None)}))
+
+
+# -------------------------------------------------------------- clean runs
+
+def test_healthy_run_with_invariants_enabled(debug_invariants):
+    sim = small_sim(seed=3)
+    epochs = []
+    sim.run(DemandMatrix({("default", "west"): 80.0,
+                          ("default", "east"): 40.0}),
+            duration=1.0, epoch=0.25,
+            on_epoch=lambda reports, s: epochs.append(len(reports)))
+    assert epochs and all(n == 2 for n in epochs)
+    assert sim.telemetry.requests
+    for gateway in sim.gateways.values():
+        assert gateway.open_requests == 0

@@ -1,0 +1,314 @@
+"""Tests for the determinism lint pass (``repro.devtools.lint``).
+
+Each rule gets a seeded violation fixture (must fire) and a clean
+counterpart (must stay silent); on top of that the whole ``src/repro``
+tree must lint clean — the suite is the enforcement mechanism for the
+determinism discipline described in docs/devtools.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import LintConfig, Severity
+from repro.devtools.lint import Linter, lint_paths, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: virtual paths that put a fixture inside each enforcement scope
+SIM_PATH = "src/repro/sim/fixture.py"
+MESH_PATH = "src/repro/mesh/fixture.py"
+ANALYSIS_PATH = "src/repro/analysis/fixture.py"
+TEST_PATH = "tests/fixture.py"
+
+
+def rule_ids(source: str, path: str = SIM_PATH) -> set[str]:
+    findings = Linter().lint_source(source, path)
+    return {f.rule for f in findings}
+
+
+# ------------------------------------------------------- per-rule fixtures
+
+# (rule, virtual path, violating snippet, clean snippet)
+CASES = [
+    ("D01", SIM_PATH,
+     "import numpy as np\n"
+     "__all__ = []\n"
+     "def _draw(rngs):\n"
+     "    return np.random.default_rng(0).random()\n",
+     "__all__ = []\n"
+     "def _draw(rngs):\n"
+     "    return rngs.stream('arrivals').random()\n"),
+    ("D02", SIM_PATH,
+     "import time\n"
+     "__all__ = []\n"
+     "def _stamp():\n"
+     "    return time.time()\n",
+     "__all__ = []\n"
+     "def _stamp(sim):\n"
+     "    return sim.now\n"),
+    ("D03", SIM_PATH,
+     "__all__ = []\n"
+     "def _order(clusters):\n"
+     "    return [c for c in set(clusters)]\n",
+     "__all__ = []\n"
+     "def _order(clusters):\n"
+     "    return [c for c in sorted(set(clusters))]\n"),
+    ("D04", SIM_PATH,
+     "__all__ = []\n"
+     "def _same(span, sim):\n"
+     "    return span.end_time == sim.now\n",
+     "__all__ = []\n"
+     "def _same(span, sim):\n"
+     "    return abs(span.end_time - sim.now) < 1e-12\n"),
+    ("D05", SIM_PATH,
+     "__all__ = []\n"
+     "def _collect(out=[]):\n"
+     "    return out\n",
+     "__all__ = []\n"
+     "def _collect(out=None):\n"
+     "    return out if out is not None else []\n"),
+    ("D06", SIM_PATH,
+     "__all__ = []\n"
+     "_SEEN = []\n"
+     "def _handler(event):\n"
+     "    _SEEN.append(event)\n",
+     "__all__ = []\n"
+     "def _handler(state, event):\n"
+     "    state.seen.append(event)\n"),
+    ("D07", SIM_PATH,
+     "__all__ = []\n"
+     "def handler(event):\n"
+     "    return event\n",
+     "__all__ = ['handler']\n"
+     "def handler(event):\n"
+     "    return event\n"),
+    ("D08", SIM_PATH,
+     "__all__ = []\n"
+     "def _report(stats):\n"
+     "    print(stats)\n",
+     "__all__ = []\n"
+     "def _report(stats):\n"
+     "    return str(stats)\n"),
+]
+
+
+@pytest.mark.parametrize("rule,path,bad,good",
+                         CASES, ids=[c[0] for c in CASES])
+def test_rule_catches_violation_and_passes_clean(rule, path, bad, good):
+    assert rule in rule_ids(bad, path)
+    assert rule not in rule_ids(good, path)
+
+
+# ------------------------------------------------------- rule scope details
+
+def test_d01_flags_stdlib_random_import():
+    assert "D01" in rule_ids("__all__ = []\nimport random\n")
+
+
+def test_d01_allows_rng_module_itself():
+    source = "import numpy as np\n__all__ = []\ng = np.random.default_rng(0)\n"
+    assert "D01" not in rule_ids(source, "src/repro/sim/rng.py")
+
+
+def test_d01_allows_seeded_default_rng_in_tests():
+    source = "import numpy as np\nrng = np.random.default_rng(42)\n"
+    assert "D01" not in rule_ids(source, TEST_PATH)
+
+
+def test_d01_flags_unseeded_default_rng_in_tests():
+    source = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert "D01" in rule_ids(source, TEST_PATH)
+
+
+def test_d02_allows_wall_clock_in_analysis():
+    source = "import time\n__all__ = []\ndef _t():\n    return time.time()\n"
+    assert "D02" not in rule_ids(source, ANALYSIS_PATH)
+    assert "D02" in rule_ids(source, MESH_PATH)
+
+
+def test_d03_flags_set_union_iteration():
+    source = ("__all__ = []\n"
+              "def _merge(a, b):\n"
+              "    return {k: 1.0 for k in set(a) | set(b)}\n")
+    assert "D03" in rule_ids(source)
+
+
+def test_d04_ignores_inequalities():
+    source = ("__all__ = []\n"
+              "def _later(span, sim):\n"
+              "    return span.end_time >= sim.now\n")
+    assert "D04" not in rule_ids(source)
+
+
+def test_d06_flags_module_level_counter_consumption():
+    # the request-id leak this repo actually shipped: a process-global
+    # itertools.count drawn from event code
+    source = ("import itertools\n"
+              "__all__ = []\n"
+              "_IDS = itertools.count(1)\n"
+              "def _emit():\n"
+              "    return next(_IDS)\n")
+    assert "D06" in rule_ids(source)
+
+
+def test_d06_flags_global_statement():
+    source = ("__all__ = []\n"
+              "_COUNT = 0\n"
+              "def _bump():\n"
+              "    global _COUNT\n"
+              "    _COUNT = 1\n")
+    assert "D06" in rule_ids(source)
+
+
+def test_d07_accepts_lazy_module_getattr():
+    source = ("__all__ = ['Lazy']\n"
+              "def __getattr__(name):\n"
+              "    raise AttributeError(name)\n")
+    assert "D07" not in rule_ids(source)
+
+
+def test_d08_allows_cli_module():
+    source = "__all__ = []\ndef _say():\n    print('hi')\n"
+    assert "D08" not in rule_ids(source, "src/repro/cli.py")
+
+
+# ------------------------------------------------- suppressions & severity
+
+def test_inline_suppression_silences_one_rule():
+    source = ("import time\n"
+              "__all__ = []\n"
+              "def _stamp():\n"
+              "    return time.time()   # lint: ignore[D02]\n")
+    assert "D02" not in rule_ids(source)
+
+
+def test_blanket_suppression_silences_everything():
+    source = ("__all__ = []\n"
+              "def _collect(out=[]):   # lint: ignore\n"
+              "    return out\n")
+    assert rule_ids(source) == set()
+
+
+def test_suppression_is_per_line():
+    source = ("import time\n"
+              "__all__ = []\n"
+              "# lint: ignore[D02]\n"
+              "def _stamp():\n"
+              "    return time.time()\n")
+    assert "D02" in rule_ids(source)
+
+
+def test_severity_config_downgrades_and_disables(tmp_path):
+    source = ("import time\n"
+              "__all__ = []\n"
+              "def _stamp():\n"
+              "    return time.time()\n")
+    config = LintConfig(severities={"D02": Severity.WARNING})
+    findings = Linter(config).lint_source(source, SIM_PATH)
+    d02 = [f for f in findings if f.rule == "D02"]
+    assert d02 and all(f.severity is Severity.WARNING for f in d02)
+
+    config = LintConfig(severities={"D02": Severity.OFF})
+    findings = Linter(config).lint_source(source, SIM_PATH)
+    assert not [f for f in findings if f.rule == "D02"]
+
+
+def test_severity_config_loads_from_json(tmp_path):
+    path = tmp_path / "lint.json"
+    path.write_text(json.dumps({"severities": {"D04": "warning"}}))
+    config = LintConfig.from_file(path)
+    assert config.severity_for("D04", Severity.ERROR) is Severity.WARNING
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"severities": {"D04": "loud"}}))
+    with pytest.raises(ValueError, match="invalid severity"):
+        LintConfig.from_file(bad)
+
+
+def test_select_restricts_rules():
+    source = ("import time\n"
+              "__all__ = []\n"
+              "def _both(out=[]):\n"
+              "    return time.time()\n")
+    config = LintConfig(select=frozenset({"D05"}))
+    findings = Linter(config).lint_source(source, SIM_PATH)
+    assert {f.rule for f in findings} == {"D05"}
+
+
+# ------------------------------------------------------------- CLI surface
+
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    victim = tmp_path / "src" / "repro" / "sim" / "bad.py"
+    victim.parent.mkdir(parents=True)
+    victim.write_text("__all__ = []\n"
+                      "def _collect(out=[]):\n"
+                      "    return out\n")
+    assert main([str(victim), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["error_count"] >= 1
+    assert payload["findings"][0]["rule"] == "D05"
+
+    victim.write_text("__all__ = []\n")
+    assert main([str(victim)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("D01", "D04", "D08"):
+        assert rule_id in out
+
+
+def test_cli_reports_parse_errors(tmp_path, capsys):
+    victim = tmp_path / "broken.py"
+    victim.write_text("def oops(:\n")
+    assert main([str(victim)]) == 1
+    assert "parse error" in capsys.readouterr().out
+
+
+def test_cli_rejects_nonexistent_path(tmp_path, capsys):
+    assert main([str(tmp_path / "no-such-dir")]) == 2
+    assert "no such file or directory" in capsys.readouterr().err
+
+
+def test_cli_rejects_unknown_select_id(capsys):
+    assert main(["--select", "D99", str(REPO_ROOT / "src" / "repro")]) == 2
+    assert "unknown rule id(s)" in capsys.readouterr().err
+
+
+def test_cli_rejects_invalid_config_cleanly(tmp_path, capsys):
+    cfg = tmp_path / "lint.json"
+    cfg.write_text('{"severities": {"D01": "loud"}}')
+    assert main(["--config", str(cfg), str(REPO_ROOT / "src")]) == 2
+    err = capsys.readouterr().err
+    assert "invalid severity" in err and "Traceback" not in err
+
+
+def test_module_entry_point_runs():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.devtools.lint", "--list-rules"],
+        capture_output=True, text=True, cwd=REPO_ROOT, env=env)
+    assert proc.returncode == 0
+    assert "D01" in proc.stdout
+
+
+# ---------------------------------------------------- the tree stays clean
+
+def test_src_repro_lints_clean():
+    findings = lint_paths([REPO_ROOT / "src" / "repro"])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_tests_and_benchmarks_lint_clean():
+    findings = lint_paths([REPO_ROOT / "tests", REPO_ROOT / "benchmarks"])
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.rng import RngRegistry, stable_stream_key
+from repro.sim.rng import MAX_SEED, RngRegistry, stable_stream_key
 
 
 def test_same_seed_same_draws():
@@ -62,3 +62,12 @@ def test_fork_is_deterministic():
 def test_negative_seed_rejected():
     with pytest.raises(ValueError):
         RngRegistry(seed=-1)
+
+
+def test_oversized_seed_rejected():
+    with pytest.raises(ValueError, match="64 bits"):
+        RngRegistry(seed=MAX_SEED + 1)
+
+
+def test_max_seed_accepted():
+    assert RngRegistry(seed=MAX_SEED).seed == MAX_SEED
