@@ -1,7 +1,7 @@
 # SLATE reproduction — convenience targets
 PYTHON ?= python3
 
-.PHONY: install test lint check bench examples figures clean
+.PHONY: install test lint check bench bench-smoke examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,12 @@ check: lint
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# <60s perf subset: regenerates benchmarks/results/BENCH_*.json
+# (docs/performance.md documents the keys)
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_engine.py \
+		benchmarks/bench_sweep.py --benchmark-only -q
 
 examples:
 	@for ex in examples/*.py; do \

@@ -1,7 +1,10 @@
 """Microbenchmarks: substrate throughput and optimizer formulation cost.
 
 Not a paper figure — these keep the simulator and LP builder honest so the
-figure benches stay fast enough to iterate on.
+figure benches stay fast enough to iterate on. Each test also records its
+headline number into ``BENCH_engine.json`` (events/sec, simulated
+requests/sec, builds/sec, solves/sec) so the perf trajectory is tracked
+across PRs. Pre-PR-2 baseline for reference: ~1.08M events/sec.
 """
 
 from repro.core.optimizer import build_model, solve_model, TEProblem
@@ -11,7 +14,7 @@ from repro.sim.engine import Simulator
 from repro.sim.runner import MeshSimulation
 
 
-def test_engine_event_throughput(benchmark):
+def test_engine_event_throughput(benchmark, bench_json):
     """Raw event-loop throughput (events/second)."""
     def run():
         sim = Simulator()
@@ -27,9 +30,14 @@ def test_engine_event_throughput(benchmark):
 
     events = benchmark(run)
     assert events == 20_001
+    if benchmark.stats is not None:   # absent under --benchmark-disable
+        bench_json("engine", {
+            "events_per_sec": events / benchmark.stats.stats.mean,
+            "events_per_sec_best": events / benchmark.stats.stats.min,
+        })
 
 
-def test_simulation_requests_per_second(benchmark):
+def test_simulation_requests_per_second(benchmark, bench_json):
     """End-to-end simulated requests per wall-second on the chain app."""
     app = linear_chain_app()
     deployment = DeploymentSpec.uniform(
@@ -45,9 +53,13 @@ def test_simulation_requests_per_second(benchmark):
 
     completed = benchmark(run)
     assert completed > 1500
+    if benchmark.stats is not None:
+        bench_json("engine", {
+            "sim_requests_per_sec": completed / benchmark.stats.stats.mean,
+        })
 
 
-def test_lp_build_cost(benchmark):
+def test_lp_build_cost(benchmark, bench_json):
     """Formulation (matrix assembly) cost for a mid-size instance."""
     app = linear_chain_app(n_services=5)
     deployment = DeploymentSpec.uniform(
@@ -58,9 +70,13 @@ def test_lp_build_cost(benchmark):
     problem = TEProblem.from_specs(app, deployment, demand)
     model = benchmark(lambda: build_model(problem))
     assert model.n_variables > 0
+    if benchmark.stats is not None:
+        bench_json("engine", {
+            "lp_builds_per_sec": 1.0 / benchmark.stats.stats.mean,
+        })
 
 
-def test_lp_solve_cost(benchmark):
+def test_lp_solve_cost(benchmark, bench_json):
     """HiGHS solve cost for the same instance."""
     app = linear_chain_app(n_services=5)
     deployment = DeploymentSpec.uniform(
@@ -72,3 +88,7 @@ def test_lp_solve_cost(benchmark):
     model = build_model(problem)
     result = benchmark(lambda: solve_model(model))
     assert result.ok
+    if benchmark.stats is not None:
+        bench_json("engine", {
+            "lp_solves_per_sec": 1.0 / benchmark.stats.stats.mean,
+        })

@@ -6,23 +6,34 @@ the Fig. 6c egress ratio — our substrate's equivalents of the paper's
 "up to" numbers. Absolute ratios depend on the testbed; the claim shape is
 that both are substantially greater than 1 and the egress one is near an
 order of magnitude.
+
+The scenario × policy grid runs through the
+:class:`~repro.experiments.parallel.SweepExecutor`; results regroup into
+per-scenario comparisons in deterministic order.
 """
 
+from repro.analysis.compare import Comparison
 from repro.analysis.report import format_table
-from repro.experiments.harness import compare_policies
+from repro.experiments.parallel import SweepExecutor, SweepUnit
 from repro.experiments.scenarios import (fig6a_how_much, fig6b_which_cluster,
                                          fig6c_multihop,
                                          fig6d_traffic_classes)
 
 
-def run_all():
+def run_all(executor=None):
+    executor = executor or SweepExecutor()
+    setups = [("fig6a", fig6a_how_much()),
+              ("fig6b", fig6b_which_cluster()),
+              ("fig6c", fig6c_multihop()),
+              ("fig6d", fig6d_traffic_classes())]
+    units = [SweepUnit(setup.scenario, policy, label=name)
+             for name, setup in setups
+             for policy in setup.policies]
+    results = executor.run_units(units)
     outcomes = {}
-    for name, setup in (
-            ("fig6a", fig6a_how_much()),
-            ("fig6b", fig6b_which_cluster()),
-            ("fig6c", fig6c_multihop()),
-            ("fig6d", fig6d_traffic_classes())):
-        outcomes[name] = compare_policies(setup.scenario, setup.policies)
+    for unit, outcome in zip(units, results):
+        outcomes.setdefault(unit.label,
+                            Comparison(unit.label)).add(outcome)
     return outcomes
 
 

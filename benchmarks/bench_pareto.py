@@ -7,30 +7,38 @@ and reports the (mean latency, egress $/hour) frontier. Expected shape:
 latency is non-decreasing and egress cost non-increasing in the weight —
 the knob trades one for the other monotonically, ending at the cheap
 FR→MP cut.
+
+Each weight is an independent solve + fluid evaluation, so the sweep runs
+through :meth:`~repro.experiments.parallel.SweepExecutor.map` (the point
+function rebuilds the deterministic scenario inside the worker).
 """
 
 from repro.analysis.fluid import evaluate_rules
 from repro.analysis.report import format_table
 from repro.core.optimizer import TEProblem, solve
+from repro.experiments.parallel import SweepExecutor
 from repro.experiments.scenarios import fig6c_multihop
 
 COST_WEIGHTS = (0.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0)
 
 
-def sweep():
+def pareto_point(weight):
+    """Solve fig6c at one cost weight (top-level so it pickles to workers)."""
     scenario = fig6c_multihop().scenario
-    rows = []
-    for weight in COST_WEIGHTS:
-        problem = TEProblem.from_specs(
-            scenario.app, scenario.deployment, scenario.demand,
-            cost_weight=weight)
-        result = solve(problem)
-        prediction = evaluate_rules(scenario.app, scenario.deployment,
-                                    scenario.demand, result.rules())
-        rows.append([weight, prediction.mean_latency * 1000,
-                     prediction.egress_cost_rate * 3600,
-                     prediction.cross_cluster_rate()])
-    return rows
+    problem = TEProblem.from_specs(
+        scenario.app, scenario.deployment, scenario.demand,
+        cost_weight=weight)
+    result = solve(problem)
+    prediction = evaluate_rules(scenario.app, scenario.deployment,
+                                scenario.demand, result.rules())
+    return [weight, prediction.mean_latency * 1000,
+            prediction.egress_cost_rate * 3600,
+            prediction.cross_cluster_rate()]
+
+
+def sweep(executor=None):
+    executor = executor or SweepExecutor()
+    return executor.map(pareto_point, COST_WEIGHTS)
 
 
 def test_cost_latency_pareto(benchmark, report_sink):

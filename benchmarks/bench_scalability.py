@@ -13,6 +13,7 @@ import time
 
 from repro.analysis.report import format_table
 from repro.core.optimizer import TEProblem, solve
+from repro.experiments.parallel import SweepExecutor
 from repro.sim import DemandMatrix, DeploymentSpec, LatencyMatrix
 from repro.sim.apps import AppSpec, CallEdge, TrafficClassSpec
 from repro.sim.request import RequestAttributes
@@ -63,18 +64,21 @@ SIZES = [
 ]
 
 
-def sweep():
-    rows = []
-    for n_clusters, n_services, n_classes in SIZES:
-        problem = synthetic_problem(n_clusters, n_services, n_classes)
-        started = time.perf_counter()
-        result = solve(problem)
-        elapsed = time.perf_counter() - started
-        n_vars = len(result.flows)
-        rows.append([n_clusters, n_services, n_classes,
-                     n_clusters * n_services * n_classes,
-                     elapsed, result.solve_time])
-    return rows
+def solve_size(size):
+    """Build + solve one synthetic instance (top-level so it pickles)."""
+    n_clusters, n_services, n_classes = size
+    problem = synthetic_problem(n_clusters, n_services, n_classes)
+    started = time.perf_counter()
+    result = solve(problem)
+    elapsed = time.perf_counter() - started
+    return [n_clusters, n_services, n_classes,
+            n_clusters * n_services * n_classes,
+            elapsed, result.solve_time]
+
+
+def sweep(executor=None):
+    executor = executor or SweepExecutor()
+    return executor.map(solve_size, SIZES)
 
 
 def test_optimizer_scalability(benchmark, report_sink):

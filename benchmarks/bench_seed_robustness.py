@@ -5,33 +5,59 @@ re-runs the two headline scenarios at several seeds and reports the
 per-seed latency ratios. The *direction* (SLATE wins) must hold at every
 seed; the magnitude varies with queueing noise, which is exactly what the
 per-seed spread quantifies.
+
+The scenario × seed × policy grid is fanned out through the
+:class:`~repro.experiments.parallel.SweepExecutor` (worker count from
+``REPRO_WORKERS`` / CPU count); results are order-deterministic, so the
+tables are byte-identical at any worker count.
 """
 
 import statistics
 
+from repro.analysis.compare import Comparison
 from repro.analysis.report import format_table
-from repro.experiments.harness import compare_policies
+from repro.experiments.parallel import SweepExecutor, SweepUnit
 from repro.experiments.scenarios import fig6a_how_much, fig6d_traffic_classes
 
 SEEDS = (42, 7, 101)
+SCENARIOS = ("fig6a", "fig6d")
 
 
-def run_all():
-    rows = []
-    ratios = {"fig6a": [], "fig6d": []}
+def build_units():
+    units = []
     for seed in SEEDS:
         for name, setup in (
                 ("fig6a", fig6a_how_much(duration=25.0, seed=seed)),
                 ("fig6d", fig6d_traffic_classes(duration=25.0, seed=seed))):
-            comparison = compare_policies(setup.scenario, setup.policies)
+            for policy in setup.policies:
+                units.append(SweepUnit(setup.scenario, policy,
+                                       label=f"{name}:{seed}"))
+    return units
+
+
+def run_all(executor=None):
+    executor = executor or SweepExecutor()
+    units = build_units()
+    outcomes = executor.run_units(units)
+    comparisons = {}
+    for unit, outcome in zip(units, outcomes):
+        comparisons.setdefault(unit.label,
+                               Comparison(unit.label)).add(outcome)
+    rows = []
+    ratios = {name: [] for name in SCENARIOS}
+    for seed in SEEDS:
+        for name in SCENARIOS:
+            comparison = comparisons[f"{name}:{seed}"]
             ratio = comparison.latency_ratio("waterfall", "slate")
             ratios[name].append(ratio)
             rows.append([name, seed, ratio])
     return rows, ratios
 
 
-def test_figures_hold_across_seeds(benchmark, report_sink):
-    rows, ratios = benchmark.pedantic(run_all, rounds=1, iterations=1)
+def test_figures_hold_across_seeds(benchmark, report_sink, bench_json):
+    executor = SweepExecutor()
+    rows, ratios = benchmark.pedantic(run_all, args=(executor,),
+                                      rounds=1, iterations=1)
     summary = [
         [name, min(values), statistics.mean(values), max(values)]
         for name, values in sorted(ratios.items())
@@ -44,6 +70,11 @@ def test_figures_hold_across_seeds(benchmark, report_sink):
                      title="Across-seed spread"),
     ])
     report_sink("seed_robustness", text)
+    bench_json("sweep", {
+        "seed_robustness_units": len(SEEDS) * len(SCENARIOS) * 2,
+        "seed_robustness_seconds": executor.last_elapsed,
+        "seed_robustness_workers": executor.workers,
+    })
 
     # direction holds at every seed
     assert all(r > 1.3 for r in ratios["fig6a"]), ratios["fig6a"]

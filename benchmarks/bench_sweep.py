@@ -1,0 +1,137 @@
+"""Sweep executor + solver memoization benchmarks (PR 2 performance layer).
+
+Two headline numbers, both exported to ``BENCH_sweep.json``:
+
+* parallel vs serial wall-clock for a multi-seed figure sweep (the
+  speedup *assertion* lives in ``tests/test_parallel.py`` and is gated on
+  a 4+-core machine; this bench records whatever the current host does);
+* solver-cache hit rate for a steady-demand adaptive scenario — repeated
+  epochs assemble identical LP instances, which the
+  :class:`~repro.core.optimizer.cache.SolverCache` replays instead of
+  re-solving.
+"""
+
+import os
+import time
+
+from repro.analysis.report import format_table
+from repro.core.controller.global_controller import GlobalControllerConfig
+from repro.core.controller.policy import SlatePolicy
+from repro.experiments.harness import Scenario, run_policy
+from repro.experiments.parallel import SweepExecutor, SweepUnit
+from repro.experiments.scenarios import fig6a_how_much
+from repro.sim import (DemandMatrix, DeploymentSpec, linear_chain_app,
+                       two_region_latency)
+
+SWEEP_SEEDS = (42, 7, 101, 13)
+
+
+def build_sweep_units(duration: float = 6.0) -> list:
+    """A ≥8-unit sweep: fig6a at four seeds, both policies per seed."""
+    units = []
+    for seed in SWEEP_SEEDS:
+        setup = fig6a_how_much(duration=duration, seed=seed)
+        for policy in setup.policies:
+            units.append(SweepUnit(setup.scenario, policy,
+                                   label=f"fig6a:{seed}"))
+    return units
+
+
+def test_sweep_parallel_vs_serial(benchmark, report_sink, bench_json):
+    """Wall-clock of the same sweep, serial vs the process pool."""
+    units = build_sweep_units()
+    parallel_workers = min(4, os.cpu_count() or 1)
+
+    def run_both():
+        serial = SweepExecutor(workers=1)
+        serial_outcomes = serial.run_units(units)
+        serial_seconds = serial.last_elapsed
+        parallel = SweepExecutor(workers=parallel_workers)
+        parallel_outcomes = parallel.run_units(units)
+        parallel_seconds = parallel.last_elapsed
+        return (serial_outcomes, serial_seconds,
+                parallel_outcomes, parallel_seconds)
+
+    (serial_outcomes, serial_seconds, parallel_outcomes,
+     parallel_seconds) = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    # parallel output must be byte-identical to serial, in the same order
+    assert len(serial_outcomes) == len(parallel_outcomes) == len(units)
+    for ours, theirs in zip(serial_outcomes, parallel_outcomes):
+        assert ours.policy == theirs.policy
+        assert ours.latencies == theirs.latencies
+        assert ours.egress_bytes == theirs.egress_bytes
+        assert ours.egress_cost == theirs.egress_cost
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    rows = [["serial", 1, serial_seconds],
+            ["parallel", parallel_workers, parallel_seconds]]
+    text = format_table(
+        ["mode", "workers", "wall-clock (s)"], rows,
+        title=f"Sweep executor: {len(units)} units, speedup {speedup:.2f}x")
+    report_sink("sweep_executor", text)
+    bench_json("sweep", {
+        "sweep_units": len(units),
+        "workers": parallel_workers,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+    })
+
+
+def steady_adaptive_scenario(duration: float = 16.0) -> tuple:
+    """A steady-demand adaptive setup whose epochs repeat the same LP."""
+    app = linear_chain_app(n_services=3, exec_time=0.008)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=5,
+        latency=two_region_latency(25.0))
+    demand = DemandMatrix({("default", "west"): 300.0,
+                           ("default", "east"): 120.0})
+    scenario = Scenario(name="steady-adaptive", app=app,
+                        deployment=deployment, demand=demand,
+                        duration=duration, warmup=duration / 4,
+                        seed=42, epoch=1.0)
+    policy = SlatePolicy(
+        GlobalControllerConfig(
+            # trust the spec's compute times so only demand moves between
+            # epochs, and quantize demand so telemetry jitter below 25 rps
+            # does not fabricate a numerically new TE instance each epoch
+            learn_profiles=False,
+            demand_quantum=25.0,
+        ),
+        adaptive=True)
+    return scenario, policy
+
+
+def test_adaptive_solver_cache_hit_rate(benchmark, report_sink, bench_json):
+    """≥50% of steady-demand epochs replay a memoized solve."""
+    scenario, policy = steady_adaptive_scenario()
+
+    def run():
+        started = time.perf_counter()
+        run_policy(scenario, policy)
+        elapsed = time.perf_counter() - started
+        return policy.controller.solver_cache, elapsed
+
+    cache, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = cache.stats()
+    solves = stats["hits"] + stats["misses"]
+    rows = [[key, value] for key, value in sorted(stats.items())]
+    rows.append(["epoch solves", solves])
+    rows.append(["run wall-clock (s)", elapsed])
+    text = format_table(
+        ["metric", "value"], rows,
+        title="Solver memoization on a steady-demand adaptive run "
+              f"(epoch={scenario.epoch}s, duration={scenario.duration}s)")
+    report_sink("solver_cache", text)
+    bench_json("sweep", {
+        "cache_hits": stats["hits"],
+        "cache_misses": stats["misses"],
+        "cache_hit_rate": stats["hit_rate"],
+        "adaptive_epoch_solves": solves,
+        "adaptive_solves_per_sec": solves / elapsed if elapsed else 0.0,
+    })
+
+    assert solves >= 8, "scenario too short to exercise the epoch loop"
+    assert stats["hit_rate"] >= 0.5, stats

@@ -7,9 +7,13 @@ EXPERIMENTS.md can reference stable artifacts.
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))   # noqa: E402
+from reporting import update_bench_json   # noqa: E402
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -23,5 +27,21 @@ def report_sink():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
         print(f"\n{text}\n[saved to {path}]")
+
+    return save
+
+
+@pytest.fixture
+def bench_json():
+    """Merge machine-readable metrics into benchmarks/results/BENCH_<name>.json.
+
+    The JSON artifacts are the cross-PR perf trajectory (events/sec,
+    solve/sec, cache hit rate, sweep wall-clock, worker count); see
+    benchmarks/reporting.py for the schema conventions.
+    """
+
+    def save(name: str, metrics: dict) -> None:
+        path = update_bench_json(name, metrics)
+        print(f"[bench json updated: {path}]")
 
     return save

@@ -1,0 +1,47 @@
+"""Machine-readable benchmark artifacts: ``BENCH_<name>.json``.
+
+The text tables under ``benchmarks/results/`` are for humans;
+these JSON files are the perf trajectory machines track across PRs
+(events/sec, solve/sec, cache hit rates, sweep wall-clock, worker counts).
+Each bench merges its metrics into one named file, so several test
+functions can contribute to the same artifact.
+
+Schema conventions: flat-ish dicts, snake_case keys, numbers in base units
+(seconds, events/second); every file carries ``schema_version`` so future
+PRs can evolve the format without breaking trend tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCHEMA_VERSION = 1
+
+
+def bench_json_path(name: str) -> Path:
+    """Path of the machine-readable artifact for one bench family."""
+    return RESULTS_DIR / f"BENCH_{name}.json"
+
+
+def update_bench_json(name: str, metrics: dict) -> Path:
+    """Merge ``metrics`` into ``BENCH_<name>.json`` (create if missing).
+
+    Merging (rather than overwriting) lets independent test functions in
+    one bench file contribute keys to a single artifact.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = bench_json_path(name)
+    payload: dict = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            payload = {}
+    payload.update(metrics)
+    payload["schema_version"] = SCHEMA_VERSION
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

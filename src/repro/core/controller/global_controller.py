@@ -26,6 +26,7 @@ from ...sim.workload import DemandMatrix
 from ..classes.callgraph import CallGraphLearner
 from ..latency.profiles import ProfileRegistry
 from .forecast import HoltForecaster
+from ..optimizer.cache import SolverCache
 from ..optimizer.problem import ClassWorkload, TEProblem
 from ..optimizer.result import OptimizationResult
 from ..optimizer.solve import SolverError, solve
@@ -56,6 +57,15 @@ class GlobalControllerConfig:
     forecast_demand: bool = False
     #: MILP split limit per rule; None = pure LP (fractional splits)
     max_splits: int | None = None
+    #: round demand estimates to multiples of this (requests/second) before
+    #: planning. Acts as re-plan hysteresis: sub-quantum telemetry jitter no
+    #: longer produces a numerically distinct TE instance every epoch, so
+    #: steady-demand epochs assemble *identical* models and the solver
+    #: cache replays them instead of re-solving. 0 disables quantization.
+    demand_quantum: float = 0.0
+    #: LRU bound of the per-controller solver memoization cache;
+    #: 0 disables caching entirely
+    solver_cache_size: int = 64
 
 
 class GlobalController:
@@ -73,6 +83,10 @@ class GlobalController:
         self._demand_estimate: dict[tuple[str, str], float] = {}
         self.last_result: OptimizationResult | None = None
         self.epochs_observed = 0
+        #: memoizes epoch solves; see GlobalControllerConfig.solver_cache_size
+        self.solver_cache: SolverCache | None = (
+            SolverCache(self.config.solver_cache_size)
+            if self.config.solver_cache_size > 0 else None)
 
     # ------------------------------------------------------------ learning
 
@@ -98,11 +112,20 @@ class GlobalController:
         self.epochs_observed += 1
 
     def demand_estimate(self, traffic_class: str, cluster: str) -> float:
-        """The demand the next plan will use (forecast or EWMA)."""
+        """The demand the next plan will use (forecast or EWMA).
+
+        With ``demand_quantum`` set, the estimate is rounded to the nearest
+        quantum so steady demand yields a bit-stable planning input.
+        """
         key = (traffic_class, cluster)
         if self.config.forecast_demand and self.forecaster.known(key):
-            return self.forecaster.forecast(key, steps_ahead=1)
-        return self._demand_estimate.get(key, 0.0)
+            estimate = self.forecaster.forecast(key, steps_ahead=1)
+        else:
+            estimate = self._demand_estimate.get(key, 0.0)
+        quantum = self.config.demand_quantum
+        if quantum > 0:
+            estimate = round(estimate / quantum) * quantum
+        return estimate
 
     # ------------------------------------------------------------ planning
 
@@ -164,7 +187,8 @@ class GlobalController:
         if problem.total_demand() <= 0:
             return None
         try:
-            result = solve(problem, max_splits=self.config.max_splits)
+            result = solve(problem, max_splits=self.config.max_splits,
+                           cache=self.solver_cache)
         except SolverError:
             scale = self._feasible_scale(problem)
             if scale >= 1.0:
@@ -172,7 +196,8 @@ class GlobalController:
             for workload in problem.workloads.values():
                 for cluster in workload.demand:
                     workload.demand[cluster] *= scale
-            result = solve(problem, max_splits=self.config.max_splits)
+            result = solve(problem, max_splits=self.config.max_splits,
+                           cache=self.solver_cache)
         self.last_result = result
         return result
 

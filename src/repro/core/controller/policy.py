@@ -35,6 +35,15 @@ class SlatePolicy:
         self.rollout = rollout
         self._controller: GlobalController | None = None
 
+    @property
+    def controller(self) -> GlobalController | None:
+        """The adaptive-mode controller (None before the first epoch).
+
+        Exposes learned state and the solver memoization cache
+        (``controller.solver_cache``) for diagnostics and benchmarks.
+        """
+        return self._controller
+
     def compute_rules(self, ctx: PolicyContext) -> RuleSet:
         result = GlobalController.oracle(
             ctx.app, ctx.deployment, ctx.demand,

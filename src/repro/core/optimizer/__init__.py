@@ -1,5 +1,6 @@
 """The Global Controller's request-routing optimizer (§3.3)."""
 
+from .cache import DEFAULT_CACHE_SIZE, SolverCache, model_fingerprint
 from .contraction import (ContractedSolution, contract_problem,
                           group_clusters, solve_contracted)
 from .model import INGRESS_EDGE, LinearModel, build_model, class_edges
@@ -9,6 +10,7 @@ from .result import OptimizationResult
 from .solve import SolverError, solve, solve_model
 
 __all__ = [
+    "DEFAULT_CACHE_SIZE", "SolverCache", "model_fingerprint",
     "ContractedSolution", "contract_problem", "group_clusters",
     "solve_contracted",
     "INGRESS_EDGE", "LinearModel", "build_model", "class_edges",

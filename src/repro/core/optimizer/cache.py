@@ -1,0 +1,138 @@
+"""Content-addressed solver memoization.
+
+Adaptive controllers re-plan every epoch, and under steady demand the
+assembled :class:`~repro.core.optimizer.model.LinearModel` is frequently
+*identical* between epochs (and between sweep points that share a
+configuration). Solving an identical model twice is pure waste — GATE-style
+arguments apply: optimization speed is itself a TE scaling bottleneck.
+
+:class:`SolverCache` memoizes solutions keyed by a canonical SHA-256
+fingerprint of the numeric model content (objective, constraint matrices,
+bounds, integrality). Only the raw solution vector and solver status are
+cached — never the extracted :class:`OptimizationResult` — so a hit is
+re-extracted against the *current* model and its variable identities; two
+models with identical matrices but different cluster/service names still
+receive correctly-named results.
+
+The cache is bounded (LRU eviction) and keeps hit/miss counters that
+:func:`~repro.core.optimizer.solve.solve_model` surfaces on each
+:class:`OptimizationResult`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+from scipy import sparse
+
+from .model import LinearModel
+
+__all__ = ["SolverCache", "model_fingerprint", "DEFAULT_CACHE_SIZE"]
+
+#: default LRU bound — an adaptive controller alternating between a handful
+#: of quantized demand levels fits comfortably; the memory cost is one
+#: solution vector per entry
+DEFAULT_CACHE_SIZE = 64
+
+
+def _hash_array(hasher, array: np.ndarray) -> None:
+    data = np.ascontiguousarray(array)
+    # length + dtype prefixes keep distinct component sequences from
+    # concatenating to the same byte stream
+    hasher.update(str(data.shape).encode())
+    hasher.update(data.dtype.str.encode())
+    hasher.update(data.tobytes())
+
+
+def _hash_sparse(hasher, matrix: sparse.csr_matrix) -> None:
+    canonical = matrix.tocsr().copy()
+    canonical.sum_duplicates()
+    canonical.sort_indices()
+    hasher.update(str(canonical.shape).encode())
+    _hash_array(hasher, canonical.indptr)
+    _hash_array(hasher, canonical.indices)
+    _hash_array(hasher, canonical.data)
+
+
+def model_fingerprint(model: LinearModel) -> str:
+    """Canonical content hash of a model's numeric payload.
+
+    Two models share a fingerprint iff their objective, constraint
+    matrices (in canonical CSR form), right-hand sides, variable bounds,
+    and integrality pattern are byte-identical — exactly the inputs the
+    solver sees, so equal fingerprints imply equal solution vectors.
+    """
+    hasher = hashlib.sha256()
+    _hash_array(hasher, model.objective)
+    _hash_sparse(hasher, model.a_ub)
+    _hash_array(hasher, model.b_ub)
+    _hash_sparse(hasher, model.a_eq)
+    _hash_array(hasher, model.b_eq)
+    _hash_array(hasher, model.integrality)
+    _hash_array(hasher, model.upper_bounds)
+    return hasher.hexdigest()
+
+
+class SolverCache:
+    """Bounded LRU cache of solved model solution vectors.
+
+    >>> cache = SolverCache(maxsize=2)
+    >>> cache.stats()
+    {'hits': 0, 'misses': 0, 'hit_rate': 0.0, 'entries': 0}
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, tuple[np.ndarray, str]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lookup(self, fingerprint: str) -> tuple[np.ndarray, str] | None:
+        """Return ``(solution_vector, status)`` for a known model, else None.
+
+        Counts a hit/miss and refreshes LRU recency. The returned vector is
+        a copy, so callers cannot corrupt the cached entry.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(fingerprint)
+        solution, status = entry
+        return solution.copy(), status
+
+    def store(self, fingerprint: str, solution: np.ndarray,
+              status: str) -> None:
+        """Insert a solved model, evicting the least-recently-used entry
+        once the size bound is exceeded."""
+        self._entries[fingerprint] = (np.array(solution, copy=True), status)
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counters in a JSON-friendly shape (for BENCH_*.json exports)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": self.hit_rate, "entries": len(self._entries)}
+
+    def __repr__(self) -> str:
+        return (f"SolverCache(entries={len(self._entries)}/{self.maxsize}, "
+                f"hits={self.hits}, misses={self.misses})")

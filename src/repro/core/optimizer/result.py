@@ -27,7 +27,8 @@ class OptimizationResult:
 
     status: str
     objective: float
-    solve_time: float
+    #: wall-clock diagnostic (varies run to run), excluded from equality
+    solve_time: float = field(compare=False)
     flows: dict[tuple[str, int, str, str], float] = field(default_factory=dict)
     pool_load: dict[tuple[str, str], float] = field(default_factory=dict)
     pool_utilization: dict[tuple[str, str], float] = field(default_factory=dict)
@@ -36,6 +37,12 @@ class OptimizationResult:
     predicted_egress_cost_rate: float = 0.0
     predicted_mean_latency: float = 0.0
     total_demand: float = 0.0
+    #: served from a SolverCache instead of a fresh HiGHS solve
+    cache_hit: bool = field(default=False, compare=False)
+    #: cumulative counters of the cache that served this solve (0/0 when
+    #: solved uncached); diagnostic only, excluded from equality
+    cache_hits: int = field(default=0, compare=False)
+    cache_misses: int = field(default=0, compare=False)
 
     @property
     def ok(self) -> bool:

@@ -1,4 +1,10 @@
-"""Solver backend: scipy HiGHS for the LP and MILP variants."""
+"""Solver backend: scipy HiGHS for the LP and MILP variants.
+
+Both entry points accept an optional :class:`SolverCache`; with one, a
+model whose canonical fingerprint was solved before skips HiGHS entirely
+and re-extracts the memoized solution vector against the current model
+(see :mod:`repro.core.optimizer.cache` for why extraction is never cached).
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,7 @@ import time
 import numpy as np
 from scipy import optimize
 
+from .cache import SolverCache, model_fingerprint
 from .model import LinearModel, build_model
 from .piecewise import DEFAULT_KNOT_FRACTIONS
 from .problem import TEProblem
@@ -20,7 +27,8 @@ class SolverError(RuntimeError):
 
 
 def solve(problem: TEProblem, max_splits: int | None = None,
-          knot_fractions=DEFAULT_KNOT_FRACTIONS) -> OptimizationResult:
+          knot_fractions=DEFAULT_KNOT_FRACTIONS,
+          cache: SolverCache | None = None) -> OptimizationResult:
     """Formulate and solve ``problem``; raise :class:`SolverError` on failure.
 
     A failure here means the instance itself is infeasible — most commonly
@@ -30,13 +38,32 @@ def solve(problem: TEProblem, max_splits: int | None = None,
     """
     model = build_model(problem, max_splits=max_splits,
                         knot_fractions=knot_fractions)
-    return solve_model(model)
+    return solve_model(model, cache=cache)
 
 
-def solve_model(model: LinearModel) -> OptimizationResult:
-    """Solve an assembled model with the appropriate HiGHS backend."""
+def solve_model(model: LinearModel,
+                cache: SolverCache | None = None) -> OptimizationResult:
+    """Solve an assembled model with the appropriate HiGHS backend.
+
+    With ``cache``, identical models (by content fingerprint) are solved
+    once; subsequent calls replay the memoized solution vector. Failed
+    solves are never cached, so transiently infeasible instances are
+    retried at full fidelity.
+    """
     # solver wall time is diagnostic output, never simulation input
     started = time.perf_counter()   # lint: ignore[D02]
+    fingerprint = None
+    if cache is not None:
+        fingerprint = model_fingerprint(model)
+        entry = cache.lookup(fingerprint)
+        if entry is not None:
+            solution, status = entry
+            elapsed = time.perf_counter() - started   # lint: ignore[D02]
+            result = extract_result(model, solution, status, elapsed)
+            result.cache_hit = True
+            result.cache_hits = cache.hits
+            result.cache_misses = cache.misses
+            return result
     if model.is_mip:
         solution, status = _solve_milp(model)
     else:
@@ -44,7 +71,13 @@ def solve_model(model: LinearModel) -> OptimizationResult:
     elapsed = time.perf_counter() - started   # lint: ignore[D02]
     if status != "optimal":
         raise SolverError(f"optimization failed: {status}")
-    return extract_result(model, solution, status, elapsed)
+    if cache is not None:
+        cache.store(fingerprint, solution, status)
+    result = extract_result(model, solution, status, elapsed)
+    if cache is not None:
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+    return result
 
 
 def _solve_lp(model: LinearModel) -> tuple[np.ndarray | None, str]:

@@ -1,6 +1,7 @@
 """Experiment scenarios and harness reproducing the paper's evaluation."""
 
 from .harness import Scenario, compare_policies, predict_policy, run_policy
+from .parallel import SweepExecutor, SweepUnit, resolve_workers, run_unit
 from .scenarios import (FigureSetup, fig3_threshold_scenario,
                         fig4_offload_threshold_problem, fig6a_how_much,
                         fig6b_which_cluster, fig6c_multihop,
@@ -9,6 +10,7 @@ from .scenarios import (FigureSetup, fig3_threshold_scenario,
 
 __all__ = [
     "Scenario", "compare_policies", "predict_policy", "run_policy",
+    "SweepExecutor", "SweepUnit", "resolve_workers", "run_unit",
     "FigureSetup", "fig3_threshold_scenario",
     "fig4_offload_threshold_problem", "fig6a_how_much",
     "fig6b_which_cluster", "fig6c_multihop", "fig6d_traffic_classes",

@@ -56,12 +56,18 @@ class Scenario:
 
 
 def run_policy(scenario: Scenario, policy: RoutingPolicy,
-               seed: int | None = None) -> PolicyOutcome:
-    """Simulate one scenario under one policy."""
+               seed: int | None = None,
+               classifier: AppSpecClassifier | None = None) -> PolicyOutcome:
+    """Simulate one scenario under one policy.
+
+    ``classifier`` lets sweep callers build the (stateless)
+    :class:`AppSpecClassifier` once per scenario instead of once per run —
+    see :func:`compare_policies`, which reuses it across policies.
+    """
     simulation = MeshSimulation(
         scenario.app, scenario.deployment,
         seed=scenario.seed if seed is None else seed,
-        classifier=AppSpecClassifier(scenario.app),
+        classifier=classifier or AppSpecClassifier(scenario.app),
     )
     ctx = scenario.context()
     controllers = {name: ClusterController(name)
@@ -97,11 +103,21 @@ def run_policy(scenario: Scenario, policy: RoutingPolicy,
 
 
 def compare_policies(scenario: Scenario,
-                     policies: list[RoutingPolicy]) -> Comparison:
-    """Run every policy on the scenario with identical seeds."""
+                     policies: list[RoutingPolicy],
+                     executor=None) -> Comparison:
+    """Run every policy on the scenario with identical seeds.
+
+    ``executor`` (a :class:`~repro.experiments.parallel.SweepExecutor`)
+    fans the per-policy runs out over worker processes; outcomes are
+    byte-identical to the serial path because each run is a pure function
+    of (scenario, policy, seed) and results keep submission order.
+    """
+    if executor is not None and executor.workers > 1:
+        return executor.compare(scenario, policies)
     comparison = Comparison(scenario.name)
+    classifier = AppSpecClassifier(scenario.app)
     for policy in policies:
-        comparison.add(run_policy(scenario, policy))
+        comparison.add(run_policy(scenario, policy, classifier=classifier))
     return comparison
 
 

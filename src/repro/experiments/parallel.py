@@ -1,0 +1,166 @@
+"""Parallel sweep execution: scenario × policy × seed fan-out.
+
+Every figure, ablation, and robustness result is a *sweep* — a grid of
+independent (scenario, policy, seed) simulation runs. The seed harness ran
+them strictly serially; this module fans the work units out over a
+``concurrent.futures.ProcessPoolExecutor`` while keeping the results
+**byte-identical** to the serial order:
+
+* each unit carries its own seed, so runs are pure functions of their
+  inputs regardless of which process executes them (worker processes build
+  their own :class:`~repro.sim.rng.RngRegistry` from that seed — no
+  randomness is constructed in this module, satisfying lint rule D01);
+* results are returned in deterministic submission order, never completion
+  order;
+* ``workers=1`` (and pickling-hostile work) falls back to plain in-process
+  execution with exactly the serial code path.
+
+Worker count resolution: explicit argument > ``REPRO_WORKERS`` environment
+variable > ``os.cpu_count()``.
+
+Wall-clock timing in this module is diagnostic only (executor overhead
+reporting for BENCH_sweep.json); it never feeds back into simulated time.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..analysis.compare import Comparison, PolicyOutcome
+from ..baselines.base import RoutingPolicy
+from .harness import Scenario, run_policy
+
+__all__ = ["SweepExecutor", "SweepUnit", "WORKERS_ENV", "resolve_workers",
+           "run_unit"]
+
+#: environment override for the default worker count
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve the effective worker count.
+
+    ``None`` consults ``REPRO_WORKERS``, then ``os.cpu_count()``. The
+    result is always >= 1; a non-integer or non-positive override raises.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV)
+        if raw is not None and raw.strip():
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}") from None
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One independent run of a sweep: a scenario under a policy at a seed.
+
+    ``seed=None`` uses the scenario's own seed. ``label`` groups units when
+    regrouping flat results back into per-scenario comparisons.
+    """
+
+    scenario: Scenario
+    policy: RoutingPolicy
+    seed: int | None = None
+    label: str = ""
+
+
+def run_unit(unit: SweepUnit) -> PolicyOutcome:
+    """Execute one sweep unit (module-level so it pickles to workers)."""
+    return run_policy(unit.scenario, unit.policy, seed=unit.seed)
+
+
+def _is_picklable(payload: Any) -> bool:
+    try:
+        pickle.dumps(payload)
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return False
+    return True
+
+
+class SweepExecutor:
+    """Deterministic-order process-pool executor for sweep work units.
+
+    >>> executor = SweepExecutor(workers=1)   # serial fallback
+    >>> executor.map(len, [(1, 2), (3,)])
+    [2, 1]
+
+    With ``workers > 1``, picklable units run in a process pool; results
+    come back in submission order, so output is byte-identical to a serial
+    run of the same units. Units (or functions) that cannot be pickled are
+    executed in-process, still at their submission position. A worker
+    exception propagates to the caller with its original type — the pool
+    is shut down, never left hanging.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        #: wall-clock seconds of the last map() call — diagnostic only,
+        #: exported to BENCH_sweep.json, never simulation input
+        self.last_elapsed: float | None = None
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list:
+        """Apply ``fn`` to every item, returning results in item order."""
+        items = list(items)
+        started = time.perf_counter()   # lint: ignore[D02] diagnostic only
+        try:
+            if self.workers <= 1 or len(items) <= 1:
+                return [fn(item) for item in items]
+            if not _is_picklable(fn):
+                return [fn(item) for item in items]
+            return self._map_parallel(fn, items)
+        finally:
+            self.last_elapsed = (
+                time.perf_counter() - started)   # lint: ignore[D02]
+
+    def run_units(self, units: Sequence[SweepUnit]) -> list[PolicyOutcome]:
+        """Run sweep units, preserving submission order."""
+        return self.map(run_unit, units)
+
+    def compare(self, scenario: Scenario,
+                policies: Sequence[RoutingPolicy]) -> Comparison:
+        """Parallel equivalent of :func:`compare_policies`."""
+        outcomes = self.run_units(
+            [SweepUnit(scenario, policy) for policy in policies])
+        comparison = Comparison(scenario.name)
+        for outcome in outcomes:
+            comparison.add(outcome)
+        return comparison
+
+    # ------------------------------------------------------------ internal
+
+    def _map_parallel(self, fn: Callable[[Any], Any], items: list) -> list:
+        max_workers = min(self.workers, len(items))
+        results: list[Any] = [None] * len(items)
+        inline: list[int] = []
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures: list[tuple[int, Future]] = []
+            for index, item in enumerate(items):
+                if _is_picklable(item):
+                    futures.append((index, pool.submit(fn, item)))
+                else:
+                    # pickling-hostile unit: run in-process, but only after
+                    # parallel submission so workers start immediately
+                    inline.append(index)
+            for index in inline:
+                results[index] = fn(items[index])
+            for index, future in futures:
+                # .result() re-raises the worker's original exception; the
+                # enclosing `with` then shuts the pool down (no hang)
+                results[index] = future.result()
+        return results
+
+    def __repr__(self) -> str:
+        return f"SweepExecutor(workers={self.workers})"

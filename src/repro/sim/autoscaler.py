@@ -95,7 +95,7 @@ class HorizontalAutoscaler:
         if self._started:
             raise RuntimeError("autoscaler already started")
         self._started = True
-        self._next_evaluation = self._sim.schedule(
+        self._next_evaluation = self._sim.schedule_cancellable(
             self.config.evaluation_period, self._evaluate)
 
     def stop(self) -> None:
@@ -110,7 +110,7 @@ class HorizontalAutoscaler:
     def _evaluate(self) -> None:
         for service, pool in sorted(self._cluster.pools.items()):
             self._evaluate_pool(service, pool)
-        self._next_evaluation = self._sim.schedule(
+        self._next_evaluation = self._sim.schedule_cancellable(
             self.config.evaluation_period, self._evaluate)
 
     def _window_utilization(self, service: str, pool: ReplicaPool) -> float:

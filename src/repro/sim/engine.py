@@ -1,8 +1,12 @@
 """Discrete-event simulation engine.
 
-A minimal, fast, deterministic event loop: events are ``(time, sequence,
-callback)`` triples kept in a binary heap. Ties in time break by insertion
-order, so runs are exactly reproducible.
+A minimal, fast, deterministic event loop. The common (non-cancellable)
+case stores events as plain ``(time, seq, callback, args)`` tuples so heap
+sift comparisons run as C tuple comparisons instead of Python ``__lt__``
+calls; cancellable events carry an :class:`EventHandle` in a ``(time, seq,
+None, handle)`` entry. Ties in time break by insertion order (``seq`` is
+unique), so runs are exactly reproducible and comparisons never reach the
+callback slot.
 
 The engine knows nothing about clusters or requests; higher layers
 (:mod:`repro.sim.service`, :mod:`repro.sim.network`, :mod:`repro.sim.runner`)
@@ -25,18 +29,20 @@ class SimulationError(RuntimeError):
 
 
 class EventHandle:
-    """Handle to a scheduled event; allows cancellation.
+    """Handle to a cancellable scheduled event.
 
     Cancellation is lazy: the heap entry stays in place but is skipped when
     popped. This is the standard O(1)-cancel pattern for heap schedulers.
+    Only :meth:`Simulator.schedule_cancellable` /
+    :meth:`Simulator.schedule_at_cancellable` allocate handles; the common
+    fire-and-forget path stays handle-free.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int,
-                 callback: Callable[..., None], args: tuple[Any, ...]) -> None:
+    def __init__(self, time: float, callback: Callable[..., None],
+                 args: tuple[Any, ...]) -> None:
         self.time = time
-        self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
@@ -45,13 +51,15 @@ class EventHandle:
         """Prevent the event from firing. Idempotent."""
         self.cancelled = True
 
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
         name = getattr(self.callback, "__qualname__", repr(self.callback))
         return f"EventHandle(t={self.time:.6f}, {name}, {state})"
+
+
+def _entry_cancelled(entry: tuple) -> bool:
+    """True when a heap entry is a cancelled cancellable event."""
+    return entry[2] is None and entry[3].cancelled
 
 
 class Simulator:
@@ -59,8 +67,8 @@ class Simulator:
 
     >>> sim = Simulator()
     >>> seen = []
-    >>> _ = sim.schedule(1.5, seen.append, "a")
-    >>> _ = sim.schedule(0.5, seen.append, "b")
+    >>> sim.schedule(1.5, seen.append, "a")
+    >>> sim.schedule(0.5, seen.append, "b")
     >>> sim.run()
     >>> seen
     ['b', 'a']
@@ -68,7 +76,8 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[EventHandle] = []
+        #: entries: (time, seq, callback, args) or (time, seq, None, handle)
+        self._heap: list[tuple] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
@@ -90,20 +99,44 @@ class Simulator:
         return len(self._heap)
 
     def schedule(self, delay: float, callback: Callable[..., None],
-                 *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+                 *args: Any) -> None:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        This is the fire-and-forget fast path: no handle is allocated and
+        the event cannot be cancelled. Use :meth:`schedule_cancellable`
+        when the caller may need to revoke the event.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: delay={delay}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq),
+                                    callback, args))
 
     def schedule_at(self, time: float, callback: Callable[..., None],
-                    *args: Any) -> EventHandle:
+                    *args: Any) -> None:
         """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}")
-        handle = EventHandle(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, handle)
+        heapq.heappush(self._heap, (time, next(self._seq), callback, args))
+
+    def schedule_cancellable(self, delay: float,
+                             callback: Callable[..., None],
+                             *args: Any) -> EventHandle:
+        """Like :meth:`schedule`, but returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at_cancellable(self._now + delay, callback,
+                                            *args)
+
+    def schedule_at_cancellable(self, time: float,
+                                callback: Callable[..., None],
+                                *args: Any) -> EventHandle:
+        """Like :meth:`schedule_at`, but returns a cancellable handle."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}")
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(self._heap, (time, next(self._seq), None, handle))
         return handle
 
     def run(self, until: float | None = None,
@@ -120,33 +153,77 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        # locals shave attribute lookups off the per-event cost; the
+        # invariant-check branch is hoisted into its own loop so the
+        # common path pays nothing for it
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and head.time > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                heapq.heappop(self._heap)
-                if self._debug_invariants:
-                    check_event_monotonic(self._now, head.time,
-                                          head.callback)
-                self._now = head.time
-                head.callback(*head.args)
-                self._events_processed += 1
-                executed += 1
+            if self._debug_invariants:
+                executed = self._run_checked(until, max_events)
+            else:
+                while heap:
+                    head = heap[0]
+                    callback = head[2]
+                    if callback is None:
+                        handle = head[3]
+                        if handle.cancelled:
+                            pop(heap)
+                            continue
+                        callback = handle.callback
+                        args = handle.args
+                    else:
+                        args = head[3]
+                    time = head[0]
+                    if until is not None and time > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    pop(heap)
+                    self._now = time
+                    callback(*args)
+                    executed += 1
         finally:
             self._running = False
+            self._events_processed += executed
         if until is not None and self._now < until:
             self._now = until
+
+    def _run_checked(self, until: float | None,
+                     max_events: int | None) -> int:
+        """The :meth:`run` loop with per-event monotonicity checks
+        (``REPRO_DEBUG_INVARIANTS=1``); returns the executed count."""
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
+        while heap:
+            head = heap[0]
+            callback = head[2]
+            if callback is None:
+                handle = head[3]
+                if handle.cancelled:
+                    pop(heap)
+                    continue
+                callback = handle.callback
+                args = handle.args
+            else:
+                args = head[3]
+            time = head[0]
+            if until is not None and time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            pop(heap)
+            check_event_monotonic(self._now, time, callback)
+            self._now = time
+            callback(*args)
+            executed += 1
+        return executed
 
     def run_until_idle(self, max_events: int = 50_000_000) -> None:
         """Drain all pending events (used to let in-flight requests finish)."""
         self.run(max_events=max_events)
-        if self._heap and not all(h.cancelled for h in self._heap):
+        if self._heap and not all(_entry_cancelled(e) for e in self._heap):
             raise SimulationError(
                 f"simulation did not drain within {max_events} events")
 

@@ -46,7 +46,7 @@ def new_request_id() -> int:
     return _request_ids()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestAttributes:
     """The externally visible attributes a classifier may inspect.
 
@@ -76,7 +76,7 @@ class RequestAttributes:
                                  headers=items)
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One end-to-end request moving through the system."""
 
@@ -109,7 +109,7 @@ class Request:
         return self.completion_time is not None and not self.failed
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One service execution within a request's call tree.
 
@@ -150,7 +150,7 @@ class Span:
                 and self.caller_cluster != self.cluster)
 
 
-@dataclass
+@dataclass(slots=True)
 class Trace:
     """All spans recorded for a single request."""
 

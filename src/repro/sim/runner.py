@@ -395,9 +395,11 @@ class MeshSimulation:
                        on_outcome=settle)
 
         if policy is not None:
-            deadline = self.sim.schedule(policy.call_timeout, timed_out)
+            deadline = self.sim.schedule_cancellable(policy.call_timeout,
+                                                     timed_out)
             if policy.hedge_delay is not None:
-                hedge = self.sim.schedule(policy.hedge_delay, launch_hedge)
+                hedge = self.sim.schedule_cancellable(policy.hedge_delay,
+                                                      launch_hedge)
         self._call(request, spec, caller_service, caller_cluster, service,
                    dst, request_bytes, response_bytes, on_outcome=settle)
 

@@ -21,7 +21,7 @@ class TestEngineCorners:
     def test_cancel_inside_callback(self):
         sim = Simulator()
         seen = []
-        later = sim.schedule(2.0, seen.append, "later")
+        later = sim.schedule_cancellable(2.0, seen.append, "later")
         sim.schedule(1.0, later.cancel)
         sim.run()
         assert seen == []

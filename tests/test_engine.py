@@ -77,7 +77,7 @@ def test_schedule_at_past_rejected():
 def test_cancelled_event_does_not_fire():
     sim = Simulator()
     seen = []
-    handle = sim.schedule(1.0, seen.append, "cancelled")
+    handle = sim.schedule_cancellable(1.0, seen.append, "cancelled")
     sim.schedule(2.0, seen.append, "kept")
     handle.cancel()
     sim.run()
@@ -86,11 +86,26 @@ def test_cancelled_event_does_not_fire():
 
 def test_cancel_is_idempotent():
     sim = Simulator()
-    handle = sim.schedule(1.0, lambda: None)
+    handle = sim.schedule_cancellable(1.0, lambda: None)
     handle.cancel()
     handle.cancel()
     sim.run()
     assert sim.events_processed == 0
+
+
+def test_schedule_returns_no_handle():
+    """The fire-and-forget fast path allocates no handle."""
+    sim = Simulator()
+    assert sim.schedule(1.0, lambda: None) is None
+    assert sim.schedule_at(2.0, lambda: None) is None
+    sim.run()
+    assert sim.events_processed == 2
+
+
+def test_cancellable_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_cancellable(-0.1, lambda: None)
 
 
 def test_max_events_bounds_execution():

@@ -49,10 +49,14 @@ def test_env_flag_parsing(monkeypatch):
 # ------------------------------------------------------------- engine loop
 
 def test_engine_detects_time_travel(debug_invariants):
+    import heapq
+
     sim = Simulator()
-    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
     sim.run(until=0.5)           # now == 0.5, event still pending
-    handle.time = 0.25           # corrupt the heap entry into the past
+    # corrupt the heap with an entry in the past (bypasses schedule_at's
+    # own validation, as a buggy component mutating state would)
+    heapq.heappush(sim._heap, (0.25, -1, lambda: None, ()))
     with pytest.raises(InvariantViolation, match="monotonicity"):
         sim.run()
 

@@ -1,0 +1,203 @@
+"""Parallel sweep executor: determinism, fallbacks, and crash semantics.
+
+The executor's contract is that parallel execution is an *implementation
+detail*: whatever worker count is in effect, a sweep's results — down to
+the exported CSV bytes — must be identical to a serial run. These tests
+pin that contract plus the failure modes around it (worker crashes
+propagate, pickling-hostile work falls back in-process, environment
+overrides validate).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.export import write_comparison_csv
+from repro.baselines.local_only import LocalOnlyPolicy
+from repro.core.classes.classifier import AppSpecClassifier
+from repro.experiments.harness import compare_policies, run_policy
+from repro.experiments.parallel import (SweepExecutor, SweepUnit,
+                                        WORKERS_ENV, resolve_workers,
+                                        run_unit)
+from repro.experiments.scenarios import fig6a_how_much
+
+# ---------------------------------------------------------------- fixtures
+
+
+def small_setup(duration: float = 4.0, seed: int = 42):
+    """A short fig6a run: real policies, real sim, a few seconds of work."""
+    return fig6a_how_much(duration=duration, seed=seed)
+
+
+def _double(value):
+    return value * 2
+
+
+def _crash(value):
+    raise ValueError(f"worker crashed on {value}")
+
+
+def _maybe_call(item):
+    """Handles both plain and pickling-hostile (callable) items."""
+    return item() if callable(item) else item * 10
+
+
+class _HostilePolicy(LocalOnlyPolicy):
+    """A policy carrying a lambda attribute — cannot cross a pickle."""
+
+    name = "hostile-local"
+
+    def __init__(self):
+        self.unpicklable = lambda: None
+
+
+# ------------------------------------------------------- worker resolution
+
+
+def test_resolve_workers_explicit_wins(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "7")
+    assert resolve_workers(3) == 3
+
+
+def test_resolve_workers_env_override(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "5")
+    assert resolve_workers() == 5
+
+
+def test_resolve_workers_defaults_to_cpu_count(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    assert resolve_workers() == (os.cpu_count() or 1)
+
+
+def test_resolve_workers_rejects_garbage_env(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "many")
+    with pytest.raises(ValueError, match="must be an integer"):
+        resolve_workers()
+
+
+def test_resolve_workers_rejects_nonpositive():
+    with pytest.raises(ValueError, match=">= 1"):
+        resolve_workers(0)
+
+
+# ----------------------------------------------------------- map semantics
+
+
+def test_map_serial_matches_parallel_order():
+    items = list(range(10))
+    serial = SweepExecutor(workers=1).map(_double, items)
+    parallel = SweepExecutor(workers=2).map(_double, items)
+    assert serial == parallel == [value * 2 for value in items]
+
+
+def test_map_single_item_stays_in_process():
+    # len(items) <= 1 short-circuits to the serial path even with workers
+    executor = SweepExecutor(workers=4)
+    assert executor.map(_double, [21]) == [42]
+
+
+def test_unpicklable_fn_falls_back_to_serial():
+    # a closure cannot be pickled; map must still produce correct results
+    offset = 5
+    executor = SweepExecutor(workers=2)
+    assert executor.map(lambda v: v + offset, [1, 2, 3]) == [6, 7, 8]
+
+
+def test_unpicklable_item_runs_inline_at_its_position():
+    items = [1, 2, (lambda: -1), 3]
+    results = SweepExecutor(workers=2).map(_maybe_call, items)
+    assert results == [10, 20, -1, 30]
+
+
+def test_worker_crash_propagates_original_exception():
+    executor = SweepExecutor(workers=2)
+    with pytest.raises(ValueError, match="worker crashed"):
+        executor.map(_crash, [1, 2, 3])
+    # the pool shut down cleanly: the executor is still usable
+    assert executor.map(_double, [1, 2]) == [2, 4]
+
+
+# ------------------------------------------- end-to-end sweep determinism
+
+
+def test_parallel_sweep_bytes_identical_to_serial(tmp_path):
+    """The determinism-export contract: identical CSV bytes either way."""
+    setup = small_setup()
+    serial = compare_policies(setup.scenario, list(setup.policies),
+                              executor=SweepExecutor(workers=1))
+    parallel = compare_policies(setup.scenario, list(setup.policies),
+                                executor=SweepExecutor(workers=2))
+
+    serial_path = tmp_path / "serial.csv"
+    parallel_path = tmp_path / "parallel.csv"
+    assert write_comparison_csv(serial, serial_path) > 0
+    assert write_comparison_csv(parallel, parallel_path) > 0
+    assert serial_path.read_bytes() == parallel_path.read_bytes()
+
+
+def test_run_units_preserves_submission_order():
+    setup = small_setup(duration=3.0)
+    units = [SweepUnit(setup.scenario, policy, seed=seed,
+                       label=f"s{seed}")
+             for seed in (42, 7)
+             for policy in setup.policies]
+    outcomes = SweepExecutor(workers=2).run_units(units)
+    assert [o.policy for o in outcomes] == [u.policy.name for u in units]
+    # per-unit results equal an individually executed unit
+    direct = run_unit(units[0])
+    assert outcomes[0].latencies == direct.latencies
+    assert outcomes[0].egress_cost == direct.egress_cost
+
+
+def test_pickling_hostile_policy_still_runs():
+    """A policy that can't be pickled silently runs in-process."""
+    setup = small_setup(duration=2.0)
+    hostile = _HostilePolicy()
+    units = [SweepUnit(setup.scenario, hostile),
+             SweepUnit(setup.scenario, setup.policies[0])]
+    outcomes = SweepExecutor(workers=2).run_units(units)
+    assert outcomes[0].policy == "hostile-local"
+    assert outcomes[0].latencies
+    # and equals a plain serial execution of the same unit
+    direct = run_policy(setup.scenario, _HostilePolicy())
+    assert outcomes[0].latencies == direct.latencies
+
+
+# ----------------------------------------------------- classifier reuse
+
+
+def test_run_policy_accepts_prebuilt_classifier():
+    setup = small_setup(duration=2.0)
+    scenario = setup.scenario
+    shared = AppSpecClassifier(scenario.app)
+    with_shared = run_policy(scenario, setup.policies[0], classifier=shared)
+    without = run_policy(scenario, setup.policies[0])
+    assert with_shared.latencies == without.latencies
+    assert with_shared.egress_cost == without.egress_cost
+
+
+# ------------------------------------------------------------ speedup gate
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup criterion applies to 4+-core machines")
+def test_four_worker_sweep_speedup():
+    """ISSUE 2 acceptance: 4 workers on >=8 units beats serial >=2.5x."""
+    units = []
+    for seed in (42, 7, 101, 13):
+        setup = small_setup(duration=6.0, seed=seed)
+        for policy in setup.policies:
+            units.append(SweepUnit(setup.scenario, policy))
+    assert len(units) >= 8
+
+    serial = SweepExecutor(workers=1)
+    serial_outcomes = serial.run_units(units)
+    parallel = SweepExecutor(workers=4)
+    parallel_outcomes = parallel.run_units(units)
+
+    for ours, theirs in zip(serial_outcomes, parallel_outcomes):
+        assert ours.latencies == theirs.latencies
+        assert ours.egress_cost == theirs.egress_cost
+    assert serial.last_elapsed / parallel.last_elapsed >= 2.5
