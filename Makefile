@@ -23,7 +23,8 @@ bench:
 # (docs/performance.md documents the keys)
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_engine.py \
-		benchmarks/bench_sweep.py --benchmark-only -q
+		benchmarks/bench_sweep.py benchmarks/bench_obs.py \
+		--benchmark-only -q
 
 examples:
 	@for ex in examples/*.py; do \

@@ -1,0 +1,64 @@
+"""Observability overhead: events/sec with pillars off vs. on.
+
+The ISSUE's acceptance bar: tracing disabled must cost <2% against the
+bare simulation (one ``is None`` check per span), and the full
+tracing+metrics path must stay under 25% overhead. Each mode's
+events/second headline lands in ``BENCH_obs.json`` so the trajectory is
+tracked across PRs alongside ``BENCH_engine.json``.
+"""
+
+from repro.obs import Observability, ObservabilityConfig
+from repro.sim import (DemandMatrix, DeploymentSpec, linear_chain_app,
+                       two_region_latency)
+from repro.sim.runner import MeshSimulation
+
+_DURATION = 5.0
+
+
+def _scenario():
+    app = linear_chain_app()
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=5,
+        latency=two_region_latency(25.0))
+    demand = DemandMatrix({("default", "west"): 300.0,
+                           ("default", "east"): 100.0})
+    return app, deployment, demand
+
+
+def _simulate(config):
+    obs = Observability(config) if config is not None else None
+    app, deployment, demand = _scenario()
+    sim = MeshSimulation(app, deployment, seed=1, observability=obs)
+    sim.run(demand, duration=_DURATION)
+    if obs is not None:
+        obs.collect(sim)   # the pull-based metrics sweep (no-op sans pillar)
+    return sim.sim.events_processed
+
+
+def _record(benchmark, bench_json, key, events):
+    if benchmark.stats is not None:   # absent under --benchmark-disable
+        bench_json("obs", {
+            key: events / benchmark.stats.stats.mean,
+        })
+
+
+def test_observability_disabled(benchmark, bench_json):
+    """Baseline: no observability object at all (the default path)."""
+    events = benchmark(_simulate, None)
+    assert events > 0
+    _record(benchmark, bench_json, "events_per_sec_off", events)
+
+
+def test_observability_tracing(benchmark, bench_json):
+    """Every span and request envelope recorded into the tracer."""
+    events = benchmark(_simulate, ObservabilityConfig(tracing=True))
+    assert events > 0
+    _record(benchmark, bench_json, "events_per_sec_tracing", events)
+
+
+def test_observability_tracing_and_metrics(benchmark, bench_json):
+    """Tracing plus the end-of-run metrics collection sweep."""
+    events = benchmark(_simulate,
+                       ObservabilityConfig(tracing=True, metrics=True))
+    assert events > 0
+    _record(benchmark, bench_json, "events_per_sec_tracing_metrics", events)

@@ -34,6 +34,8 @@ Subpackages:
   locality failover, local-only, static splits.
 * :mod:`repro.analysis` — CDFs, summaries, fluid-model prediction.
 * :mod:`repro.experiments` — scenario + harness for every paper figure.
+* :mod:`repro.obs` — observability: distributed tracing, metrics registry,
+  controller decision log, control-plane profiler (off by default).
 """
 
 from .analysis import (Comparison, EmpiricalCDF, LatencySummary,
@@ -46,6 +48,7 @@ from .core import (GlobalController, GlobalControllerConfig,
                    RuleSet, SlatePolicy, TEProblem, solve)
 from .experiments import (Scenario, compare_policies, predict_policy,
                           run_policy)
+from .obs import Observability, ObservabilityConfig
 from .sim import (AppSpec, AutoscalerConfig, CallEdge, DemandMatrix,
                   DeploymentSpec, HorizontalAutoscaler, LatencyMatrix,
                   RequestAttributes, TrafficClassSpec,
@@ -66,6 +69,7 @@ __all__ = [
     "OptimizationResult", "RoutingRule", "RuleSet", "SlatePolicy",
     "TEProblem", "solve",
     "Scenario", "compare_policies", "predict_policy", "run_policy",
+    "Observability", "ObservabilityConfig",
     "AppSpec", "AutoscalerConfig", "CacheSpec", "CallEdge", "DemandMatrix",
     "DeploymentSpec", "HorizontalAutoscaler", "LatencyMatrix",
     "RequestAttributes", "TrafficClassSpec",

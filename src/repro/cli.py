@@ -6,10 +6,15 @@ Usage::
     python -m repro figure fig6a [--duration 40] [--seed 42]
     python -m repro figure fig4
     python -m repro solve --app chain --west 650 --east 100 [--cost-weight W]
+    python -m repro obs trace --figure fig6a --format chrome -o trace.json
+    python -m repro obs metrics --figure fig6a --format prom
+    python -m repro obs decisions --scenario diurnal
 
 ``figure`` regenerates one paper experiment and prints the same series the
 benchmark harness saves; ``solve`` runs a single optimizer pass on a stock
-application and prints the routing rules.
+application and prints the routing rules; ``obs`` runs a scenario with the
+observability layer enabled and exports traces, metrics, or the Global
+Controller decision log (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ import argparse
 import sys
 
 __all__ = ["APPS", "FIGURES", "build_parser", "cmd_figure", "cmd_list",
-           "cmd_solve", "cmd_survey", "main"]
+           "cmd_obs", "cmd_solve", "cmd_survey", "main"]
 
 from .analysis.report import format_cdf_series, format_comparison, format_table
 from .core.controller.global_controller import GlobalController
@@ -156,6 +161,105 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    handlers = {"trace": _obs_trace, "metrics": _obs_metrics,
+                "decisions": _obs_decisions}
+    return handlers[args.obs_command](args)
+
+
+def _obs_trace(args: argparse.Namespace) -> int:
+    from .experiments.harness import run_policy
+    from .obs import (Observability, ObservabilityConfig, trace_summary,
+                      write_chrome_trace, write_trace_jsonl)
+    setup = _figure_setup(args.figure, args.duration, args.seed)
+    obs = Observability(ObservabilityConfig(tracing=True))
+    run_policy(setup.scenario, setup.slate, observability=obs)
+    tracer = obs.tracer
+    print(f"{args.figure} (slate, {args.duration:g}s sim): "
+          f"{len(tracer)} requests, {tracer.span_count} spans traced")
+    if args.format == "chrome":
+        out = args.output or f"{args.figure}_trace_chrome.json"
+        events = write_chrome_trace(tracer, out,
+                                    max_requests=args.max_requests)
+        print(f"wrote {events} trace events to {out}")
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+        return 0
+    if args.format == "jsonl":
+        out = args.output or f"{args.figure}_trace.jsonl"
+        count = write_trace_jsonl(tracer, out)
+        print(f"wrote {count} spans to {out}")
+        return 0
+    # summary: critical paths of the slowest requests
+    for record in tracer.slowest_requests(args.top):
+        summary = trace_summary(tracer.tree(record.request_id))
+        print(f"\nrequest {record.request_id} "
+              f"[{record.traffic_class}] via {record.ingress_cluster}: "
+              f"{record.latency * 1000:.2f} ms e2e, "
+              f"{summary['spans']} spans, "
+              f"{summary['cross_cluster_hops']} cross-cluster hops")
+        print(f"  critical path: queue {summary['critical_queue'] * 1000:.2f}"
+              f" ms | exec {summary['critical_exec'] * 1000:.2f} ms"
+              f" | wan {summary['critical_wan'] * 1000:.2f} ms")
+        for hop in summary["critical_path"]:
+            print(f"    {hop['hop']:<14} total {hop['total'] * 1000:8.2f} ms"
+                  f"  queue {hop['queue_wait'] * 1000:7.2f}"
+                  f"  exec {hop['exec_time'] * 1000:7.2f}"
+                  f"  downstream {hop['downstream'] * 1000:7.2f}"
+                  f"  wan-rtt {hop['wan_rtt'] * 1000:6.2f}")
+    return 0
+
+
+def _obs_metrics(args: argparse.Namespace) -> int:
+    import json as json_module
+    from .experiments.harness import run_policy
+    from .obs import Observability, ObservabilityConfig
+    setup = _figure_setup(args.figure, args.duration, args.seed)
+    obs = Observability(ObservabilityConfig(metrics=True, profiling=True))
+    run_policy(setup.scenario, setup.slate, observability=obs)
+    if args.format == "prom":
+        text = obs.metrics.to_prometheus()
+    else:
+        text = json_module.dumps(obs.metrics.snapshot(), indent=2,
+                                 sort_keys=True)
+    if args.output:
+        from pathlib import Path
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {len(obs.metrics)} metrics to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _obs_decisions(args: argparse.Namespace) -> int:
+    import dataclasses
+    from .core.controller.global_controller import GlobalControllerConfig
+    from .core.controller.policy import SlatePolicy
+    from .experiments.harness import run_policy
+    from .obs import Observability, ObservabilityConfig, write_decisions_jsonl
+    obs = Observability(ObservabilityConfig(decisions=True))
+    if args.scenario == "diurnal":
+        setup = sc.diurnal_control_setup(
+            duration=args.duration, seed=args.seed)
+        run_policy(setup.scenario, setup.policy, observability=obs,
+                   timeline=setup.timeline)
+    else:   # fig6a under an adaptive controller
+        figure = sc.fig6a_how_much(duration=args.duration, seed=args.seed)
+        scenario = dataclasses.replace(figure.scenario, epoch=args.epoch)
+        policy = SlatePolicy(
+            GlobalControllerConfig(rho_max=0.95, demand_quantum=25.0,
+                                   learn_profiles=False),
+            adaptive=True)
+        run_policy(scenario, policy, observability=obs)
+    log = obs.decisions
+    if args.format == "jsonl":
+        out = args.output or f"{args.scenario}_decisions.jsonl"
+        count = write_decisions_jsonl(log, out)
+        print(f"wrote {count} decisions to {out}")
+        return 0
+    print(log.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -183,13 +287,60 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--render-istio", action="store_true",
                        help="emit Istio VirtualService/DestinationRule "
                             "manifests for the plan")
+
+    obs = sub.add_parser(
+        "obs", help="run with observability on; export traces/metrics/"
+                    "decisions (docs/observability.md)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    trace = obs_sub.add_parser("trace",
+                               help="distributed trace of a figure scenario")
+    trace.add_argument("--figure", choices=("fig6a", "fig6b", "fig6c",
+                                            "fig6d"), default="fig6a")
+    trace.add_argument("--format", choices=("chrome", "jsonl", "summary"),
+                       default="summary")
+    trace.add_argument("-o", "--output", default=None,
+                       help="output path (default: <figure>_trace_*.json)")
+    trace.add_argument("--duration", type=float, default=5.0,
+                       help="simulated seconds")
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--max-requests", type=int, default=200,
+                       help="chrome export: cap on exported request ids "
+                            "(keeps the file viewer-loadable)")
+    trace.add_argument("--top", type=int, default=3,
+                       help="summary: how many slowest requests to break "
+                            "down")
+
+    metrics = obs_sub.add_parser("metrics",
+                                 help="metrics snapshot of a figure scenario")
+    metrics.add_argument("--figure", choices=("fig6a", "fig6b", "fig6c",
+                                              "fig6d"), default="fig6a")
+    metrics.add_argument("--format", choices=("json", "prom"),
+                         default="json")
+    metrics.add_argument("-o", "--output", default=None,
+                         help="output path (default: stdout)")
+    metrics.add_argument("--duration", type=float, default=10.0)
+    metrics.add_argument("--seed", type=int, default=42)
+
+    decisions = obs_sub.add_parser(
+        "decisions", help="Global Controller epoch decision log")
+    decisions.add_argument("--scenario", choices=("diurnal", "fig6a"),
+                           default="diurnal")
+    decisions.add_argument("--format", choices=("text", "jsonl"),
+                           default="text")
+    decisions.add_argument("-o", "--output", default=None)
+    decisions.add_argument("--duration", type=float, default=240.0,
+                           help="simulated seconds")
+    decisions.add_argument("--epoch", type=float, default=10.0,
+                           help="re-plan period (fig6a scenario)")
+    decisions.add_argument("--seed", type=int, default=42)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "figure": cmd_figure,
-                "solve": cmd_solve, "survey": cmd_survey}
+                "solve": cmd_solve, "survey": cmd_survey, "obs": cmd_obs}
     return handlers[args.command](args)
 
 

@@ -43,6 +43,11 @@ class OptimizationResult:
     #: solved uncached); diagnostic only, excluded from equality
     cache_hits: int = field(default=0, compare=False)
     cache_misses: int = field(default=0, compare=False)
+    #: model dimensions, for solver-scaling observability; diagnostic only
+    n_variables: int = field(default=0, compare=False)
+    n_constraints: int = field(default=0, compare=False)
+    #: content fingerprint of the solved model (set when a cache keyed it)
+    fingerprint: str | None = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -99,6 +104,8 @@ def extract_result(model: LinearModel, solution, status: str,
         objective=float("nan"),
         solve_time=solve_time,
         total_demand=problem.total_demand(),
+        n_variables=model.n_variables,
+        n_constraints=int(model.a_ub.shape[0] + model.a_eq.shape[0]),
     )
     for name in problem.workloads:
         from .model import class_edges   # local import avoids module cycle

@@ -63,6 +63,7 @@ def solve_model(model: LinearModel,
             result.cache_hit = True
             result.cache_hits = cache.hits
             result.cache_misses = cache.misses
+            result.fingerprint = fingerprint
             return result
     if model.is_mip:
         solution, status = _solve_milp(model)
@@ -77,6 +78,7 @@ def solve_model(model: LinearModel,
     if cache is not None:
         result.cache_hits = cache.hits
         result.cache_misses = cache.misses
+        result.fingerprint = fingerprint
     return result
 
 

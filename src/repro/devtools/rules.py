@@ -514,15 +514,25 @@ class DunderAllConsistency(Rule):
 # ------------------------------------------------------------------ D08
 
 class PrintInLibraryCode(Rule):
-    """Library code reports through telemetry/logging, never ``print``.
+    """Library code reports through telemetry/logging, never ``print``
+    (nor unsanctioned file writes).
 
     ``print`` in the simulator or control plane interleaves with test
-    output and cannot be captured by the analysis pipeline. The CLI and
-    the lint tool itself are the only sanctioned terminal writers.
+    output and cannot be captured by the analysis pipeline; silent file
+    writes scatter run artifacts wherever the process happens to run. The
+    CLI and the lint tool itself are the only sanctioned terminal writers;
+    designated exporter modules (``repro.obs.export``,
+    ``repro.analysis.export``, csv save helpers) suppress per line with a
+    rationale — file output is their declared purpose and every path is
+    caller-chosen.
     """
 
     rule_id = "D08"
-    summary = "print() in library code"
+    summary = "print()/file write in library code"
+
+    #: ``open()`` mode characters that make the call a write
+    _WRITE_MODE_CHARS = frozenset("wax+")
+    _WRITE_METHODS = ("write_text", "write_bytes")
 
     def applies_to(self, module: ModuleSource) -> bool:
         if not _in_repro_package(module):
@@ -534,13 +544,42 @@ class PrintInLibraryCode(Rule):
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
-            if (isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Name)
+            if not isinstance(node, ast.Call):
+                continue
+            if (isinstance(node.func, ast.Name)
                     and node.func.id == "print"):
                 yield self.finding(
                     module, node,
                     "print() in library code; return a string or use the "
                     "telemetry path")
+            elif (isinstance(node.func, ast.Name)
+                    and node.func.id == "open"
+                    and self._opens_for_write(node)):
+                yield self.finding(
+                    module, node,
+                    "file write in library code; route artifact output "
+                    "through an exporter module (repro.obs.export / "
+                    "repro.analysis.export) or suppress with a rationale")
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._WRITE_METHODS):
+                yield self.finding(
+                    module, node,
+                    f".{node.func.attr}() in library code; route artifact "
+                    f"output through an exporter module or suppress with "
+                    f"a rationale")
+
+    def _opens_for_write(self, node: ast.Call) -> bool:
+        mode = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+        if not (isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)):
+            return False   # no/odd mode: default "r", a read
+        return bool(self._WRITE_MODE_CHARS.intersection(mode.value))
 
 
 #: registry in rule-id order; the linter instantiates from this list

@@ -57,27 +57,47 @@ class Scenario:
 
 def run_policy(scenario: Scenario, policy: RoutingPolicy,
                seed: int | None = None,
-               classifier: AppSpecClassifier | None = None) -> PolicyOutcome:
+               classifier: AppSpecClassifier | None = None,
+               observability=None,
+               timeline=None) -> PolicyOutcome:
     """Simulate one scenario under one policy.
 
     ``classifier`` lets sweep callers build the (stateless)
     :class:`AppSpecClassifier` once per scenario instead of once per run —
     see :func:`compare_policies`, which reuses it across policies.
+
+    ``observability`` accepts an
+    :class:`~repro.obs.config.ObservabilityConfig` (or a prebuilt
+    :class:`~repro.obs.config.Observability`): traces/metrics/decision-log/
+    profiling for the run, all off by default. ``timeline`` (a
+    :class:`~repro.sim.traces.DemandTimeline`) replaces the scenario's
+    constant demand matrix with time-varying sources — the controller
+    dynamics the decision log exists to show.
     """
+    from ..obs.config import Observability
+    obs = Observability.coerce(observability)
     simulation = MeshSimulation(
         scenario.app, scenario.deployment,
         seed=scenario.seed if seed is None else seed,
         classifier=classifier or AppSpecClassifier(scenario.app),
+        observability=obs,
     )
+    obs = simulation.observability   # post-coercion runtime (or None)
+    profiler = obs.profiler if obs is not None else None
+    decision_log = obs.decisions if obs is not None else None
     ctx = scenario.context()
     controllers = {name: ClusterController(name)
                    for name in scenario.deployment.cluster_names}
 
-    rules = policy.compute_rules(ctx)
+    if profiler is not None:
+        with profiler.section("initial-plan"):
+            rules = policy.compute_rules(ctx)
+    else:
+        rules = policy.compute_rules(ctx)
     for controller in controllers.values():
         controller.distribute(rules, simulation.table)
 
-    def on_epoch(reports, sim) -> None:
+    def epoch_body(reports, sim) -> None:
         relayed = []
         for report in reports:
             controller = controllers[report.cluster]
@@ -87,10 +107,28 @@ def run_policy(scenario: Scenario, policy: RoutingPolicy,
         if update is not None:
             for controller in controllers.values():
                 controller.distribute(update, sim.table)
+        if decision_log is not None:
+            global_controller = getattr(policy, "controller", None)
+            if global_controller is not None:
+                decision_log.record(sim.sim.now, global_controller, update)
 
-    simulation.run(scenario.demand, scenario.duration,
-                   epoch=scenario.epoch,
-                   on_epoch=on_epoch if scenario.epoch else None)
+    def on_epoch(reports, sim) -> None:
+        if profiler is not None:
+            with profiler.section("epoch"):
+                epoch_body(reports, sim)
+        else:
+            epoch_body(reports, sim)
+
+    if timeline is not None:
+        simulation.run_timeline(timeline, epoch=scenario.epoch,
+                                on_epoch=on_epoch if scenario.epoch else None)
+    else:
+        simulation.run(scenario.demand, scenario.duration,
+                       epoch=scenario.epoch,
+                       on_epoch=on_epoch if scenario.epoch else None)
+
+    if obs is not None:
+        obs.collect(simulation, getattr(policy, "controller", None))
 
     return PolicyOutcome(
         policy=policy.name,

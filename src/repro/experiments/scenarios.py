@@ -20,10 +20,12 @@ from ..sim.apps import (AppSpec, anomaly_detection_app, linear_chain_app,
 from ..sim.network import EgressPricing
 from ..sim.topology import (ClusterSpec, DeploymentSpec,
                             gcp_four_region_latency, two_region_latency)
+from ..sim.traces import DemandTimeline, diurnal_timeline
 from ..sim.workload import DemandMatrix
 from .harness import Scenario
 
-__all__ = ["FigureSetup", "fig6a_how_much", "fig6b_which_cluster",
+__all__ = ["DiurnalControlSetup", "FigureSetup", "diurnal_control_setup",
+           "fig6a_how_much", "fig6b_which_cluster",
            "fig6c_multihop", "fig6d_traffic_classes",
            "fig4_offload_threshold_problem", "fig3_threshold_scenario",
            "locality_failover_policy", "waterfall_with_absolute_threshold"]
@@ -168,6 +170,60 @@ def fig6d_traffic_classes(west_light_rps: float = 450.0,
         app, deployment, threshold_rho=threshold_rho))
     slate = SlatePolicy(GlobalControllerConfig(rho_max=0.95))
     return FigureSetup(scenario, slate, waterfall)
+
+
+@dataclass
+class DiurnalControlSetup:
+    """A time-varying scenario plus the adaptive policy driving it."""
+
+    scenario: Scenario
+    policy: SlatePolicy
+    timeline: DemandTimeline
+
+
+def diurnal_control_setup(base_rps: float = 150.0,
+                          amplitude: float = 0.5,
+                          duration: float = 240.0,
+                          epoch: float = 10.0,
+                          demand_quantum: float = 25.0,
+                          replicas: int = 5,
+                          seed: int = 42) -> DiurnalControlSetup:
+    """Adaptive SLATE under follow-the-sun diurnal demand (§2, §5).
+
+    Two clusters carry opposite-phase sinusoidal demand over one full
+    period, with the adaptive Global Controller re-planning every epoch.
+    With ``demand_quantum`` hysteresis, epochs near the sinusoid's flat
+    peaks quantize to the same demand estimate and **replay** the cached
+    solve, while the steep flanks shift the estimate past a quantum and
+    force a fresh **re-plan** — the exact mix the decision log
+    (``repro obs decisions``) exists to make visible.
+    """
+    import math
+
+    app = linear_chain_app(n_services=3, exec_time=0.010)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=replicas,
+        latency=two_region_latency(25.0))
+    base = DemandMatrix({("default", "west"): base_rps,
+                         ("default", "east"): base_rps})
+    timeline = diurnal_timeline(
+        base, duration, period=duration, amplitude=amplitude,
+        phase_by_cluster={"west": 0.0, "east": math.pi},
+        steps_per_period=12)
+    scenario = Scenario(name="diurnal-control", app=app,
+                        deployment=deployment, demand=base,
+                        duration=duration, warmup=duration / 6,
+                        seed=seed, epoch=epoch)
+    policy = SlatePolicy(
+        # trust the spec's compute times (see docs/performance.md): with
+        # profile learning on, learned exec times jitter every epoch and no
+        # two models would ever repeat, hiding the hysteresis behaviour
+        # this setup exists to demonstrate
+        GlobalControllerConfig(rho_max=0.95,
+                               demand_quantum=demand_quantum,
+                               learn_profiles=False),
+        adaptive=True)
+    return DiurnalControlSetup(scenario, policy, timeline)
 
 
 def fig4_offload_threshold_problem(one_way_ms: float, west_rps: float,

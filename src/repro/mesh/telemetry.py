@@ -165,35 +165,100 @@ class RunTelemetry:
 
     ``keep_spans`` retains every span — useful for call-graph inference and
     debugging, off by default to bound memory on long runs.
+
+    ``reservoir_size`` bounds memory on *long* runs: instead of retaining
+    every completed request, a per-class reservoir sample (Algorithm R) of
+    at most that many ``(arrival_time, latency)`` pairs is kept, each
+    completion equally likely to survive. Sampling draws come from the
+    supplied generator (a named :class:`~repro.sim.rng.RngRegistry` stream)
+    so runs stay reproducible. Exact retention remains the default — figure
+    reproduction wants every point — and exact completion/failure *counts*
+    are maintained in both modes.
     """
 
-    def __init__(self, keep_spans: bool = False) -> None:
+    def __init__(self, keep_spans: bool = False,
+                 reservoir_size: int | None = None, rng=None) -> None:
+        if reservoir_size is not None:
+            if reservoir_size < 1:
+                raise ValueError(
+                    f"reservoir_size must be >= 1, got {reservoir_size}")
+            if rng is None:
+                raise ValueError(
+                    "reservoir sampling requires an rng for "
+                    "reproducible draws")
         self.requests: list[Request] = []
         self.failed_requests: list[Request] = []
         self.spans: list[Span] = []
         self._keep_spans = keep_spans
+        self._reservoir_size = reservoir_size
+        self._rng = rng
+        #: exact lifetime counters, maintained in both retention modes
+        self.completed_count = 0
+        self.failed_count = 0
+        #: class → (arrival_time, latency) sample (reservoir mode only)
+        self._reservoirs: dict[str, list[tuple[float, float]]] = {}
+        self._seen_by_class: dict[str, int] = {}
+
+    @property
+    def reservoir_mode(self) -> bool:
+        return self._reservoir_size is not None
 
     def record_completion(self, request: Request) -> None:
-        self.requests.append(request)
+        self.completed_count += 1
+        if self._reservoir_size is None:
+            self.requests.append(request)
+            return
+        cls = request.traffic_class
+        seen = self._seen_by_class.get(cls, 0)
+        bucket = self._reservoirs.get(cls)
+        if bucket is None:
+            bucket = self._reservoirs[cls] = []
+        if seen < self._reservoir_size:
+            bucket.append((request.arrival_time, request.latency))
+        else:
+            slot = int(self._rng.integers(seen + 1))
+            if slot < self._reservoir_size:
+                bucket[slot] = (request.arrival_time, request.latency)
+        self._seen_by_class[cls] = seen + 1
 
     def record_failure(self, request: Request) -> None:
-        self.failed_requests.append(request)
+        self.failed_count += 1
+        if self._reservoir_size is None:
+            self.failed_requests.append(request)
 
     def record_span(self, span: Span) -> None:
         if self._keep_spans:
             self.spans.append(span)
 
     def latencies(self, after: float = 0.0) -> list[float]:
-        """E2E latencies of requests arriving at/after ``after`` (warm-up cut)."""
+        """E2E latencies of requests arriving at/after ``after`` (warm-up cut).
+
+        In reservoir mode these are the sampled latencies (recording order
+        within each class, classes in sorted order).
+        """
+        if self._reservoir_size is not None:
+            return [latency
+                    for cls in sorted(self._reservoirs)
+                    for arrival, latency in self._reservoirs[cls]
+                    if arrival >= after]
         return [r.latency for r in self.requests
                 if r.done and r.arrival_time >= after]
 
     def latencies_by_class(self, after: float = 0.0) -> dict[str, list[float]]:
+        if self._reservoir_size is not None:
+            return {cls: [latency for arrival, latency in samples
+                          if arrival >= after]
+                    for cls, samples in sorted(self._reservoirs.items())}
         out: dict[str, list[float]] = {}
         for request in self.requests:
             if request.done and request.arrival_time >= after:
                 out.setdefault(request.traffic_class, []).append(request.latency)
         return out
+
+    def sample_counts(self) -> dict[str, tuple[int, int]]:
+        """Per class: (completions seen, samples retained). Reservoir mode."""
+        return {cls: (self._seen_by_class[cls], len(self._reservoirs[cls]))
+                for cls in sorted(self._reservoirs)}
 
     def traces(self) -> dict[int, "Trace"]:
         """Assemble per-request traces from retained spans.

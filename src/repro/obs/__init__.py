@@ -1,0 +1,60 @@
+"""Observability for the reproduction itself (tracing, metrics, decisions).
+
+SLATE's premise (§3.1) is that the service layer can observe what the
+network layer cannot; this package applies the same idea to the simulator:
+
+* :mod:`repro.obs.tracing` — per-request distributed traces stitched from
+  the spans the mesh already emits, exported to JSONL or Chrome
+  ``trace_event`` (Perfetto) format;
+* :mod:`repro.obs.analyzer` — critical-path extraction and per-hop
+  queue/exec/WAN latency breakdowns over those traces;
+* :mod:`repro.obs.metrics` — a labeled counter/gauge/histogram registry
+  with JSON and prometheus-style exports, filled by :mod:`repro.obs.collect`;
+* :mod:`repro.obs.decisions` — an append-only log of every Global
+  Controller epoch (demand delta, solve-vs-replay, routing diff);
+* :mod:`repro.obs.profiler` — wall-clock profiling of the control plane
+  (the one deliberate wall-clock consumer; simulated code never is).
+
+Everything is off by default: construct an :class:`ObservabilityConfig`
+and pass it to ``MeshSimulation``/``run_policy`` to opt in. See
+``docs/observability.md``.
+"""
+
+from .analyzer import (HopBreakdown, critical_path, hop_breakdown,
+                       trace_summary)
+from .config import Observability, ObservabilityConfig
+from .decisions import DecisionLog, EpochDecision
+from .export import (load_trace_jsonl, write_chrome_trace,
+                     write_decisions_jsonl, write_metrics_json,
+                     write_metrics_prometheus, write_trace_jsonl)
+from .metrics import (Counter, DEFAULT_LATENCY_BUCKETS, Gauge, Histogram,
+                      MetricsRegistry)
+from .profiler import ControlPlaneProfiler
+from .tracing import TraceNode, Tracer, build_trace_tree, chrome_trace
+
+__all__ = [
+    "ControlPlaneProfiler",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DecisionLog",
+    "EpochDecision",
+    "Gauge",
+    "Histogram",
+    "HopBreakdown",
+    "MetricsRegistry",
+    "Observability",
+    "ObservabilityConfig",
+    "TraceNode",
+    "Tracer",
+    "build_trace_tree",
+    "chrome_trace",
+    "critical_path",
+    "hop_breakdown",
+    "load_trace_jsonl",
+    "trace_summary",
+    "write_chrome_trace",
+    "write_decisions_jsonl",
+    "write_metrics_json",
+    "write_metrics_prometheus",
+    "write_trace_jsonl",
+]

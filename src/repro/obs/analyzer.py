@@ -1,0 +1,125 @@
+"""Pure-python trace analysis: critical paths and latency breakdowns.
+
+Works on the :class:`~repro.obs.tracing.TraceNode` trees the tracer
+stitches. Everything here is derived arithmetic over simulated timestamps —
+no clocks, no IO — so analyses are as reproducible as the traces themselves.
+
+The questions these answer are the ones SLATE's service-layer vantage point
+exists to answer (§3.1): *where* did a request's latency accrue (queueing at
+a saturated pool, execution, WAN hops to a remote cluster) and *which* chain
+of calls actually bounded completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.request import Span
+from .tracing import TraceNode
+
+__all__ = ["HopBreakdown", "critical_path", "hop_breakdown",
+           "trace_summary"]
+
+
+@dataclass(frozen=True)
+class HopBreakdown:
+    """Where one span's wall-to-wall (simulated) time went.
+
+    ``downstream`` is time spent blocked on children (and the WAN legs to
+    reach them): total minus local queue wait minus local execution.
+    """
+
+    service: str
+    cluster: str
+    remote: bool
+    queue_wait: float
+    exec_time: float
+    downstream: float
+    wan_rtt: float
+    total: float
+
+    @classmethod
+    def of(cls, node: TraceNode) -> "HopBreakdown":
+        span = node.span
+        total = span.total_time
+        downstream = total - span.queue_wait - span.exec_time
+        return cls(
+            service=span.service,
+            cluster=span.cluster,
+            remote=span.remote,
+            queue_wait=span.queue_wait,
+            exec_time=span.exec_time,
+            downstream=max(downstream, 0.0),
+            wan_rtt=node.wan_rtt,
+            total=total,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "service": self.service,
+            "cluster": self.cluster,
+            "remote": self.remote,
+            "queue_wait": self.queue_wait,
+            "exec_time": self.exec_time,
+            "downstream": self.downstream,
+            "wan_rtt": self.wan_rtt,
+            "total": self.total,
+        }
+
+
+def critical_path(root: TraceNode) -> list[TraceNode]:
+    """The chain of spans that bounded this (sub)trace's completion.
+
+    From the root, repeatedly descend into the child whose span finished
+    last — with synchronous fan-out (the simulator's call model), the
+    last-finishing child is the one the parent was still waiting on, so the
+    resulting root→leaf chain is the trace's critical path.
+    """
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children,
+                   key=lambda child: (child.span.end_time,
+                                      child.span.start_time))
+        path.append(node)
+    return path
+
+
+def hop_breakdown(nodes) -> list[HopBreakdown]:
+    """Per-hop queue/exec/downstream/WAN split for a path or node list."""
+    return [HopBreakdown.of(node) for node in nodes]
+
+
+def trace_summary(roots: list[TraceNode]) -> dict:
+    """Aggregate view of one request's stitched trees.
+
+    Returns span/hop counts, end-to-end duration, the critical path (as
+    ``service@cluster`` hops with per-hop breakdowns), and the summed
+    queue/exec/WAN components along that path.
+    """
+    if not roots:
+        return {"spans": 0, "roots": 0, "duration": 0.0,
+                "cross_cluster_hops": 0, "critical_path": [],
+                "critical_queue": 0.0, "critical_exec": 0.0,
+                "critical_wan": 0.0}
+    spans: list[Span] = [node.span
+                         for root in roots for node in root.walk()]
+    start = min(span.enqueue_time for span in spans)
+    end = max(span.end_time for span in spans)
+    # Analyze the tree that finished last: it bounded the request.
+    main_root = max(roots, key=lambda r: max(n.span.end_time
+                                             for n in r.walk()))
+    path = critical_path(main_root)
+    breakdowns = hop_breakdown(path)
+    return {
+        "spans": len(spans),
+        "roots": len(roots),
+        "duration": end - start,
+        "cross_cluster_hops": sum(1 for span in spans if span.remote),
+        "critical_path": [
+            {"hop": f"{b.service}@{b.cluster}", **b.as_dict()}
+            for b in breakdowns],
+        "critical_queue": sum(b.queue_wait for b in breakdowns),
+        "critical_exec": sum(b.exec_time for b in breakdowns),
+        "critical_wan": sum(b.wan_rtt for b in breakdowns),
+    }

@@ -1,0 +1,175 @@
+"""Metric collection: snapshot simulation/controller state into a registry.
+
+Instrumentation here is *pull-based*: nothing in the data or control plane
+calls the registry on its hot path. Instead, collectors read the counters
+those components already maintain (engine event counts, pool depths,
+gateway conservation counters, the egress ledger, solver cache stats) and
+fold them into labeled metrics after — or between — runs. That keeps the
+enabled-observability overhead near zero and the disabled case literally
+zero.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .profiler import ControlPlaneProfiler
+
+__all__ = ["collect_controller_metrics", "collect_profiler_metrics",
+           "collect_simulation_metrics"]
+
+
+def collect_simulation_metrics(registry: MetricsRegistry,
+                               simulation) -> None:
+    """Snapshot a :class:`~repro.sim.runner.MeshSimulation` into metrics."""
+    sim = simulation.sim
+    registry.counter(
+        "engine_events_total",
+        "events processed by the discrete-event engine").inc(
+            sim.events_processed)
+    registry.gauge(
+        "engine_pending_events",
+        "heap depth at snapshot time").set(sim.pending_events)
+    registry.gauge(
+        "engine_sim_time_seconds",
+        "simulated clock at snapshot time").set(sim.now)
+
+    for cluster_name in sorted(simulation.clusters):
+        cluster = simulation.clusters[cluster_name]
+        for service in sorted(cluster.pools):
+            pool = cluster.pools[service]
+            labels = {"service": service, "cluster": cluster_name}
+            registry.gauge(
+                "pool_queue_depth",
+                "jobs waiting for a replica").set(pool.queue_length, **labels)
+            registry.gauge(
+                "pool_busy_replicas",
+                "replicas executing a job").set(pool.busy_replicas, **labels)
+            registry.gauge(
+                "pool_replicas",
+                "provisioned replica count").set(pool.replicas, **labels)
+            if sim.now > 0:
+                utilization = (pool.lifetime_busy_seconds
+                               / (pool.replicas * sim.now))
+            else:
+                utilization = 0.0
+            registry.gauge(
+                "pool_utilization",
+                "lifetime busy fraction per replica").set(
+                    utilization, **labels)
+
+    for cluster_name in sorted(simulation.gateways):
+        gateway = simulation.gateways[cluster_name]
+        labels = {"cluster": cluster_name}
+        registry.counter(
+            "gateway_admitted_total",
+            "requests admitted at the ingress gateway").inc(
+                gateway.admitted_count, **labels)
+        registry.counter(
+            "gateway_completed_total",
+            "requests completed end-to-end").inc(
+                gateway.completed_count, **labels)
+        registry.counter(
+            "gateway_failed_total",
+            "requests that exhausted retries").inc(
+                gateway.failed_count, **labels)
+        registry.gauge(
+            "gateway_open_requests",
+            "requests admitted but not yet settled").set(
+                gateway.open_requests, **labels)
+
+    ledger = simulation.network.ledger
+    for (src, dst) in sorted(ledger.bytes_by_pair):
+        registry.counter(
+            "wan_egress_bytes_total",
+            "bytes crossing the WAN per directed cluster pair").inc(
+                ledger.bytes_by_pair[(src, dst)], src=src, dst=dst)
+    for src in sorted(ledger.cost_by_src):
+        registry.counter(
+            "wan_egress_cost_dollars_total",
+            "egress spend billed to the source cluster").inc(
+                ledger.cost_by_src[src], src=src)
+
+    registry.counter(
+        "calls_dropped_total",
+        "calls lost to a service that failed in flight").inc(
+            simulation.dropped_calls)
+    registry.counter(
+        "calls_timed_out_total",
+        "call attempts abandoned past their deadline").inc(
+            simulation.timed_out_calls)
+    registry.counter(
+        "calls_hedged_total",
+        "duplicate calls launched by the hedging policy").inc(
+            simulation.hedged_calls)
+
+    latency = registry.histogram(
+        "request_latency_seconds",
+        "end-to-end request latency by traffic class")
+    for cls, values in sorted(
+            simulation.telemetry.latencies_by_class().items()):
+        for value in values:
+            latency.observe(value, traffic_class=cls)
+
+
+def collect_controller_metrics(registry: MetricsRegistry,
+                               controller) -> None:
+    """Snapshot a :class:`GlobalController` (adaptive runs) into metrics."""
+    if controller is None:
+        return
+    registry.counter(
+        "controller_epochs_observed_total",
+        "telemetry epochs folded into learned state").inc(
+            controller.epochs_observed)
+    cache = controller.solver_cache
+    if cache is not None:
+        registry.counter(
+            "solver_cache_hits_total",
+            "epoch solves replayed from the memoization cache").inc(
+                cache.hits)
+        registry.counter(
+            "solver_cache_misses_total",
+            "epoch solves that ran the optimizer").inc(cache.misses)
+        registry.gauge(
+            "solver_cache_hit_rate",
+            "hits / lookups over the run").set(cache.hit_rate)
+    result = controller.last_result
+    if result is not None:
+        registry.gauge(
+            "solver_objective",
+            "objective value of the most recent plan").set(result.objective)
+        registry.gauge(
+            "solver_wall_time_seconds",
+            "wall-clock time of the most recent solve").set(
+                result.solve_time)
+        registry.gauge(
+            "solver_variables",
+            "decision variables in the most recent model").set(
+                result.n_variables)
+        registry.gauge(
+            "solver_constraints",
+            "rows in the most recent model").set(result.n_constraints)
+        registry.gauge(
+            "solver_total_demand_rps",
+            "demand the most recent plan routed").set(result.total_demand)
+
+
+def collect_profiler_metrics(registry: MetricsRegistry,
+                             profiler: ControlPlaneProfiler | None) -> None:
+    """Fold control-plane wall-time sections into metrics."""
+    if profiler is None:
+        return
+    for name in profiler.section_names():
+        stats = profiler.stats(name)
+        labels = {"section": name}
+        registry.counter(
+            "control_plane_section_runs_total",
+            "times each profiled control-plane section executed").inc(
+                stats.count, **labels)
+        registry.counter(
+            "control_plane_section_seconds_total",
+            "wall-clock seconds spent per control-plane section").inc(
+                stats.total, **labels)
+        registry.gauge(
+            "control_plane_section_max_seconds",
+            "slowest single execution per section").set(
+                stats.max, **labels)

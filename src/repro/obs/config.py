@@ -1,0 +1,112 @@
+"""Observability configuration and the per-run runtime holder.
+
+One frozen :class:`ObservabilityConfig` switches the whole layer; every
+pillar defaults to off so baseline runs stay byte-identical and pay no
+overhead (the runner checks a single ``is None`` per span when disabled).
+
+:class:`Observability` is the live counterpart: it owns the tracer, the
+metrics registry, the decision log, and the control-plane profiler for one
+run, and is what `MeshSimulation`/`run_policy` accept. Pass a config and
+the harness builds the runtime for you; pass a prebuilt runtime to share
+one registry across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .decisions import DecisionLog
+from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from .profiler import ControlPlaneProfiler
+from .tracing import Tracer
+
+__all__ = ["Observability", "ObservabilityConfig"]
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Which observability pillars to enable for a run."""
+
+    #: collect every span into a :class:`Tracer` (trace trees, exports)
+    tracing: bool = False
+    #: snapshot engine/pool/gateway/solver state into a metrics registry
+    metrics: bool = False
+    #: record one :class:`EpochDecision` per Global Controller epoch
+    decisions: bool = False
+    #: wall-clock profiling of control-plane sections (plan, distribute)
+    profiling: bool = False
+    #: histogram bucket bounds (seconds) for latency metrics
+    latency_buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+
+    @property
+    def enabled(self) -> bool:
+        """True when any pillar is on."""
+        return (self.tracing or self.metrics or self.decisions
+                or self.profiling)
+
+    @classmethod
+    def off(cls) -> "ObservabilityConfig":
+        """The default: everything disabled."""
+        return cls()
+
+    @classmethod
+    def full(cls) -> "ObservabilityConfig":
+        """Every pillar enabled."""
+        return cls(tracing=True, metrics=True, decisions=True,
+                   profiling=True)
+
+
+class Observability:
+    """Live observability state for one run (or a shared set of runs)."""
+
+    def __init__(self, config: ObservabilityConfig | None = None) -> None:
+        self.config = config or ObservabilityConfig()
+        self.tracer: Tracer | None = (
+            Tracer() if self.config.tracing else None)
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if self.config.metrics else None)
+        self.decisions: DecisionLog | None = (
+            DecisionLog() if self.config.decisions else None)
+        self.profiler: ControlPlaneProfiler | None = (
+            ControlPlaneProfiler() if self.config.profiling else None)
+
+    @classmethod
+    def coerce(cls, obj) -> "Observability | None":
+        """Accept ``None``, a config, or a prebuilt runtime.
+
+        ``None`` and an all-off config both coerce to ``None`` so disabled
+        runs skip every hook entirely.
+        """
+        if obj is None:
+            return None
+        if isinstance(obj, Observability):
+            return obj if obj.config.enabled else None
+        if isinstance(obj, ObservabilityConfig):
+            return cls(obj) if obj.enabled else None
+        raise TypeError(
+            f"expected ObservabilityConfig, Observability or None, "
+            f"got {type(obj).__name__}")
+
+    # ------------------------------------------------------------- wiring
+
+    def attach(self, simulation) -> None:
+        """Bind run-scoped context (called by ``MeshSimulation``)."""
+        if self.tracer is not None:
+            self.tracer.latency = simulation.deployment.latency
+
+    def collect(self, simulation, controller=None) -> None:
+        """Snapshot end-of-run state into the metrics registry."""
+        if self.metrics is None:
+            return
+        from .collect import (collect_controller_metrics,
+                              collect_profiler_metrics,
+                              collect_simulation_metrics)
+        collect_simulation_metrics(self.metrics, simulation)
+        collect_controller_metrics(self.metrics, controller)
+        collect_profiler_metrics(self.metrics, self.profiler)
+
+    def __repr__(self) -> str:
+        on = [name for name in ("tracing", "metrics", "decisions",
+                                "profiling")
+              if getattr(self.config, name)]
+        return f"Observability({', '.join(on) if on else 'off'})"

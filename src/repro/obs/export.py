@@ -1,0 +1,77 @@
+"""File exporters for the observability layer.
+
+This is the sanctioned IO boundary of ``repro.obs``: the tracer, metrics
+registry, and decision log build everything in memory; only these functions
+touch the filesystem. Lint rule D08 (no print/file-writes in library code)
+is suppressed per line below — writing artifact files is this module's
+entire job, and every writer takes an explicit caller-chosen path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .decisions import DecisionLog
+from .metrics import MetricsRegistry
+from .tracing import Tracer, chrome_trace
+
+__all__ = ["load_trace_jsonl", "write_chrome_trace", "write_decisions_jsonl",
+           "write_metrics_json", "write_metrics_prometheus",
+           "write_trace_jsonl"]
+
+
+def write_trace_jsonl(tracer: Tracer, path: str | Path) -> int:
+    """One span per line; round-trips via :func:`load_trace_jsonl`."""
+    lines = tracer.to_jsonl_lines()
+    # exporter module: artifact writes are its declared purpose
+    with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def load_trace_jsonl(path: str | Path) -> Tracer:
+    """Rebuild a :class:`Tracer` from a :func:`write_trace_jsonl` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return Tracer.from_jsonl_lines(handle)
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path,
+                       max_requests: int | None = None) -> int:
+    """Chrome ``trace_event`` JSON (Perfetto-loadable); returns event count."""
+    document = chrome_trace(tracer, max_requests=max_requests)
+    # exporter module: artifact writes are its declared purpose
+    with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
+        json.dump(document, handle)
+    return len(document["traceEvents"])
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str | Path) -> int:
+    """Full registry snapshot as JSON; returns the metric count."""
+    snapshot = registry.snapshot()
+    # exporter module: artifact writes are its declared purpose
+    with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(snapshot)
+
+
+def write_metrics_prometheus(registry: MetricsRegistry,
+                             path: str | Path) -> int:
+    """Prometheus text exposition dump; returns the line count."""
+    text = registry.to_prometheus()
+    # exporter module: artifact writes are its declared purpose
+    with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
+        handle.write(text)
+    return text.count("\n")
+
+
+def write_decisions_jsonl(log: DecisionLog, path: str | Path) -> int:
+    """One decision per line; returns the decision count."""
+    lines = log.to_jsonl_lines()
+    # exporter module: artifact writes are its declared purpose
+    with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)

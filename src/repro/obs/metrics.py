@@ -1,0 +1,241 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The second observability pillar (see docs/observability.md). A
+:class:`MetricsRegistry` holds named metrics, each of which may carry many
+labeled series (``service``, ``cluster``, ``class`` — whatever the
+instrumentation point attaches). Everything is keyed to *simulated* state:
+values come from snapshots of engine/pool/gateway counters, never from wall
+clocks (wall-time lives in :mod:`repro.obs.profiler`).
+
+Exports are JSON (:meth:`MetricsRegistry.snapshot`) and a prometheus-style
+text format (:meth:`MetricsRegistry.to_prometheus`) so artifacts feed both
+machines and existing dashboards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "DEFAULT_LATENCY_BUCKETS", "Gauge", "Histogram",
+           "HistogramState", "Metric", "MetricsRegistry"]
+
+#: latency histogram bucket upper bounds in seconds (prometheus-ish
+#: defaults shifted toward the sub-second range this simulator lives in)
+DEFAULT_LATENCY_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                           1.0, 2.5, 5.0)
+
+#: a labeled series key: sorted (label, value) pairs
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()
+                   ) -> str:
+    items = [*key, *extra]
+    if not items:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in items)
+    return "{" + body + "}"
+
+
+class Metric:
+    """Base: one named metric holding labeled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        if not name or not name.replace("_", "a").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help_text = help_text
+        self._series: dict[_LabelKey, object] = {}
+
+    def labels(self) -> list[_LabelKey]:
+        return sorted(self._series)
+
+    def series_count(self) -> int:
+        return len(self._series)
+
+
+class Counter(Metric):
+    """Monotonically increasing value per labeled series."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return float(self._series.get(_label_key(labels), 0.0))
+
+
+class Gauge(Metric):
+    """Point-in-time value per labeled series (set, not accumulated)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        self._series[_label_key(labels)] = float(value)
+
+    def value(self, **labels: str) -> float:
+        return float(self._series.get(_label_key(labels), 0.0))
+
+
+@dataclass
+class HistogramState:
+    """Cumulative fixed-bucket counts plus sum/count for one series."""
+
+    buckets: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)   # + overflow
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> list[int]:
+        """Prometheus-style cumulative bucket counts (ending at +Inf)."""
+        out = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution per labeled series."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS) -> None:
+        super().__init__(name, help_text)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"buckets must be a sorted non-empty sequence, "
+                             f"got {buckets}")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        state = self._series.get(key)
+        if state is None:
+            state = self._series[key] = HistogramState(self.buckets)
+        state.observe(value)
+
+    def state(self, **labels: str) -> HistogramState | None:
+        return self._series.get(_label_key(labels))
+
+
+class MetricsRegistry:
+    """Named metrics with idempotent registration.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("events_total").inc(3, cluster="west")
+    >>> registry.counter("events_total").value(cluster="west")
+    3.0
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get(self, cls: type, name: str, help_text: str,
+             **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, help_text, **kwargs)
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}")
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get(Gauge, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        return self._get(Histogram, name, help_text, buckets=buckets)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------- exports
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump: metric → kind/help/series."""
+        out: dict[str, dict] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            series = []
+            for key in metric.labels():
+                value = metric._series[key]
+                entry: dict[str, object] = {"labels": dict(key)}
+                if isinstance(value, HistogramState):
+                    entry.update(sum=value.total, count=value.count,
+                                 mean=value.mean,
+                                 buckets=[list(b) for b in zip(
+                                     [*value.buckets, "+Inf"],
+                                     value.cumulative())])
+                else:
+                    entry["value"] = value
+                series.append(entry)
+            out[name] = {"kind": metric.kind, "help": metric.help_text,
+                         "series": series}
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (one string, no trailing IO)."""
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help_text:
+                lines.append(f"# HELP {name} {metric.help_text}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for key in metric.labels():
+                value = metric._series[key]
+                if isinstance(value, HistogramState):
+                    bounds = [*(repr(b) for b in value.buckets), "+Inf"]
+                    for bound, count in zip(bounds, value.cumulative()):
+                        labels = _render_labels(key, (("le", bound),))
+                        lines.append(f"{name}_bucket{labels} {count}")
+                    labels = _render_labels(key)
+                    lines.append(f"{name}_sum{labels} {value.total}")
+                    lines.append(f"{name}_count{labels} {value.count}")
+                else:
+                    lines.append(f"{name}{_render_labels(key)} {value}")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(metrics={len(self._metrics)})"

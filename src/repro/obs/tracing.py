@@ -1,0 +1,299 @@
+"""Distributed tracing over simulated requests.
+
+The first observability pillar: a :class:`Tracer` collects every
+:class:`~repro.sim.request.Span` the mesh emits (the telemetry SLATE-proxies
+already report, §3.1) and stitches each request's spans into a parent/child
+:class:`TraceNode` tree spanning services and clusters. All timestamps are
+virtual seconds from the simulation clock — a tracer never reads a wall
+clock, so traces are byte-reproducible from the seed.
+
+Stitching uses the span data itself: a span's parent is the span of
+``caller_service`` in ``caller_cluster`` whose active window contains the
+child's enqueue time (latest such start wins, which nests retried calls
+correctly). Spans whose parent was abandoned (timeout orphans, losing
+hedges) attach to the closest surviving candidate or surface as extra
+roots — that work really ran, and the trace shows it.
+
+Exports: JSONL (one span per line, round-trippable via
+:meth:`Tracer.from_jsonl_lines`) and the Chrome ``trace_event`` format
+(:func:`chrome_trace`) loadable in ``chrome://tracing`` / Perfetto, with one
+process per cluster and one thread per service.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..sim.network import LatencyMatrix
+from ..sim.request import Request, Span, Trace
+
+__all__ = ["RequestRecord", "TraceNode", "Tracer", "build_trace_tree",
+           "chrome_trace", "span_from_dict", "span_to_dict"]
+
+#: slack when matching a child's enqueue time against a parent's window
+_STITCH_EPSILON = 1e-9
+
+#: seconds → microseconds (the unit Chrome trace_event expects in ``ts``)
+_MICROS = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Request-level envelope a tracer keeps next to the span tree."""
+
+    request_id: int
+    traffic_class: str
+    ingress_cluster: str
+    arrival_time: float
+    completion_time: float | None
+    failed: bool
+
+    @property
+    def latency(self) -> float | None:
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+
+@dataclass
+class TraceNode:
+    """One span plus its stitched children (and the WAN cost to reach it)."""
+
+    span: Span
+    children: list["TraceNode"] = field(default_factory=list)
+    #: round-trip WAN seconds on the edge into this span (0 for local calls)
+    wan_rtt: float = 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self.span.end_time
+
+    def walk(self):
+        """Yield this node and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+
+def span_to_dict(span: Span) -> dict:
+    """Flat JSON-friendly view of one span (the JSONL line payload)."""
+    return {
+        "request_id": span.request_id,
+        "traffic_class": span.traffic_class,
+        "service": span.service,
+        "cluster": span.cluster,
+        "caller_service": span.caller_service,
+        "caller_cluster": span.caller_cluster,
+        "enqueue_time": span.enqueue_time,
+        "start_time": span.start_time,
+        "end_time": span.end_time,
+        "exec_time": span.exec_time,
+        "request_bytes": span.request_bytes,
+        "response_bytes": span.response_bytes,
+    }
+
+
+def span_from_dict(payload: dict) -> Span:
+    """Inverse of :func:`span_to_dict`."""
+    return Span(
+        request_id=int(payload["request_id"]),
+        traffic_class=payload["traffic_class"],
+        service=payload["service"],
+        cluster=payload["cluster"],
+        caller_service=payload["caller_service"],
+        caller_cluster=payload["caller_cluster"],
+        enqueue_time=float(payload["enqueue_time"]),
+        start_time=float(payload["start_time"]),
+        end_time=float(payload["end_time"]),
+        exec_time=float(payload["exec_time"]),
+        request_bytes=int(payload["request_bytes"]),
+        response_bytes=int(payload["response_bytes"]),
+    )
+
+
+def build_trace_tree(trace: Trace,
+                     latency: LatencyMatrix | None = None) -> list[TraceNode]:
+    """Stitch one request's spans into parent/child trees.
+
+    Returns the roots: normally one (the ingress call), more when orphaned
+    subtrees (timeouts, losing hedges) have no surviving parent. Children
+    are ordered by enqueue time.
+    """
+    nodes = [TraceNode(span=span) for span in
+             sorted(trace.spans, key=lambda s: (s.enqueue_time, s.start_time))]
+    roots: list[TraceNode] = []
+    for index, node in enumerate(nodes):
+        span = node.span
+        if latency is not None and span.caller_cluster is not None:
+            node.wan_rtt = 2.0 * latency.one_way(span.caller_cluster,
+                                                 span.cluster)
+        if span.caller_service is None:
+            roots.append(node)
+            continue
+        parent: TraceNode | None = None
+        for candidate in nodes[:index]:
+            cspan = candidate.span
+            if cspan.service != span.caller_service:
+                continue
+            if cspan.cluster != span.caller_cluster:
+                continue
+            if cspan.start_time > span.enqueue_time + _STITCH_EPSILON:
+                continue
+            # latest-starting containing span wins: nests retries correctly
+            if parent is None or cspan.start_time >= parent.span.start_time:
+                parent = candidate
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            roots.append(node)   # orphaned subtree: surface it
+    return roots
+
+
+class Tracer:
+    """Collects spans and request envelopes for a whole run.
+
+    Construction is cheap; recording is an append per span. The latency
+    matrix (attached by :class:`~repro.obs.config.Observability` when the
+    simulation is built) lets trees annotate WAN round-trips per hop.
+    """
+
+    def __init__(self, latency: LatencyMatrix | None = None) -> None:
+        self.latency = latency
+        self._spans: dict[int, list[Span]] = {}
+        self._requests: dict[int, RequestRecord] = {}
+        self.span_count = 0
+
+    # ----------------------------------------------------------- recording
+
+    def record_span(self, span: Span) -> None:
+        bucket = self._spans.get(span.request_id)
+        if bucket is None:
+            bucket = self._spans[span.request_id] = []
+        bucket.append(span)
+        self.span_count += 1
+
+    def record_request(self, request: Request) -> None:
+        self._requests[request.request_id] = RequestRecord(
+            request_id=request.request_id,
+            traffic_class=request.traffic_class,
+            ingress_cluster=request.ingress_cluster,
+            arrival_time=request.arrival_time,
+            completion_time=request.completion_time,
+            failed=request.failed,
+        )
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def request_ids(self) -> list[int]:
+        return sorted(self._spans)
+
+    def request(self, request_id: int) -> RequestRecord | None:
+        return self._requests.get(request_id)
+
+    def trace(self, request_id: int) -> Trace:
+        trace = Trace(request_id)
+        for span in self._spans.get(request_id, []):
+            trace.add(span)
+        return trace
+
+    def traces(self) -> dict[int, Trace]:
+        return {rid: self.trace(rid) for rid in self.request_ids()}
+
+    def tree(self, request_id: int) -> list[TraceNode]:
+        """The stitched parent/child trees for one request."""
+        return build_trace_tree(self.trace(request_id), latency=self.latency)
+
+    def slowest_requests(self, count: int = 10) -> list[RequestRecord]:
+        """Completed requests by descending end-to-end latency."""
+        done = [r for r in self._requests.values()
+                if r.latency is not None and not r.failed]
+        done.sort(key=lambda r: (-r.latency, r.request_id))
+        return done[:count]
+
+    # ------------------------------------------------------------- exports
+
+    def to_jsonl_lines(self) -> list[str]:
+        """One JSON document per span, in (request, record) order."""
+        lines = []
+        for request_id in self.request_ids():
+            for span in self._spans[request_id]:
+                lines.append(json.dumps(span_to_dict(span), sort_keys=True))
+        return lines
+
+    @classmethod
+    def from_jsonl_lines(cls, lines,
+                         latency: LatencyMatrix | None = None) -> "Tracer":
+        """Rebuild a tracer from :meth:`to_jsonl_lines` output."""
+        tracer = cls(latency=latency)
+        for line in lines:
+            line = line.strip()
+            if line:
+                tracer.record_span(span_from_dict(json.loads(line)))
+        return tracer
+
+
+def chrome_trace(tracer: Tracer,
+                 max_requests: int | None = None) -> dict:
+    """Render a tracer as a Chrome ``trace_event`` document.
+
+    One process (``pid``) per cluster and one thread (``tid``) per service;
+    each span is a complete ("X") event with microsecond ``ts``/``dur`` in
+    simulated time. The result is ``json.dump``-able and loads directly in
+    ``chrome://tracing`` or https://ui.perfetto.dev. ``max_requests`` keeps
+    huge runs viewable by exporting only the first N request ids.
+    """
+    request_ids = tracer.request_ids()
+    if max_requests is not None and max_requests > 0:
+        request_ids = request_ids[:max_requests]
+    clusters = sorted({span.cluster
+                       for rid in request_ids
+                       for span in tracer.trace(rid).spans})
+    pid_of = {cluster: index + 1 for index, cluster in enumerate(clusters)}
+    services: dict[str, set] = {}
+    for rid in request_ids:
+        for span in tracer.trace(rid).spans:
+            services.setdefault(span.cluster, set()).add(span.service)
+    tid_of: dict[tuple[str, str], int] = {}
+    for cluster in clusters:
+        for index, service in enumerate(sorted(services[cluster])):
+            tid_of[(cluster, service)] = index + 1
+
+    events: list[dict] = []
+    for cluster in clusters:
+        events.append({"ph": "M", "pid": pid_of[cluster], "tid": 0,
+                       "name": "process_name",
+                       "args": {"name": f"cluster {cluster}"}})
+        for service in sorted(services[cluster]):
+            events.append({"ph": "M", "pid": pid_of[cluster],
+                           "tid": tid_of[(cluster, service)],
+                           "name": "thread_name",
+                           "args": {"name": service}})
+    for rid in request_ids:
+        for span in tracer.trace(rid).spans:
+            events.append({
+                "ph": "X",
+                "name": f"{span.service} [{span.traffic_class}]",
+                "cat": span.traffic_class,
+                "ts": span.enqueue_time * _MICROS,
+                "dur": max(span.total_time, 0.0) * _MICROS,
+                "pid": pid_of[span.cluster],
+                "tid": tid_of[(span.cluster, span.service)],
+                "args": {
+                    "request_id": span.request_id,
+                    "caller": f"{span.caller_service or 'ingress'}"
+                              f"@{span.caller_cluster or '-'}",
+                    "queue_wait_ms": span.queue_wait * 1000.0,
+                    "exec_ms": span.exec_time * 1000.0,
+                    "remote": span.remote,
+                },
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -98,7 +98,9 @@ class MeshSimulation:
                  trace_sample_rate: float = 0.0,
                  service_model: str = "pool",
                  intra_lb: str = "least-outstanding",
-                 timeouts: TimeoutPolicy | None = None) -> None:
+                 timeouts: TimeoutPolicy | None = None,
+                 observability=None,
+                 latency_reservoir: int | None = None) -> None:
         self.app = app
         self.deployment = deployment
         self.sim = Simulator()
@@ -109,7 +111,21 @@ class MeshSimulation:
         self.network = WanNetwork(self.sim, deployment.latency,
                                   deployment.pricing)
         self.table = RoutingTable()
-        self.telemetry = RunTelemetry(keep_spans=keep_spans)
+        # the reservoir rng is a named stream, so enabling sampling cannot
+        # perturb routing/exec/arrival draws of an otherwise-identical run
+        self.telemetry = RunTelemetry(
+            keep_spans=keep_spans,
+            reservoir_size=latency_reservoir,
+            rng=(self.rngs.stream("telemetry/reservoir")
+                 if latency_reservoir is not None else None))
+        # observability (repro.obs) accepts a config or a prebuilt runtime;
+        # None/all-off coerces to None so the hot path pays one `is None`
+        from ..obs.config import Observability
+        self.observability = Observability.coerce(observability)
+        self._obs_tracer = (self.observability.tracer
+                            if self.observability is not None else None)
+        if self.observability is not None:
+            self.observability.attach(self)
         self._deterministic_exec = deterministic_exec
         self._timeouts = timeouts
         #: calls lost to a service that failed while they were in flight
@@ -321,6 +337,8 @@ class MeshSimulation:
                 self.gateways[ingress].complete(request, self.sim.now)
             else:
                 self.gateways[ingress].fail(request, self.sim.now)
+            if self._obs_tracer is not None:
+                self._obs_tracer.record_request(request)
 
         self._issue_call(request, spec,
                          caller_service=None, caller_cluster=ingress,
@@ -444,6 +462,8 @@ class MeshSimulation:
             span.end_time = self.sim.now
             self.proxies[dst_cluster].telemetry.record_span(span)
             self.telemetry.record_span(span)
+            if self._obs_tracer is not None:
+                self._obs_tracer.record_span(span)
             if not ok:
                 # a child subtree failed: surface the error immediately
                 # (error responses are small; no payload transfer)

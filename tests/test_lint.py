@@ -179,6 +179,58 @@ def test_d08_allows_cli_module():
     assert "D08" not in rule_ids(source, "src/repro/cli.py")
 
 
+def test_d08_flags_file_writes_in_library_code():
+    source = ("__all__ = []\n"
+              "def _dump(path, rows):\n"
+              "    with open(path, 'w') as handle:\n"
+              "        handle.writelines(rows)\n")
+    assert "D08" in rule_ids(source)
+    # append and exclusive-create modes are writes too
+    assert "D08" in rule_ids("__all__ = []\n"
+                             "def _log(path):\n"
+                             "    open(path, 'a')\n")
+    # keyword form
+    assert "D08" in rule_ids("__all__ = []\n"
+                             "def _dump(path):\n"
+                             "    open(path, mode='x')\n")
+
+
+def test_d08_allows_file_reads():
+    source = ("__all__ = []\n"
+              "def _load(path):\n"
+              "    with open(path) as handle:\n"
+              "        return handle.read()\n")
+    assert "D08" not in rule_ids(source)
+    assert "D08" not in rule_ids("__all__ = []\n"
+                                 "def _load(path):\n"
+                                 "    return open(path, 'r').read()\n")
+    # a non-literal mode cannot be judged statically: stay silent
+    assert "D08" not in rule_ids("__all__ = []\n"
+                                 "def _open(path, mode):\n"
+                                 "    return open(path, mode)\n")
+
+
+def test_d08_flags_pathlib_write_helpers():
+    source = ("__all__ = []\n"
+              "def _dump(path, text):\n"
+              "    path.write_text(text)\n")
+    assert "D08" in rule_ids(source)
+    assert "D08" in rule_ids("__all__ = []\n"
+                             "def _dump(path, blob):\n"
+                             "    path.write_bytes(blob)\n")
+
+
+def test_obs_package_lints_clean():
+    """The observability layer itself obeys the lint discipline.
+
+    Its exporters carry per-line D08 rationale suppressions; everything
+    else (tracer, analyzer, metrics, decisions, profiler) must be clean
+    with no suppressions needed.
+    """
+    findings = lint_paths([REPO_ROOT / "src" / "repro" / "obs"])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
 # ------------------------------------------------- suppressions & severity
 
 def test_inline_suppression_silences_one_rule():

@@ -1,0 +1,74 @@
+"""Critical-path analysis on a hand-built 3-hop cross-cluster trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (HopBreakdown, build_trace_tree, critical_path,
+                       hop_breakdown, trace_summary)
+from repro.sim.request import Trace
+from repro.sim.topology import two_region_latency
+
+from .test_obs_tracing import make_span, three_hop_spans
+
+
+def stitched_roots(latency=None):
+    trace = Trace(1)
+    for span in three_hop_spans():
+        trace.add(span)
+    # a sibling of C that finishes EARLIER — must stay off the critical path
+    trace.add(make_span(service="D", cluster="east", caller_service="B",
+                        caller_cluster="east", enqueue=0.12, start=0.12,
+                        end=0.18, exec_time=0.06))
+    return build_trace_tree(trace, latency=latency)
+
+
+def test_critical_path_descends_into_last_finishing_child():
+    roots = stitched_roots()
+    assert len(roots) == 1
+    path = critical_path(roots[0])
+    assert [n.span.service for n in path] == ["A", "B", "C"]
+
+
+def test_hop_breakdown_components():
+    roots = stitched_roots(latency=two_region_latency(25.0))
+    breakdowns = hop_breakdown(critical_path(roots[0]))
+    a, b, c = breakdowns
+    assert isinstance(a, HopBreakdown)
+    # A: local root, blocked on B for most of its 0.5 s
+    assert a.cluster == "west" and not a.remote
+    assert a.queue_wait == pytest.approx(0.0)
+    assert a.exec_time == pytest.approx(0.05)
+    assert a.total == pytest.approx(0.5)
+    assert a.downstream == pytest.approx(0.45)
+    # B: cross-cluster hop, queued 0.02 s, carries the 2x25 ms WAN RTT
+    assert b.remote
+    assert b.queue_wait == pytest.approx(0.02)
+    assert b.wan_rtt == pytest.approx(0.050)
+    assert b.total == pytest.approx(0.40 - 0.08)
+    # C: leaf — everything is queue + exec, nothing downstream
+    assert c.queue_wait == pytest.approx(0.02)
+    assert c.exec_time == pytest.approx(0.13)
+    assert c.downstream == pytest.approx(0.0, abs=1e-9)
+    assert c.as_dict()["service"] == "C"
+
+
+def test_trace_summary_totals():
+    roots = stitched_roots(latency=two_region_latency(25.0))
+    summary = trace_summary(roots)
+    assert summary["spans"] == 4
+    assert summary["roots"] == 1
+    assert summary["duration"] == pytest.approx(0.5)
+    assert summary["cross_cluster_hops"] == 1
+    hops = [entry["hop"] for entry in summary["critical_path"]]
+    assert hops == ["A@west", "B@east", "C@east"]
+    assert summary["critical_queue"] == pytest.approx(0.04)
+    assert summary["critical_exec"] == pytest.approx(0.05 + 0.08 + 0.13)
+    # root (intra ingress hop) + B (cross-cluster) + C (intra)
+    assert summary["critical_wan"] == pytest.approx(0.0005 + 0.050 + 0.0005)
+
+
+def test_trace_summary_empty():
+    summary = trace_summary([])
+    assert summary["spans"] == 0
+    assert summary["critical_path"] == []

@@ -1,0 +1,116 @@
+"""Decision log: unit semantics plus the diurnal solve/replay acceptance."""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.rules import RoutingRule, RuleSet
+from repro.experiments.harness import run_policy
+from repro.experiments.scenarios import diurnal_control_setup
+from repro.obs import (DecisionLog, EpochDecision, Observability,
+                       ObservabilityConfig)
+
+
+def fake_controller(demand, result):
+    """Duck-typed stand-in: DecisionLog only reads these attributes."""
+    return SimpleNamespace(
+        app=SimpleNamespace(classes={"default": None}),
+        deployment=SimpleNamespace(cluster_names=["west", "east"]),
+        demand_estimate=lambda cls, cluster: demand.get((cls, cluster), 0.0),
+        last_result=result,
+    )
+
+
+def fake_result(cache_hit, objective=1.5, fingerprint="fp-1"):
+    return SimpleNamespace(cache_hit=cache_hit, objective=objective,
+                           solve_time=0.001, cache_hits=1 if cache_hit else 0,
+                           cache_misses=0 if cache_hit else 1,
+                           fingerprint=fingerprint)
+
+
+def rules(west_share) -> RuleSet:
+    return RuleSet(rules=[RoutingRule.make(
+        "A", "default", "west", {"west": west_share,
+                                 "east": 1.0 - west_share})])
+
+
+# ----------------------------------------------------------------- unit
+
+def test_record_outcomes_and_demand_delta():
+    log = DecisionLog()
+    first = log.record(10.0, fake_controller(
+        {("default", "west"): 100.0}, fake_result(cache_hit=False)),
+        rules(0.8))
+    assert first.outcome == "solved"
+    assert first.epoch == 0
+    assert first.demand_total == 100.0
+    assert first.demand_delta == 100.0        # vs. the empty previous epoch
+    assert first.rules_added == 1 and first.rules_changed == 0
+
+    second = log.record(20.0, fake_controller(
+        {("default", "west"): 100.0}, fake_result(cache_hit=True)),
+        rules(0.8))
+    assert second.outcome == "replayed"
+    assert second.demand_delta == 0.0         # plateau
+    assert second.rules_added == 0 and second.rules_changed == 0
+    assert second.weight_churn == pytest.approx(0.0)
+
+    third = log.record(30.0, fake_controller(
+        {("default", "west"): 140.0}, fake_result(cache_hit=False)),
+        rules(0.5))
+    assert third.outcome == "solved"
+    assert third.demand_delta == pytest.approx(40.0)
+    assert third.rules_changed == 1
+    assert third.weight_churn == pytest.approx(0.6)   # |0.5-0.8| x 2 dests
+
+    assert log.counts() == {"solved": 2, "replayed": 1, "no-demand": 0}
+    assert len(log) == 3
+
+
+def test_record_no_demand_epoch():
+    log = DecisionLog()
+    decision = log.record(0.0, fake_controller({}, None), None)
+    assert decision.outcome == "no-demand"
+    assert decision.objective is None and decision.fingerprint is None
+
+
+def test_jsonl_and_render():
+    log = DecisionLog()
+    log.record(10.0, fake_controller(
+        {("default", "west"): 100.0}, fake_result(cache_hit=False)),
+        rules(0.8))
+    lines = log.to_jsonl_lines()
+    assert len(lines) == 1
+    parsed = json.loads(lines[0])
+    assert parsed["outcome"] == "solved"
+    assert set(parsed) == set(EpochDecision.__dataclass_fields__)
+    table = log.render()
+    assert "solved" in table and "epochs=1" in table
+
+
+# ----------------------------------------- end-to-end diurnal acceptance
+
+def test_diurnal_run_shows_replays_and_replans():
+    """The ISSUE acceptance: >=1 hysteresis skip AND >=1 re-plan."""
+    setup = diurnal_control_setup(duration=120.0, epoch=10.0)
+    obs = Observability(ObservabilityConfig(decisions=True))
+    run_policy(setup.scenario, setup.policy, observability=obs,
+               timeline=setup.timeline)
+    log = obs.decisions
+    counts = log.counts()
+    assert counts["replayed"] >= 1, counts
+    assert counts["solved"] >= 1, counts
+    epochs = [d.epoch for d in log]
+    assert epochs == list(range(len(log)))
+    for decision in log:
+        if decision.outcome == "replayed":
+            assert decision.cache_hits >= 1
+        if decision.outcome in ("solved", "replayed"):
+            assert decision.fingerprint is not None
+    # a replayed epoch ships an identical plan: no routing churn
+    replayed = [d for d in log if d.outcome == "replayed"]
+    assert all(d.rules_added == d.rules_removed == d.rules_changed == 0
+               for d in replayed)

@@ -1,0 +1,146 @@
+"""Metrics registry semantics, exports, and sim/controller collectors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (DEFAULT_LATENCY_BUCKETS, MetricsRegistry,
+                       Observability, ObservabilityConfig)
+from repro.experiments.harness import run_policy
+from repro.experiments.scenarios import fig6a_how_much
+
+
+# ------------------------------------------------------------ registry
+
+def test_counter_accumulates_per_labels():
+    registry = MetricsRegistry()
+    counter = registry.counter("events_total", "help text")
+    counter.inc(2, cluster="west")
+    counter.inc(3, cluster="west")
+    counter.inc(1, cluster="east")
+    assert counter.value(cluster="west") == 5.0
+    assert counter.value(cluster="east") == 1.0
+    assert counter.value(cluster="south") == 0.0
+    with pytest.raises(ValueError):
+        counter.inc(-1, cluster="west")
+
+
+def test_gauge_sets_not_accumulates():
+    gauge = MetricsRegistry().gauge("depth")
+    gauge.set(4, service="A")
+    gauge.set(2, service="A")
+    assert gauge.value(service="A") == 2.0
+
+
+def test_histogram_buckets_and_mean():
+    histogram = MetricsRegistry().histogram(
+        "lat", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+        histogram.observe(value, cls="default")
+    state = histogram.state(cls="default")
+    assert state.count == 5
+    assert state.total == pytest.approx(5.605)
+    assert state.counts == [1, 2, 1, 1]          # per-bucket + overflow
+    assert state.cumulative() == [1, 3, 4, 5]    # prometheus cumulative
+    assert state.mean == pytest.approx(5.605 / 5)
+    assert histogram.state(cls="other") is None
+
+
+def test_registry_idempotent_and_kind_checked():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+    with pytest.raises(ValueError):
+        MetricsRegistry().counter("bad name")
+
+
+def test_default_buckets_sorted():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+# ------------------------------------------------------------- exports
+
+def build_small_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("reqs_total", "requests").inc(7, cluster="west")
+    registry.gauge("queue_depth").set(3, cluster="west", service="A")
+    registry.histogram("lat_seconds", "latency",
+                       buckets=(0.1, 1.0)).observe(0.05, cls="default")
+    return registry
+
+
+def test_snapshot_is_json_serializable():
+    snapshot = build_small_registry().snapshot()
+    json.dumps(snapshot)
+    assert snapshot["reqs_total"]["kind"] == "counter"
+    assert snapshot["reqs_total"]["series"][0] == {
+        "labels": {"cluster": "west"}, "value": 7.0}
+    histo = snapshot["lat_seconds"]["series"][0]
+    assert histo["count"] == 1 and histo["sum"] == pytest.approx(0.05)
+    assert histo["buckets"][-1][0] == "+Inf"
+
+
+def test_prometheus_text_format():
+    text = build_small_registry().to_prometheus()
+    assert "# HELP reqs_total requests" in text
+    assert "# TYPE reqs_total counter" in text
+    assert 'reqs_total{cluster="west"} 7.0' in text
+    assert 'queue_depth{cluster="west",service="A"} 3.0' in text
+    # cumulative buckets including the +Inf terminal
+    assert 'lat_seconds_bucket{cls="default",le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{cls="default",le="+Inf"} 1' in text
+    assert 'lat_seconds_sum{cls="default"} 0.05' in text
+    assert 'lat_seconds_count{cls="default"} 1' in text
+    assert text.endswith("\n")
+
+
+# ----------------------------------------------------------- collectors
+
+@pytest.fixture(scope="module")
+def collected_registry():
+    import dataclasses
+
+    from repro import GlobalControllerConfig, SlatePolicy
+
+    obs = Observability(ObservabilityConfig(metrics=True, profiling=True))
+    setup = fig6a_how_much(duration=10.0)
+    # an adaptive policy, so the controller collectors have state to read
+    scenario = dataclasses.replace(setup.scenario, epoch=2.0)
+    policy = SlatePolicy(GlobalControllerConfig(rho_max=0.95), adaptive=True)
+    run_policy(scenario, policy, observability=obs)
+    return obs.metrics
+
+
+def test_collect_simulation_metrics(collected_registry):
+    registry = collected_registry
+    assert registry.counter("engine_events_total").value() > 0
+    admitted = registry.counter("gateway_admitted_total")
+    completed = registry.counter("gateway_completed_total")
+    total_admitted = sum(admitted.value(**dict(key))
+                         for key in admitted.labels())
+    total_completed = sum(completed.value(**dict(key))
+                          for key in completed.labels())
+    assert 0 < total_completed <= total_admitted
+    # per-(service, cluster) pool gauges exist and carry both labels
+    replicas = registry.gauge("pool_replicas")
+    assert replicas.series_count() > 0
+    assert all({"service", "cluster"} == {name for name, _ in key}
+               for key in replicas.labels())
+    state = registry.histogram("request_latency_seconds").state(
+        traffic_class="default")
+    assert state is not None and state.count > 0
+
+
+def test_collect_controller_metrics(collected_registry):
+    registry = collected_registry
+    assert registry.gauge("solver_objective").value() != 0.0
+    assert registry.gauge("solver_variables").value() > 0
+    assert registry.gauge("solver_constraints").value() > 0
+
+
+def test_collect_profiler_metrics(collected_registry):
+    runs = collected_registry.counter("control_plane_section_runs_total")
+    assert runs.value(section="initial-plan") >= 1

@@ -1,0 +1,194 @@
+"""Tracer: span collection, tree stitching, JSONL round-trip, Chrome export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, build_trace_tree, chrome_trace
+from repro.obs.tracing import span_from_dict, span_to_dict
+from repro.sim.request import Request, RequestAttributes, Span, Trace
+from repro.sim.topology import two_region_latency
+
+
+def make_span(request_id=1, service="A", cluster="west",
+              caller_service=None, caller_cluster="west",
+              enqueue=0.0, start=None, end=None, exec_time=0.01,
+              traffic_class="default") -> Span:
+    start = enqueue if start is None else start
+    end = start + exec_time if end is None else end
+    return Span(request_id=request_id, traffic_class=traffic_class,
+                service=service, cluster=cluster,
+                caller_service=caller_service,
+                caller_cluster=caller_cluster,
+                enqueue_time=enqueue, start_time=start, end_time=end,
+                exec_time=exec_time, request_bytes=100, response_bytes=200)
+
+
+def three_hop_spans() -> list[Span]:
+    """A -> B (cross-cluster) -> C: the hand-built 3-hop trace."""
+    return [
+        make_span(service="A", cluster="west", caller_service=None,
+                  enqueue=0.0, start=0.0, end=0.5, exec_time=0.05),
+        make_span(service="B", cluster="east", caller_service="A",
+                  caller_cluster="west", enqueue=0.08, start=0.10,
+                  end=0.40, exec_time=0.08),
+        make_span(service="C", cluster="east", caller_service="B",
+                  caller_cluster="east", enqueue=0.20, start=0.22,
+                  end=0.35, exec_time=0.13),
+    ]
+
+
+# ------------------------------------------------------------- stitching
+
+def test_tree_stitches_parent_child_chain():
+    trace = Trace(1)
+    for span in three_hop_spans():
+        trace.add(span)
+    roots = build_trace_tree(trace)
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.span.service == "A"
+    assert [n.span.service for n in root.walk()] == ["A", "B", "C"]
+    assert root.depth() == 3
+
+
+def test_tree_annotates_wan_rtt():
+    trace = Trace(1)
+    for span in three_hop_spans():
+        trace.add(span)
+    latency = two_region_latency(25.0)   # 25 ms one-way west<->east
+    roots = build_trace_tree(trace, latency=latency)
+    nodes = {n.span.service: n for n in roots[0].walk()}
+    # the root's "caller" is the ingress gateway in its own cluster, so it
+    # carries the intra-cluster network RTT, same as any local hop
+    assert nodes["A"].wan_rtt == pytest.approx(0.0005)
+    assert nodes["B"].wan_rtt == pytest.approx(0.050)      # cross-cluster
+    assert nodes["C"].wan_rtt == pytest.approx(0.0005)     # intra-cluster
+
+
+def test_tree_orphan_span_becomes_extra_root():
+    trace = Trace(1)
+    trace.add(make_span(service="A", enqueue=0.0, end=0.5))
+    # claims a caller that emitted no span (abandoned/timed-out parent)
+    trace.add(make_span(service="X", caller_service="GHOST",
+                        caller_cluster="west", enqueue=0.1, end=0.2))
+    roots = build_trace_tree(trace)
+    assert sorted(r.span.service for r in roots) == ["A", "X"]
+
+
+def test_tree_picks_latest_containing_parent():
+    """Two sequential calls of the same service: the retry nests correctly."""
+    trace = Trace(1)
+    trace.add(make_span(service="A", enqueue=0.0, start=0.0, end=0.3))
+    trace.add(make_span(service="A", enqueue=0.4, start=0.4, end=0.8))
+    trace.add(make_span(service="B", caller_service="A",
+                        caller_cluster="west", enqueue=0.5, end=0.6))
+    roots = build_trace_tree(trace)
+    assert len(roots) == 2
+    second = [r for r in roots if r.span.start_time > 0.2][0]
+    assert [n.span.service for n in second.walk()] == ["A", "B"]
+
+
+# ------------------------------------------------------------ the tracer
+
+def test_tracer_records_and_queries():
+    tracer = Tracer()
+    for span in three_hop_spans():
+        tracer.record_span(span)
+    tracer.record_span(make_span(request_id=2, service="A"))
+    assert len(tracer) == 2
+    assert tracer.request_ids() == [1, 2]
+    assert tracer.span_count == 4
+    assert len(tracer.trace(1).spans) == 3
+    assert tracer.tree(1)[0].depth() == 3
+
+
+def test_tracer_request_records():
+    tracer = Tracer()
+    request = Request(request_id=7, attributes=RequestAttributes("A"),
+                      ingress_cluster="west", arrival_time=1.0,
+                      completion_time=1.25)
+    tracer.record_request(request)
+    record = tracer.request(7)
+    assert record.latency == pytest.approx(0.25)
+    assert not record.failed
+    assert tracer.slowest_requests() == [record]
+
+
+# ------------------------------------------------------------- round-trip
+
+def test_span_dict_round_trip():
+    span = three_hop_spans()[1]
+    assert span_from_dict(span_to_dict(span)) == span
+
+
+def test_jsonl_round_trip_in_memory():
+    tracer = Tracer()
+    for span in three_hop_spans():
+        tracer.record_span(span)
+    tracer.record_span(make_span(request_id=2, service="Z", cluster="east",
+                                 caller_cluster="east"))
+    lines = tracer.to_jsonl_lines()
+    rebuilt = Tracer.from_jsonl_lines(lines)
+    assert rebuilt.to_jsonl_lines() == lines
+    assert rebuilt.request_ids() == tracer.request_ids()
+    # stitched structure survives the round trip
+    assert ([n.span.service for n in rebuilt.tree(1)[0].walk()]
+            == [n.span.service for n in tracer.tree(1)[0].walk()])
+
+
+def test_jsonl_files_round_trip(tmp_path):
+    from repro.obs import load_trace_jsonl, write_trace_jsonl
+    tracer = Tracer()
+    for span in three_hop_spans():
+        tracer.record_span(span)
+    path = tmp_path / "trace.jsonl"
+    count = write_trace_jsonl(tracer, path)
+    assert count == 3
+    rebuilt = load_trace_jsonl(path)
+    assert rebuilt.to_jsonl_lines() == tracer.to_jsonl_lines()
+
+
+# ---------------------------------------------------------- chrome export
+
+def test_chrome_trace_schema():
+    tracer = Tracer()
+    for span in three_hop_spans():
+        tracer.record_span(span)
+    document = chrome_trace(tracer)
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    events = document["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(spans) == 3
+    # every complete event carries the required trace_event fields
+    for event in spans:
+        assert {"ph", "name", "ts", "dur", "pid", "tid"} <= set(event)
+        assert isinstance(event["pid"], int) and event["pid"] >= 1
+        assert isinstance(event["tid"], int) and event["tid"] >= 1
+        assert event["ts"] >= 0.0
+        assert event["dur"] >= 0.0
+    # one process per cluster, one named thread per service
+    assert {e["args"]["name"] for e in meta if e["name"] == "process_name"} \
+        == {"cluster west", "cluster east"}
+    assert {e["args"]["name"] for e in meta if e["name"] == "thread_name"} \
+        == {"A", "B", "C"}
+    # ts/dur are microseconds of simulated time
+    b_event = [e for e in spans if e["name"].startswith("B")][0]
+    assert b_event["ts"] == pytest.approx(0.08e6)
+    assert b_event["dur"] == pytest.approx((0.40 - 0.08) * 1e6)
+    json.dumps(document)   # must be serializable as-is
+
+
+def test_chrome_trace_max_requests_caps_output(tmp_path):
+    from repro.obs import write_chrome_trace
+    tracer = Tracer()
+    for rid in range(1, 6):
+        tracer.record_span(make_span(request_id=rid))
+    events = write_chrome_trace(tracer, tmp_path / "t.json", max_requests=2)
+    document = json.loads((tmp_path / "t.json").read_text())
+    spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == 2
+    assert events == len(document["traceEvents"])
