@@ -1,7 +1,8 @@
 # SLATE reproduction — convenience targets
 PYTHON ?= python3
 
-.PHONY: install test lint check bench bench-smoke examples figures clean
+.PHONY: install test lint check bench bench-smoke bench-diff examples \
+	figures clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -25,6 +26,24 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_engine.py \
 		benchmarks/bench_sweep.py benchmarks/bench_obs.py \
 		--benchmark-only -q
+
+# regression-gate freshly regenerated BENCH_*.json against a snapshot of
+# the committed baselines (copy benchmarks/results aside before bench-smoke
+# rewrites it, then point BASELINES at the copy). events/sec keys fail on a
+# >25% drop; wall-clock keys get a band wide enough for runner noise.
+BASELINES ?= /tmp/bench-baselines
+bench-diff:
+	@mkdir -p diff-reports; status=0; \
+	for bench in benchmarks/results/BENCH_*.json; do \
+		name=$$(basename $$bench); \
+		PYTHONPATH=src $(PYTHON) -m repro obs diff \
+			"$(BASELINES)/$$name" "$$bench" \
+			--rel-tolerance 0.25 \
+			--tolerance '*_seconds=5.0' \
+			--tolerance 'speedup=5.0' \
+			--report "diff-reports/$${name%.json}.diff.json" \
+			|| status=1; \
+	done; exit $$status
 
 examples:
 	@for ex in examples/*.py; do \

@@ -1,13 +1,15 @@
 """Observability overhead: events/sec with pillars off vs. on.
 
-The ISSUE's acceptance bar: tracing disabled must cost <2% against the
-bare simulation (one ``is None`` check per span), and the full
-tracing+metrics path must stay under 25% overhead. Each mode's
+The acceptance bars: tracing disabled must cost <2% against the bare
+simulation (one ``is None`` check per span), the full tracing+metrics path
+must stay under 25% overhead, and the sim-time scrape loop (with and
+without SLO evaluation) must also stay under 25%. Each mode's
 events/second headline lands in ``BENCH_obs.json`` so the trajectory is
-tracked across PRs alongside ``BENCH_engine.json``.
+tracked across PRs alongside ``BENCH_engine.json`` — and diffed in CI by
+``repro obs diff``.
 """
 
-from repro.obs import Observability, ObservabilityConfig
+from repro.obs import Observability, ObservabilityConfig, default_latency_slo
 from repro.sim import (DemandMatrix, DeploymentSpec, linear_chain_app,
                        two_region_latency)
 from repro.sim.runner import MeshSimulation
@@ -62,3 +64,20 @@ def test_observability_tracing_and_metrics(benchmark, bench_json):
                        ObservabilityConfig(tracing=True, metrics=True))
     assert events > 0
     _record(benchmark, bench_json, "events_per_sec_tracing_metrics", events)
+
+
+def test_observability_timeseries(benchmark, bench_json):
+    """Metrics plus the sim-time scrape loop at a 0.25 s interval."""
+    events = benchmark(_simulate, ObservabilityConfig(
+        metrics=True, timeseries=True, scrape_interval=0.25))
+    assert events > 0
+    _record(benchmark, bench_json, "events_per_sec_timeseries", events)
+
+
+def test_observability_timeseries_and_slo(benchmark, bench_json):
+    """The full streaming pipeline: scrape loop + SLO burn-rate engine."""
+    events = benchmark(_simulate, ObservabilityConfig(
+        metrics=True, timeseries=True, scrape_interval=0.25,
+        slo=(default_latency_slo(0.25),)))
+    assert events > 0
+    _record(benchmark, bench_json, "events_per_sec_timeseries_slo", events)

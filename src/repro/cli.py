@@ -163,7 +163,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
 def cmd_obs(args: argparse.Namespace) -> int:
     handlers = {"trace": _obs_trace, "metrics": _obs_metrics,
-                "decisions": _obs_decisions}
+                "decisions": _obs_decisions, "timeseries": _obs_timeseries,
+                "slo": _obs_slo, "diff": _obs_diff}
     return handlers[args.obs_command](args)
 
 
@@ -260,6 +261,88 @@ def _obs_decisions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_timeseries(args: argparse.Namespace) -> int:
+    from .experiments.harness import run_policy
+    from .obs import (Observability, ObservabilityConfig,
+                      write_timeseries_json)
+    setup = _figure_setup(args.figure, args.duration, args.seed)
+    obs = Observability(ObservabilityConfig(
+        timeseries=True, scrape_interval=args.interval))
+    run_policy(setup.scenario, setup.slate, observability=obs)
+    store = obs.timeseries
+    if args.output:
+        count = write_timeseries_json(store, args.output)
+        print(f"wrote {count} series ({store.scrape_count} scrapes) "
+              f"to {args.output}")
+        return 0
+    print(f"{args.figure} (slate, {args.duration:g}s sim, "
+          f"interval {args.interval:g}s): {store.scrape_count} scrapes, "
+          f"{store.series_count()} series")
+    for name in store.names():
+        for series in store.all_series(name):
+            labels = ",".join(f"{k}={v}" for k, v in series.labels)
+            last = series.last
+            print(f"  {name}{{{labels}}}: {len(series)} points, "
+                  f"last={last[1]:.6g} @ t={last[0]:.1f}")
+    return 0
+
+
+def _obs_slo(args: argparse.Namespace) -> int:
+    from .experiments.harness import run_policy
+    from .obs import (Observability, join_alerts_decisions,
+                      write_alerts_jsonl, write_decisions_jsonl,
+                      write_timeseries_json)
+    setup = sc.slo_burnrate_setup(duration=args.duration, seed=args.seed)
+    obs = Observability(setup.observability(scrape_interval=args.interval))
+    run_policy(setup.scenario, setup.policy, observability=obs,
+               timeline=setup.timeline)
+    if args.format == "jsonl":
+        out = args.output or "slo_alerts.jsonl"
+        count = write_alerts_jsonl(obs.alerts, out)
+        print(f"wrote {count} alerts to {out}")
+    else:
+        print(obs.alerts.render())
+        print()
+        for row in join_alerts_decisions(obs.alerts, obs.decisions):
+            alert = row["alert"]
+            resolved = ("active" if alert.resolved_at is None
+                        else f"{alert.resolved_at:.1f}")
+            print(f"{alert.rule} [{alert.fired_at:.1f}, {resolved}]: "
+                  f"{len(row['decisions'])} controller epochs overlap, "
+                  f"{row['replans']} fresh re-plans")
+    if args.timeseries_out:
+        count = write_timeseries_json(obs.timeseries, args.timeseries_out)
+        print(f"wrote {count} series to {args.timeseries_out}")
+    if args.decisions_out:
+        count = write_decisions_jsonl(obs.decisions, args.decisions_out)
+        print(f"wrote {count} decisions to {args.decisions_out}")
+    return 0
+
+
+def _obs_diff(args: argparse.Namespace) -> int:
+    import json as json_module
+    from .obs.diff import DiffConfig, diff_files
+    key_tolerances = []
+    for spec in args.tolerance or []:
+        pattern, _, value = spec.rpartition("=")
+        if not pattern:
+            raise SystemExit(
+                f"--tolerance wants PATTERN=FRACTION, got {spec!r}")
+        key_tolerances.append((pattern, float(value)))
+    config = DiffConfig(rel_tolerance=args.rel_tolerance,
+                        key_tolerances=tuple(key_tolerances),
+                        fail_on_missing=not args.allow_missing)
+    report = diff_files(args.baseline, args.candidate, config)
+    print(report.render(all_keys=args.all))
+    if args.report:
+        from pathlib import Path
+        Path(args.report).write_text(
+            json_module.dumps(report.as_dict(), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+        print(f"wrote diff report to {args.report}")
+    return 1 if report.has_regressions else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -334,6 +417,51 @@ def build_parser() -> argparse.ArgumentParser:
     decisions.add_argument("--epoch", type=float, default=10.0,
                            help="re-plan period (fig6a scenario)")
     decisions.add_argument("--seed", type=int, default=42)
+
+    timeseries = obs_sub.add_parser(
+        "timeseries", help="scrape a figure scenario into sim-time series")
+    timeseries.add_argument("--figure", choices=("fig6a", "fig6b", "fig6c",
+                                                 "fig6d"), default="fig6a")
+    timeseries.add_argument("--interval", type=float, default=1.0,
+                            help="scrape interval (simulated seconds)")
+    timeseries.add_argument("-o", "--output", default=None,
+                            help="write the snapshot JSON here "
+                                 "(default: print a summary)")
+    timeseries.add_argument("--duration", type=float, default=40.0)
+    timeseries.add_argument("--seed", type=int, default=42)
+
+    slo = obs_sub.add_parser(
+        "slo", help="run the SLO burn-rate scenario; show/export alerts")
+    slo.add_argument("--format", choices=("text", "jsonl"), default="text")
+    slo.add_argument("-o", "--output", default=None,
+                     help="jsonl format: alert log path")
+    slo.add_argument("--interval", type=float, default=1.0,
+                     help="scrape interval (simulated seconds)")
+    slo.add_argument("--duration", type=float, default=180.0)
+    slo.add_argument("--seed", type=int, default=42)
+    slo.add_argument("--timeseries-out", default=None,
+                     help="also write the time-series snapshot here")
+    slo.add_argument("--decisions-out", default=None,
+                     help="also write the decision log here")
+
+    diff = obs_sub.add_parser(
+        "diff", help="compare two runs' exported artifacts; exit 1 on "
+                     "regression")
+    diff.add_argument("baseline", help="baseline artifact (.json/.jsonl)")
+    diff.add_argument("candidate", help="candidate artifact (.json/.jsonl)")
+    diff.add_argument("--rel-tolerance", type=float, default=0.05,
+                      help="default relative tolerance band "
+                           "(fraction of baseline)")
+    diff.add_argument("--tolerance", action="append", metavar="PATTERN=FRAC",
+                      help="per-key tolerance override (glob pattern); "
+                           "repeatable")
+    diff.add_argument("--allow-missing", action="store_true",
+                      help="don't fail when a baseline key is absent in "
+                           "the candidate")
+    diff.add_argument("--all", action="store_true",
+                      help="show unchanged keys too")
+    diff.add_argument("--report", default=None,
+                      help="write the full diff report JSON here")
     return parser
 
 

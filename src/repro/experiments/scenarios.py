@@ -24,7 +24,8 @@ from ..sim.traces import DemandTimeline, diurnal_timeline
 from ..sim.workload import DemandMatrix
 from .harness import Scenario
 
-__all__ = ["DiurnalControlSetup", "FigureSetup", "diurnal_control_setup",
+__all__ = ["DiurnalControlSetup", "FigureSetup", "SloBurnrateSetup",
+           "diurnal_control_setup", "slo_burnrate_setup",
            "fig6a_how_much", "fig6b_which_cluster",
            "fig6c_multihop", "fig6d_traffic_classes",
            "fig4_offload_threshold_problem", "fig3_threshold_scenario",
@@ -224,6 +225,79 @@ def diurnal_control_setup(base_rps: float = 150.0,
                                learn_profiles=False),
         adaptive=True)
     return DiurnalControlSetup(scenario, policy, timeline)
+
+
+@dataclass
+class SloBurnrateSetup:
+    """A surge scenario plus the SLO rules that should burn through it."""
+
+    scenario: Scenario
+    policy: SlatePolicy
+    timeline: DemandTimeline
+    slo_rules: tuple
+
+    def observability(self, **overrides):
+        """The config a run of this setup wants: decisions + scrapes + SLO."""
+        from ..obs.config import ObservabilityConfig
+        settings = dict(decisions=True, timeseries=True, slo=self.slo_rules,
+                        scrape_interval=1.0)
+        settings.update(overrides)
+        return ObservabilityConfig(**settings)
+
+
+def slo_burnrate_setup(base_rps: float = 250.0,
+                       surge_rps: float = 650.0,
+                       background_rps: float = 100.0,
+                       surge_start: float = 40.0,
+                       surge_end: float = 100.0,
+                       duration: float = 180.0,
+                       epoch: float = 10.0,
+                       latency_target: float = 0.25,
+                       replicas: int = 5,
+                       seed: int = 42) -> SloBurnrateSetup:
+    """A demand surge that burns a latency SLO until the controller reacts.
+
+    Linear 3-service chain in two clusters (per-service capacity ≈
+    ``replicas / exec_time`` = 500 RPS). West starts comfortable at
+    ``base_rps``, surges past local capacity to ``surge_rps`` over
+    ``[surge_start, surge_end)``, then recovers. The initial plan (computed
+    for the base demand) keeps everything local, so the surge queues in
+    West and the latency SLO's fast *and* slow burn windows blow through
+    their thresholds → the alert fires. The adaptive Global Controller
+    re-plans at the next epoch boundary and offloads the overflow to East;
+    queues drain, burn rates fall back under both thresholds, and the
+    alert resolves — a firing interval that *overlaps* a fresh ``solved``
+    decision in the decision log (asserted in ``tests/test_obs_slo.py``).
+    """
+    from ..obs.slo import default_latency_slo
+
+    app = linear_chain_app(n_services=3, exec_time=0.010)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=replicas,
+        latency=two_region_latency(25.0))
+    base = DemandMatrix({("default", "west"): base_rps,
+                         ("default", "east"): background_rps})
+    surge = DemandMatrix({("default", "west"): surge_rps,
+                          ("default", "east"): background_rps})
+    # short runs (CLI --duration) may end mid-surge: drop unreached frames
+    keyframes = [(time, demand) for time, demand
+                 in [(0.0, base), (surge_start, surge), (surge_end, base)]
+                 if time < duration]
+    timeline = DemandTimeline(keyframes=keyframes, end=duration)
+    scenario = Scenario(name="slo-burnrate", app=app,
+                        deployment=deployment, demand=base,
+                        duration=duration, warmup=duration / 6,
+                        seed=seed, epoch=epoch)
+    policy = SlatePolicy(
+        # fixed exec profiles for the same reason as diurnal_control_setup:
+        # the demonstration needs repeatable solve/replay behaviour
+        GlobalControllerConfig(rho_max=0.95, demand_quantum=25.0,
+                               learn_profiles=False),
+        adaptive=True)
+    rules = (default_latency_slo(latency_target, budget=0.02,
+                                 fast_window=10.0, slow_window=30.0,
+                                 fast_burn=4.0, slow_burn=1.0),)
+    return SloBurnrateSetup(scenario, policy, timeline, rules)
 
 
 def fig4_offload_threshold_problem(one_way_ms: float, west_rps: float,

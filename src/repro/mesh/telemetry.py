@@ -195,6 +195,10 @@ class RunTelemetry:
         #: exact lifetime counters, maintained in both retention modes
         self.completed_count = 0
         self.failed_count = 0
+        #: per-traffic-class lifetime counters, also retention-independent
+        #: (the scrape loop and SLO error-rate rules read these)
+        self.completed_by_class: dict[str, int] = {}
+        self.failed_by_class: dict[str, int] = {}
         #: class → (arrival_time, latency) sample (reservoir mode only)
         self._reservoirs: dict[str, list[tuple[float, float]]] = {}
         self._seen_by_class: dict[str, int] = {}
@@ -205,10 +209,11 @@ class RunTelemetry:
 
     def record_completion(self, request: Request) -> None:
         self.completed_count += 1
+        cls = request.traffic_class
+        self.completed_by_class[cls] = self.completed_by_class.get(cls, 0) + 1
         if self._reservoir_size is None:
             self.requests.append(request)
             return
-        cls = request.traffic_class
         seen = self._seen_by_class.get(cls, 0)
         bucket = self._reservoirs.get(cls)
         if bucket is None:
@@ -223,6 +228,8 @@ class RunTelemetry:
 
     def record_failure(self, request: Request) -> None:
         self.failed_count += 1
+        cls = request.traffic_class
+        self.failed_by_class[cls] = self.failed_by_class.get(cls, 0) + 1
         if self._reservoir_size is None:
             self.failed_requests.append(request)
 

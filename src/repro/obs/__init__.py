@@ -10,8 +10,14 @@ network layer cannot; this package applies the same idea to the simulator:
   queue/exec/WAN latency breakdowns over those traces;
 * :mod:`repro.obs.metrics` — a labeled counter/gauge/histogram registry
   with JSON and prometheus-style exports, filled by :mod:`repro.obs.collect`;
+* :mod:`repro.obs.timeseries` — a sim-time scrape loop sampling the mesh
+  every ``scrape_interval`` virtual seconds into ring-buffered series;
+* :mod:`repro.obs.slo` / :mod:`repro.obs.alerts` — declarative SLO rules
+  with multi-window burn-rate alerting over the scraped series;
 * :mod:`repro.obs.decisions` — an append-only log of every Global
   Controller epoch (demand delta, solve-vs-replay, routing diff);
+* :mod:`repro.obs.diff` — a run-diff regression engine comparing two runs'
+  exported artifacts under tolerance bands (``repro obs diff A B``);
 * :mod:`repro.obs.profiler` — wall-clock profiling of the control plane
   (the one deliberate wall-clock consumer; simulated code never is).
 
@@ -20,23 +26,37 @@ and pass it to ``MeshSimulation``/``run_policy`` to opt in. See
 ``docs/observability.md``.
 """
 
+from .alerts import Alert, AlertLog, join_alerts_decisions
 from .analyzer import (HopBreakdown, critical_path, hop_breakdown,
                        trace_summary)
 from .config import Observability, ObservabilityConfig
 from .decisions import DecisionLog, EpochDecision
-from .export import (load_trace_jsonl, write_chrome_trace,
-                     write_decisions_jsonl, write_metrics_json,
-                     write_metrics_prometheus, write_trace_jsonl)
-from .metrics import (Counter, DEFAULT_LATENCY_BUCKETS, Gauge, Histogram,
+from .diff import (DiffConfig, DiffReport, SeriesDelta, diff_files,
+                   diff_runs, flatten_artifact, load_artifact)
+from .export import (load_trace_jsonl, write_alerts_jsonl,
+                     write_chrome_trace, write_decisions_jsonl,
+                     write_metrics_json, write_metrics_prometheus,
+                     write_timeseries_json, write_trace_jsonl)
+from .metrics import (Counter, DEFAULT_LATENCY_BUCKETS,
+                      DEFAULT_MAX_LABEL_SETS, Gauge, Histogram,
                       MetricsRegistry)
 from .profiler import ControlPlaneProfiler
+from .slo import SloEngine, SloRule, default_latency_slo
+from .timeseries import (DEFAULT_MAX_POINTS, ScrapeLoop, TimeSeries,
+                         TimeSeriesStore, percentile)
 from .tracing import TraceNode, Tracer, build_trace_tree, chrome_trace
 
 __all__ = [
+    "Alert",
+    "AlertLog",
     "ControlPlaneProfiler",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_MAX_LABEL_SETS",
+    "DEFAULT_MAX_POINTS",
     "DecisionLog",
+    "DiffConfig",
+    "DiffReport",
     "EpochDecision",
     "Gauge",
     "Histogram",
@@ -44,17 +64,32 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "ObservabilityConfig",
+    "ScrapeLoop",
+    "SeriesDelta",
+    "SloEngine",
+    "SloRule",
+    "TimeSeries",
+    "TimeSeriesStore",
     "TraceNode",
     "Tracer",
     "build_trace_tree",
     "chrome_trace",
     "critical_path",
+    "default_latency_slo",
+    "diff_files",
+    "diff_runs",
+    "flatten_artifact",
     "hop_breakdown",
+    "join_alerts_decisions",
+    "load_artifact",
     "load_trace_jsonl",
+    "percentile",
     "trace_summary",
+    "write_alerts_jsonl",
     "write_chrome_trace",
     "write_decisions_jsonl",
     "write_metrics_json",
     "write_metrics_prometheus",
+    "write_timeseries_json",
     "write_trace_jsonl",
 ]

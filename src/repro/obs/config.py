@@ -15,9 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .alerts import AlertLog
 from .decisions import DecisionLog
 from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from .profiler import ControlPlaneProfiler
+from .slo import SloEngine, SloRule
+from .timeseries import DEFAULT_MAX_POINTS, ScrapeLoop, TimeSeriesStore
 from .tracing import Tracer
 
 __all__ = ["Observability", "ObservabilityConfig"]
@@ -35,14 +38,29 @@ class ObservabilityConfig:
     decisions: bool = False
     #: wall-clock profiling of control-plane sections (plan, distribute)
     profiling: bool = False
+    #: scrape engine/pool/gateway/WAN/routing state into a
+    #: :class:`TimeSeriesStore` every ``scrape_interval`` sim-seconds
+    timeseries: bool = False
+    #: SLO rules to evaluate each scrape (non-empty implies the
+    #: time-series pillar — burn rates window over the scraped series)
+    slo: tuple[SloRule, ...] = ()
+    #: sim-seconds between scrape samples
+    scrape_interval: float = 1.0
+    #: per-series ring-buffer capacity
+    timeseries_max_points: int = DEFAULT_MAX_POINTS
     #: histogram bucket bounds (seconds) for latency metrics
     latency_buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+
+    def __post_init__(self) -> None:
+        if self.scrape_interval <= 0:
+            raise ValueError(
+                f"scrape_interval must be > 0, got {self.scrape_interval}")
 
     @property
     def enabled(self) -> bool:
         """True when any pillar is on."""
         return (self.tracing or self.metrics or self.decisions
-                or self.profiling)
+                or self.profiling or self.timeseries or bool(self.slo))
 
     @classmethod
     def off(cls) -> "ObservabilityConfig":
@@ -51,9 +69,9 @@ class ObservabilityConfig:
 
     @classmethod
     def full(cls) -> "ObservabilityConfig":
-        """Every pillar enabled."""
+        """Every pillar enabled (SLO rules still need explicit opt-in)."""
         return cls(tracing=True, metrics=True, decisions=True,
-                   profiling=True)
+                   profiling=True, timeseries=True)
 
 
 class Observability:
@@ -69,6 +87,17 @@ class Observability:
             DecisionLog() if self.config.decisions else None)
         self.profiler: ControlPlaneProfiler | None = (
             ControlPlaneProfiler() if self.config.profiling else None)
+        timeseries_on = self.config.timeseries or bool(self.config.slo)
+        self.timeseries: TimeSeriesStore | None = (
+            TimeSeriesStore(max_points=self.config.timeseries_max_points)
+            if timeseries_on else None)
+        self.alerts: AlertLog | None = (
+            AlertLog() if self.config.slo else None)
+        self.slo: SloEngine | None = (
+            SloEngine(self.config.slo, self.timeseries, self.alerts)
+            if self.config.slo else None)
+        #: scrape loop, bound to one simulation by :meth:`attach`
+        self.scrape: ScrapeLoop | None = None
 
     @classmethod
     def coerce(cls, obj) -> "Observability | None":
@@ -93,6 +122,20 @@ class Observability:
         """Bind run-scoped context (called by ``MeshSimulation``)."""
         if self.tracer is not None:
             self.tracer.latency = simulation.deployment.latency
+        if self.timeseries is not None:
+            self.scrape = ScrapeLoop(self.timeseries, simulation,
+                                     self.config.scrape_interval,
+                                     slo_engine=self.slo)
+
+    def install_scrape(self, duration: float) -> None:
+        """Schedule the scrape ticks for one run (runner hook)."""
+        if self.scrape is not None:
+            self.scrape.install(duration)
+
+    def finalize_scrape(self) -> None:
+        """Take the post-drain terminal sample (runner hook)."""
+        if self.scrape is not None:
+            self.scrape.finalize()
 
     def collect(self, simulation, controller=None) -> None:
         """Snapshot end-of-run state into the metrics registry."""
@@ -107,6 +150,8 @@ class Observability:
 
     def __repr__(self) -> str:
         on = [name for name in ("tracing", "metrics", "decisions",
-                                "profiling")
+                                "profiling", "timeseries")
               if getattr(self.config, name)]
+        if self.config.slo:
+            on.append(f"slo[{len(self.config.slo)}]")
         return f"Observability({', '.join(on) if on else 'off'})"

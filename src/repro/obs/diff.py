@@ -1,0 +1,319 @@
+"""Run-diff regression engine: compare two runs' exported artifacts.
+
+CI-grade comparison of the JSON/JSONL artifacts the observability layer
+(and the benchmark harness) writes: metrics snapshots, time-series
+snapshots, decision/alert JSONL logs, and the flat ``BENCH_*.json``
+trajectory files. Every artifact is first *flattened* to a map of scalar
+series keys → values, then compared pairwise under configurable tolerance
+bands, with direction awareness — a drop in ``events_per_sec`` is a
+regression, a drop in ``request_latency_p99`` is an improvement.
+
+The CLI face is ``repro obs diff A B``; it exits non-zero when the report
+contains a regression, which is what lets the bench-smoke CI job gate on
+committed ``BENCH_*.json`` baselines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+__all__ = ["DiffConfig", "DiffReport", "SeriesDelta", "diff_files",
+           "diff_runs", "flatten_artifact", "load_artifact"]
+
+#: key patterns where bigger is better (a decrease is the regression)
+DEFAULT_HIGHER_IS_BETTER = (
+    "*_per_sec*", "*hit_rate*", "*completed*", "*speedup*",
+)
+#: key patterns where smaller is better (an increase is the regression)
+DEFAULT_LOWER_IS_BETTER = (
+    "*latency*", "*cost*", "*failed*", "*dropped*", "*timed_out*",
+    "*queue_depth*", "*_seconds*", "*burn_rate*", "*churn*",
+)
+
+
+@dataclass(frozen=True)
+class DiffConfig:
+    """Tolerances and direction rules for one comparison."""
+
+    #: default relative tolerance (fraction of the baseline value)
+    rel_tolerance: float = 0.05
+    #: absolute slack added on top (guards near-zero baselines)
+    abs_tolerance: float = 1e-9
+    #: glob pattern → relative tolerance overriding the default
+    key_tolerances: tuple[tuple[str, float], ...] = ()
+    higher_is_better: tuple[str, ...] = DEFAULT_HIGHER_IS_BETTER
+    lower_is_better: tuple[str, ...] = DEFAULT_LOWER_IS_BETTER
+    #: keys matching these patterns are skipped entirely
+    ignore: tuple[str, ...] = ("schema_version", "*wall_time*",
+                               "*solve_time*", "*_workers", "cpu_count")
+    #: a key present in the baseline but absent in the candidate is a
+    #: regression (candidate-only keys are always fine — artifacts grow)
+    fail_on_missing: bool = True
+
+    def tolerance_for(self, key: str) -> float:
+        for pattern, tolerance in self.key_tolerances:
+            if fnmatchcase(key, pattern):
+                return tolerance
+        return self.rel_tolerance
+
+    def direction_for(self, key: str) -> str:
+        """"higher", "lower", or "both" (any drift counts)."""
+        for pattern in self.higher_is_better:
+            if fnmatchcase(key, pattern):
+                return "higher"
+        for pattern in self.lower_is_better:
+            if fnmatchcase(key, pattern):
+                return "lower"
+        return "both"
+
+    def ignores(self, key: str) -> bool:
+        return any(fnmatchcase(key, pattern) for pattern in self.ignore)
+
+
+@dataclass(frozen=True)
+class SeriesDelta:
+    """One compared key: baseline vs candidate and the verdict."""
+
+    key: str
+    baseline: float | None
+    candidate: float | None
+    direction: str
+    tolerance: float
+    regression: bool
+
+    @property
+    def delta(self) -> float | None:
+        if self.baseline is None or self.candidate is None:
+            return None
+        return self.candidate - self.baseline
+
+    @property
+    def rel_delta(self) -> float | None:
+        if self.delta is None:
+            return None
+        if self.baseline == 0:
+            return None if self.delta == 0 else float("inf")
+        return self.delta / abs(self.baseline)
+
+    def as_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "rel_delta": self.rel_delta,
+            "direction": self.direction,
+            "tolerance": self.tolerance,
+            "regression": self.regression,
+        }
+
+
+@dataclass
+class DiffReport:
+    """Every compared key, plus the regression verdict."""
+
+    baseline_name: str
+    candidate_name: str
+    deltas: list[SeriesDelta] = field(default_factory=list)
+
+    def regressions(self) -> list[SeriesDelta]:
+        return [delta for delta in self.deltas if delta.regression]
+
+    @property
+    def has_regressions(self) -> bool:
+        return any(delta.regression for delta in self.deltas)
+
+    def changed(self) -> list[SeriesDelta]:
+        """Deltas with any numeric movement (for compact reporting)."""
+        return [delta for delta in self.deltas
+                if delta.delta is None or delta.delta != 0]
+
+    def as_dict(self) -> dict:
+        return {
+            "baseline": self.baseline_name,
+            "candidate": self.candidate_name,
+            "compared": len(self.deltas),
+            "regressions": len(self.regressions()),
+            "deltas": [delta.as_dict() for delta in self.changed()],
+        }
+
+    def render(self, all_keys: bool = False) -> str:
+        """Fixed-width table: regressions first, then other movement."""
+        header = (f"{'key':<52} {'baseline':>12} {'candidate':>12} "
+                  f"{'rel':>8} verdict")
+        lines = [f"diff: {self.baseline_name} -> {self.candidate_name}",
+                 header, "-" * len(header)]
+        shown = self.deltas if all_keys else self.changed()
+        ordered = sorted(shown, key=lambda d: (not d.regression, d.key))
+        for delta in ordered:
+            baseline = ("missing" if delta.baseline is None
+                        else f"{delta.baseline:.6g}")
+            candidate = ("missing" if delta.candidate is None
+                         else f"{delta.candidate:.6g}")
+            rel = delta.rel_delta
+            rel_text = "-" if rel is None else f"{rel:+.1%}"
+            verdict = "REGRESSION" if delta.regression else "ok"
+            lines.append(f"{delta.key:<52} {baseline:>12} {candidate:>12} "
+                         f"{rel_text:>8} {verdict}")
+        lines.append(f"compared={len(self.deltas)} "
+                     f"regressions={len(self.regressions())}")
+        return "\n".join(lines)
+
+
+# -------------------------------------------------------------- flattening
+
+def _render_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _flatten_metrics_snapshot(payload: dict) -> dict[str, float]:
+    """A :meth:`MetricsRegistry.snapshot` document → flat scalar map."""
+    flat: dict[str, float] = {}
+    for name, metric in payload.items():
+        for entry in metric.get("series", []):
+            labels = _render_labels(entry.get("labels", {}))
+            if "value" in entry:
+                flat[f"{name}{labels}"] = float(entry["value"])
+            else:   # histogram: compare the moments, not every bucket
+                flat[f"{name}{labels}:count"] = float(entry["count"])
+                flat[f"{name}{labels}:sum"] = float(entry["sum"])
+                flat[f"{name}{labels}:mean"] = float(entry["mean"])
+    return flat
+
+
+def _flatten_timeseries_snapshot(payload: dict) -> dict[str, float]:
+    """A :meth:`TimeSeriesStore.snapshot` document → per-series stats.
+
+    Ring-buffered series are summarised (last/mean/max) rather than
+    compared point-by-point: two healthy runs never align sample-for-sample
+    once anything upstream shifts event timing, but their window statistics
+    should hold still.
+    """
+    flat: dict[str, float] = {}
+    for entry in payload.get("series", []):
+        values = [float(v) for _, v in entry.get("points", [])]
+        if not values:
+            continue
+        key = f"{entry['name']}{_render_labels(entry.get('labels', {}))}"
+        flat[f"{key}:last"] = values[-1]
+        flat[f"{key}:mean"] = sum(values) / len(values)
+        flat[f"{key}:max"] = max(values)
+    return flat
+
+
+def _flatten_jsonl(lines: list[dict]) -> dict[str, float]:
+    """Decision/alert JSONL → aggregate counters.
+
+    Decision logs contribute epoch outcome counts and total churn; alert
+    logs contribute fired/resolved counts and summed firing time.
+    """
+    flat: dict[str, float] = {}
+    if not lines:
+        return flat
+    if "outcome" in lines[0]:   # decision log
+        flat["decisions:epochs"] = float(len(lines))
+        for record in lines:
+            key = f"decisions:{record['outcome']}"
+            flat[key] = flat.get(key, 0.0) + 1.0
+        flat["decisions:weight_churn"] = sum(
+            float(record.get("weight_churn", 0.0)) for record in lines)
+        flat["decisions:rules_changed"] = sum(
+            float(record.get("rules_changed", 0)) for record in lines)
+    elif "fired_at" in lines[0]:   # alert log
+        flat["alerts:fired"] = float(len(lines))
+        resolved = [record for record in lines
+                    if record.get("resolved_at") is not None]
+        flat["alerts:resolved"] = float(len(resolved))
+        flat["alerts:firing_seconds"] = sum(
+            record["resolved_at"] - record["fired_at"] for record in resolved)
+    else:
+        raise ValueError("unrecognised JSONL artifact (neither decision "
+                         "nor alert records)")
+    return flat
+
+
+def flatten_artifact(payload, name: str = "<artifact>") -> dict[str, float]:
+    """Normalise any supported artifact payload to a flat scalar map."""
+    if isinstance(payload, list):
+        return _flatten_jsonl(payload)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{name}: unsupported artifact payload "
+                         f"{type(payload).__name__}")
+    if "series" in payload and isinstance(payload["series"], list):
+        return _flatten_timeseries_snapshot(payload)
+    values = list(payload.values())
+    if values and all(isinstance(value, dict) and "kind" in value
+                      for value in values):
+        return _flatten_metrics_snapshot(payload)
+    flat = {key: float(value) for key, value in payload.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)}
+    if not flat:
+        raise ValueError(f"{name}: no numeric keys to compare")
+    return flat
+
+
+def load_artifact(path: str | Path) -> dict[str, float]:
+    """Load + flatten one artifact file (.json or .jsonl)."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".jsonl":
+        lines = [json.loads(line) for line in text.splitlines()
+                 if line.strip()]
+        return flatten_artifact(lines, name=str(path))
+    return flatten_artifact(json.loads(text), name=str(path))
+
+
+# -------------------------------------------------------------- comparison
+
+def _compare_key(key: str, baseline: float | None, candidate: float | None,
+                 config: DiffConfig) -> SeriesDelta:
+    direction = config.direction_for(key)
+    tolerance = config.tolerance_for(key)
+    if candidate is None:
+        return SeriesDelta(key, baseline, None, direction, tolerance,
+                           regression=config.fail_on_missing)
+    if baseline is None:
+        # new key in the candidate: informational, never a failure
+        return SeriesDelta(key, None, candidate, direction, tolerance,
+                           regression=False)
+    band = tolerance * abs(baseline) + config.abs_tolerance
+    delta = candidate - baseline
+    if direction == "higher":
+        regression = delta < -band
+    elif direction == "lower":
+        regression = delta > band
+    else:
+        regression = abs(delta) > band
+    return SeriesDelta(key, baseline, candidate, direction, tolerance,
+                       regression=regression)
+
+
+def diff_runs(baseline: dict[str, float], candidate: dict[str, float],
+              config: DiffConfig | None = None,
+              baseline_name: str = "baseline",
+              candidate_name: str = "candidate") -> DiffReport:
+    """Compare two flattened artifacts under ``config`` tolerances."""
+    config = config or DiffConfig()
+    report = DiffReport(baseline_name, candidate_name)
+    for key in sorted(set(baseline) | set(candidate)):
+        if config.ignores(key):
+            continue
+        report.deltas.append(_compare_key(key, baseline.get(key),
+                                          candidate.get(key), config))
+    return report
+
+
+def diff_files(baseline_path: str | Path, candidate_path: str | Path,
+               config: DiffConfig | None = None) -> DiffReport:
+    """Load, flatten, and compare two artifact files."""
+    baseline = load_artifact(baseline_path)
+    candidate = load_artifact(candidate_path)
+    return diff_runs(baseline, candidate, config,
+                     baseline_name=str(baseline_path),
+                     candidate_name=str(candidate_path))

@@ -12,12 +12,15 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from .alerts import AlertLog
 from .decisions import DecisionLog
 from .metrics import MetricsRegistry
+from .timeseries import TimeSeriesStore
 from .tracing import Tracer, chrome_trace
 
-__all__ = ["load_trace_jsonl", "write_chrome_trace", "write_decisions_jsonl",
-           "write_metrics_json", "write_metrics_prometheus",
+__all__ = ["load_trace_jsonl", "write_alerts_jsonl", "write_chrome_trace",
+           "write_decisions_jsonl", "write_metrics_json",
+           "write_metrics_prometheus", "write_timeseries_json",
            "write_trace_jsonl"]
 
 
@@ -65,6 +68,30 @@ def write_metrics_prometheus(registry: MetricsRegistry,
     with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
         handle.write(text)
     return text.count("\n")
+
+
+def write_timeseries_json(store: TimeSeriesStore, path: str | Path) -> int:
+    """Full time-series snapshot as JSON; returns the series count.
+
+    Round-trips via :meth:`TimeSeriesStore.from_snapshot` and feeds the
+    run-diff engine (:mod:`repro.obs.diff`).
+    """
+    snapshot = store.snapshot()
+    # exporter module: artifact writes are its declared purpose
+    with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(snapshot["series"])
+
+
+def write_alerts_jsonl(log: AlertLog, path: str | Path) -> int:
+    """One alert per line; returns the alert count."""
+    lines = log.to_jsonl_lines()
+    # exporter module: artifact writes are its declared purpose
+    with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
 
 
 def write_decisions_jsonl(log: DecisionLog, path: str | Path) -> int:

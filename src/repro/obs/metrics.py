@@ -14,22 +14,37 @@ machines and existing dashboards.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
-__all__ = ["Counter", "DEFAULT_LATENCY_BUCKETS", "Gauge", "Histogram",
-           "HistogramState", "Metric", "MetricsRegistry"]
+__all__ = ["Counter", "DEFAULT_LATENCY_BUCKETS", "DEFAULT_MAX_LABEL_SETS",
+           "Gauge", "Histogram", "HistogramState", "Metric",
+           "MetricsRegistry"]
 
 #: latency histogram bucket upper bounds in seconds (prometheus-ish
 #: defaults shifted toward the sub-second range this simulator lives in)
 DEFAULT_LATENCY_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
                            1.0, 2.5, 5.0)
 
+#: default per-metric label-set cap (the cardinality guard); generous for
+#: per-(service, cluster, class) series, tripped by per-request-id labels
+DEFAULT_MAX_LABEL_SETS = 1024
+
 #: a labeled series key: sorted (label, value) pairs
 _LabelKey = tuple[tuple[str, str], ...]
+
+#: series key absorbing samples rejected by the cardinality guard
+_OVERFLOW_KEY: _LabelKey = (("overflow", "true"),)
 
 
 def _label_key(labels: dict[str, str]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-format escaping for label values."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()
@@ -37,7 +52,8 @@ def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()
     items = [*key, *extra]
     if not items:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in items)
+    body = ",".join(f'{name}="{_escape_label_value(value)}"'
+                    for name, value in items)
     return "{" + body + "}"
 
 
@@ -52,12 +68,30 @@ class Metric:
         self.name = name
         self.help_text = help_text
         self._series: dict[_LabelKey, object] = {}
+        #: label-set cap (set by the owning registry; None = unlimited)
+        self.max_label_sets: int | None = None
+        #: samples redirected to the overflow series by the guard
+        self.dropped_label_sets = 0
 
     def labels(self) -> list[_LabelKey]:
         return sorted(self._series)
 
     def series_count(self) -> int:
         return len(self._series)
+
+    def _admit(self, key: _LabelKey) -> _LabelKey:
+        """Cardinality guard: fold new label-sets past the cap into one
+        ``{overflow="true"}`` series (loud, bounded, never silent)."""
+        if (key in self._series or self.max_label_sets is None
+                or len(self._series) < self.max_label_sets):
+            return key
+        if self.dropped_label_sets == 0:
+            warnings.warn(
+                f"metric {self.name!r} exceeded max_label_sets="
+                f"{self.max_label_sets}; new label-sets fold into "
+                f'{{overflow="true"}}', RuntimeWarning, stacklevel=4)
+        self.dropped_label_sets += 1
+        return _OVERFLOW_KEY
 
 
 class Counter(Metric):
@@ -68,7 +102,7 @@ class Counter(Metric):
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
-        key = _label_key(labels)
+        key = self._admit(_label_key(labels))
         self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
@@ -81,7 +115,7 @@ class Gauge(Metric):
     kind = "gauge"
 
     def set(self, value: float, **labels: str) -> None:
-        self._series[_label_key(labels)] = float(value)
+        self._series[self._admit(_label_key(labels))] = float(value)
 
     def value(self, **labels: str) -> float:
         return float(self._series.get(_label_key(labels), 0.0))
@@ -138,7 +172,7 @@ class Histogram(Metric):
         self.buckets = bounds
 
     def observe(self, value: float, **labels: str) -> None:
-        key = _label_key(labels)
+        key = self._admit(_label_key(labels))
         state = self._series.get(key)
         if state is None:
             state = self._series[key] = HistogramState(self.buckets)
@@ -157,7 +191,12 @@ class MetricsRegistry:
     3.0
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_label_sets: int | None = DEFAULT_MAX_LABEL_SETS
+                 ) -> None:
+        if max_label_sets is not None and max_label_sets < 1:
+            raise ValueError(
+                f"max_label_sets must be >= 1 or None, got {max_label_sets}")
+        self.max_label_sets = max_label_sets
         self._metrics: dict[str, Metric] = {}
 
     def _get(self, cls: type, name: str, help_text: str,
@@ -165,6 +204,7 @@ class MetricsRegistry:
         metric = self._metrics.get(name)
         if metric is None:
             metric = self._metrics[name] = cls(name, help_text, **kwargs)
+            metric.max_label_sets = self.max_label_sets
         elif not isinstance(metric, cls):
             raise ValueError(
                 f"metric {name!r} already registered as {metric.kind}, "
@@ -213,6 +253,8 @@ class MetricsRegistry:
                 series.append(entry)
             out[name] = {"kind": metric.kind, "help": metric.help_text,
                          "series": series}
+            if metric.dropped_label_sets:
+                out[name]["dropped_label_sets"] = metric.dropped_label_sets
         return out
 
     def to_prometheus(self) -> str:

@@ -119,6 +119,32 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self._now}")
         heapq.heappush(self._heap, (time, next(self._seq), callback, args))
 
+    def schedule_periodic(self, interval: float,
+                          callback: Callable[..., None], until: float,
+                          *args: Any) -> int:
+        """Pre-schedule ``callback(*args)`` every ``interval`` seconds.
+
+        Ticks land at ``now + k*interval`` for ``k >= 1``, strictly before
+        ``until``; the number scheduled is returned. Pre-scheduling (rather
+        than having the callback reschedule itself) keeps
+        :meth:`run_until_idle` able to drain — a self-perpetuating event
+        would never let the heap empty.
+        """
+        if interval <= 0:
+            raise SimulationError(
+                f"periodic interval must be > 0, got {interval}")
+        if until < self._now:
+            raise SimulationError(
+                f"cannot schedule until t={until} before now={self._now}")
+        count = 0
+        time = self._now + interval
+        while time < until:
+            heapq.heappush(self._heap, (time, next(self._seq),
+                                        callback, args))
+            count += 1
+            time = self._now + interval * (count + 1)
+        return count
+
     def schedule_cancellable(self, delay: float,
                              callback: Callable[..., None],
                              *args: Any) -> EventHandle:

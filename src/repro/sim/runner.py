@@ -237,12 +237,19 @@ class MeshSimulation:
             while boundary < duration:
                 self.sim.schedule_at(boundary, self._epoch_tick, on_epoch)
                 boundary += epoch
+        # scrape ticks are installed after the epoch loop so a tied
+        # timestamp orders epoch-first: a scrape at an epoch boundary then
+        # sees the freshly planned routing table
+        if self.observability is not None:
+            self.observability.install_scrape(duration)
         if invariants.invariants_enabled():
             invariants.check_routing_table(self.table)
         self.sim.run(until=duration)
         self.sim.run_until_idle()
         if epoch is not None:
             self._epoch_tick(on_epoch)
+        if self.observability is not None:
+            self.observability.finalize_scrape()
         self._verify_invariants()
 
     def run_timeline(self, timeline, epoch: float | None = None,
@@ -266,12 +273,16 @@ class MeshSimulation:
             while boundary < duration:
                 self.sim.schedule_at(boundary, self._epoch_tick, on_epoch)
                 boundary += epoch
+        if self.observability is not None:
+            self.observability.install_scrape(duration)
         if invariants.invariants_enabled():
             invariants.check_routing_table(self.table)
         self.sim.run(until=duration)
         self.sim.run_until_idle()
         if epoch is not None:
             self._epoch_tick(on_epoch)
+        if self.observability is not None:
+            self.observability.finalize_scrape()
         self._verify_invariants()
 
     def harvest_reports(self) -> list[ClusterEpochReport]:

@@ -66,3 +66,23 @@ def test_solve_render_istio(capsys):
     assert "kind: VirtualService" in out
     assert "kind: DestinationRule" in out
     assert "weight:" in out
+
+
+def test_obs_timeseries_summary(capsys, tmp_path):
+    assert main(["obs", "timeseries", "--figure", "fig6a",
+                 "--duration", "5", "--interval", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "scrapes" in out and "request_latency_p99" in out
+    snapshot = tmp_path / "ts.json"
+    assert main(["obs", "timeseries", "--figure", "fig6a", "--duration", "5",
+                 "-o", str(snapshot)]) == 0
+    assert "series" in snapshot.read_text()
+
+
+def test_obs_slo_renders_alerts_and_join(capsys):
+    # 60 simulated seconds: the surge starts at t=40, so the alert fires
+    # but stays active at the end of the run
+    assert main(["obs", "slo", "--duration", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "rule" in out and "latency-250ms" in out
+    assert "re-plans" in out

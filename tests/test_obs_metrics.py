@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import json
+import warnings
+from pathlib import Path
 
 import pytest
 
-from repro.obs import (DEFAULT_LATENCY_BUCKETS, MetricsRegistry,
-                       Observability, ObservabilityConfig)
+from repro.obs import (DEFAULT_LATENCY_BUCKETS, DEFAULT_MAX_LABEL_SETS,
+                       MetricsRegistry, Observability, ObservabilityConfig)
 from repro.experiments.harness import run_policy
 from repro.experiments.scenarios import fig6a_how_much
 
@@ -95,6 +97,68 @@ def test_prometheus_text_format():
     assert 'lat_seconds_sum{cls="default"} 0.05' in text
     assert 'lat_seconds_count{cls="default"} 1' in text
     assert text.endswith("\n")
+
+
+def test_prometheus_matches_golden_file():
+    """The exact exposition bytes are pinned: HELP/TYPE headers, label
+    ordering, cumulative ``_bucket``/``_sum``/``_count`` series."""
+    golden = Path(__file__).parent / "golden" / "metrics.prom"
+    assert build_small_registry().to_prometheus() == golden.read_text()
+
+
+def test_prometheus_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("odd_total").inc(1, path='a\\b"c\nd')
+    text = registry.to_prometheus()
+    assert 'odd_total{path="a\\\\b\\"c\\nd"} 1.0' in text
+    assert "\n\n" not in text                # the raw newline never leaks
+
+
+# --------------------------------------------------- cardinality guard
+
+def test_cardinality_guard_folds_overflow_series():
+    registry = MetricsRegistry(max_label_sets=3)
+    counter = registry.counter("wide_total")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for index in range(5):
+            counter.inc(1, request_id=str(index))
+    assert [w.category for w in caught] == [RuntimeWarning]   # warned once
+    assert "max_label_sets=3" in str(caught[0].message)
+    assert counter.series_count() == 4       # 3 admitted + the overflow bin
+    assert counter.dropped_label_sets == 2
+    assert counter.value(overflow="true") == 2.0
+    # existing label-sets keep accumulating normally past the cap
+    counter.inc(1, request_id="0")
+    assert counter.value(request_id="0") == 2.0
+    assert counter.dropped_label_sets == 2
+
+
+def test_cardinality_guard_applies_to_histograms_and_snapshot():
+    registry = MetricsRegistry(max_label_sets=1)
+    histogram = registry.histogram("h", buckets=(1.0,))
+    histogram.observe(0.5, cls="a")
+    with pytest.warns(RuntimeWarning):
+        histogram.observe(0.7, cls="b")
+        histogram.observe(0.9, cls="c")
+    assert histogram.state(overflow="true").count == 2
+    snapshot = registry.snapshot()
+    assert snapshot["h"]["dropped_label_sets"] == 2
+    # untripped metrics don't carry the key at all
+    assert "dropped_label_sets" not in build_small_registry().snapshot()[
+        "reqs_total"]
+
+
+def test_cardinality_cap_configurable_and_unlimited():
+    assert MetricsRegistry().max_label_sets == DEFAULT_MAX_LABEL_SETS
+    with pytest.raises(ValueError):
+        MetricsRegistry(max_label_sets=0)
+    unlimited = MetricsRegistry(max_label_sets=None)
+    counter = unlimited.counter("c")
+    for index in range(DEFAULT_MAX_LABEL_SETS + 8):
+        counter.inc(1, i=str(index))
+    assert counter.series_count() == DEFAULT_MAX_LABEL_SETS + 8
+    assert counter.dropped_label_sets == 0
 
 
 # ----------------------------------------------------------- collectors

@@ -182,6 +182,123 @@ def test_chrome_trace_schema():
     json.dumps(document)   # must be serializable as-is
 
 
+def test_chrome_trace_round_trips_through_jsonl():
+    """The Chrome document is a pure function of the span set: rebuilding
+    the tracer from its JSONL export reproduces it event-for-event."""
+    tracer = Tracer()
+    for span in three_hop_spans():
+        tracer.record_span(span)
+    tracer.record_span(make_span(request_id=2, service="Z", cluster="east",
+                                 caller_cluster="east"))
+    document = chrome_trace(tracer)
+    reparsed = json.loads(json.dumps(document))
+    rebuilt = Tracer.from_jsonl_lines(tracer.to_jsonl_lines())
+    assert chrome_trace(rebuilt) == reparsed
+
+
+# ---------------------------------------- edge cases from real runs
+
+def _traced_sim(timeouts, replicas_west=5, seed=2):
+    from repro.obs import Observability, ObservabilityConfig
+    from repro.sim import DeploymentSpec, linear_chain_app
+    from repro.sim.runner import MeshSimulation
+    from repro.sim.topology import ClusterSpec
+
+    app = linear_chain_app(n_services=2, exec_time=0.010)
+    deployment = DeploymentSpec(
+        clusters=[ClusterSpec("west", {"S1": replicas_west,
+                                       "S2": replicas_west}),
+                  ClusterSpec("east", {"S1": 5, "S2": 5})],
+        latency=two_region_latency(25.0))
+    obs = Observability(ObservabilityConfig(tracing=True))
+    sim = MeshSimulation(app, deployment, seed=seed, observability=obs,
+                         timeouts=timeouts)
+    return sim, obs.tracer
+
+
+def test_orphan_spans_from_requests_dropped_mid_flight():
+    """A request abandoned by its deadline still leaves its spans: the
+    orphaned work ran, and the trace must show it."""
+    from repro.sim import DemandMatrix
+    from repro.sim.runner import TimeoutPolicy
+
+    sim, tracer = _traced_sim(
+        TimeoutPolicy(call_timeout=0.2, max_attempts=1), replicas_west=1)
+    sim.run(DemandMatrix({("default", "west"): 300.0}), duration=10.0)
+    failed = sim.telemetry.failed_requests
+    assert failed, "overload scenario must produce failed requests"
+    traced_failures = [r for r in failed if len(tracer.trace(r.request_id).spans)]
+    assert traced_failures, "dropped requests left no spans at all"
+    for request in traced_failures[:20]:
+        roots = tracer.tree(request.request_id)
+        assert roots, "spans recorded but nothing stitched"
+        record = tracer.request(request.request_id)
+        assert record is not None and record.failed
+        # orphaned downstream work may finish *after* the request erred out
+        spans = tracer.trace(request.request_id).spans
+        assert all(span.end_time >= span.start_time >= span.enqueue_time
+                   for span in spans)
+    orphan_work = [
+        span
+        for request in traced_failures
+        for span in tracer.trace(request.request_id).spans
+        if tracer.request(request.request_id).completion_time is not None
+        and span.end_time > tracer.request(request.request_id).completion_time
+    ]
+    assert orphan_work, "no span outlived its abandoned request"
+
+
+def test_stitching_across_a_wan_retry():
+    """S2 is routed over the WAN, the remote cluster dies mid-flight, and
+    the timed-out call retries locally: the retry attempt must stitch as a
+    child of the original caller span."""
+    from repro.mesh.routing_table import RouteKey
+    from repro.sim import DemandMatrix
+    from repro.sim.runner import TimeoutPolicy
+
+    sim, tracer = _traced_sim(TimeoutPolicy(call_timeout=0.3, max_attempts=2))
+    sim.table.set_weights(RouteKey("S2", "default", "west"), {"east": 1.0})
+    sim.sim.schedule(2.0, sim.fail_service, "east", "S2")
+    sim.run(DemandMatrix({("default", "west"): 200.0}), duration=10.0)
+    assert sim.dropped_calls > 0
+    assert sim.telemetry.failed_requests == []   # every retry succeeded
+
+    retried = []
+    for request_id in tracer.request_ids():
+        for span in tracer.trace(request_id).spans:
+            # the retry signature: an S2 attempt enqueued a full deadline
+            # after the kill, landing in west (east is excluded)
+            if (span.service == "S2" and span.cluster == "west"
+                    and span.enqueue_time >= 2.3 - 1e-9
+                    and span.caller_service == "S1"
+                    and span.caller_cluster == "west"):
+                retried.append(request_id)
+    assert retried, "no retried S2 attempt found in the traces"
+    for request_id in retried[:20]:
+        roots = tracer.tree(request_id)
+        # (an ingress retry can legitimately produce a second S1 root; the
+        # retried S2 attempt must still stitch under one of them)
+        parent_of = {id(child): node
+                     for root in roots for node in root.walk()
+                     for child in node.children}
+        stitched = False
+        for root in roots:
+            for node in root.walk():
+                span = node.span
+                if (span.service == "S2" and span.cluster == "west"
+                        and span.enqueue_time >= 2.3 - 1e-9
+                        and span.caller_cluster == "west"):
+                    parent = parent_of.get(id(node))
+                    assert parent is not None, "retried attempt orphaned"
+                    assert parent.span.service == "S1"
+                    # the caller's window contains the retry enqueue
+                    assert (parent.span.start_time
+                            <= span.enqueue_time + 1e-9)
+                    assert node.wan_rtt == pytest.approx(0.0005)  # local now
+                    stitched = True
+        assert stitched
+
+
 def test_chrome_trace_max_requests_caps_output(tmp_path):
     from repro.obs import write_chrome_trace
     tracer = Tracer()
