@@ -25,6 +25,7 @@ bench:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_engine.py \
 		benchmarks/bench_sweep.py benchmarks/bench_obs.py \
+		benchmarks/bench_chaos.py \
 		--benchmark-only -q
 
 # regression-gate freshly regenerated BENCH_*.json against a snapshot of

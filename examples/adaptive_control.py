@@ -16,6 +16,7 @@ epoch's objective is exact.
 Run:  python examples/adaptive_control.py
 """
 
+import os
 import statistics
 
 from repro import (DemandMatrix, DeploymentSpec, MeshSimulation,
@@ -25,6 +26,9 @@ from repro.core import (GlobalController, GlobalControllerConfig,
                         RuleSet)
 from repro.core.controller import ClusterController
 from repro.sim.workload import RateProfile, RateSegment, TrafficSource
+
+#: CI smoke knob: scale sim durations down (tests/test_examples.py)
+SCALE = float(os.environ.get("REPRO_EXAMPLE_TIME_SCALE", "1.0"))
 
 
 def build_world():
@@ -69,9 +73,10 @@ def part1_adaptive_loop() -> None:
               f"{observed_ms:7.1f} ms")
 
     # demand shifts at t=20s: west ramps 300 -> 650 RPS (a load burst)
-    west_profile = RateProfile([RateSegment(0.0, 20.0, 300.0),
-                                RateSegment(20.0, 60.0, 650.0)])
-    east_profile = RateProfile.constant(100.0, 60.0)
+    west_profile = RateProfile([RateSegment(0.0, 20.0 * SCALE, 300.0),
+                                RateSegment(20.0 * SCALE, 60.0 * SCALE,
+                                            650.0)])
+    east_profile = RateProfile.constant(100.0, 60.0 * SCALE)
     for cluster, profile in (("west", west_profile), ("east", east_profile)):
         TrafficSource(
             sim=simulation.sim, profile=profile,
@@ -81,17 +86,17 @@ def part1_adaptive_loop() -> None:
             rng=simulation.rngs.stream(f"arrivals/{cluster}"),
         ).start()
 
-    epoch = 4.0
+    epoch = 4.0 * SCALE
     boundary = epoch
-    while boundary <= 60.0:
+    while boundary <= 60.0 * SCALE:
         simulation.sim.schedule_at(boundary, simulation._epoch_tick, on_epoch)
         boundary += epoch
-    simulation.sim.run(until=60.0)
+    simulation.sim.run(until=60.0 * SCALE)
     simulation.sim.run_until_idle()
 
-    tail = simulation.telemetry.latencies(after=40.0)
+    tail = simulation.telemetry.latencies(after=40.0 * SCALE)
     print(f"\n  converged: mean {statistics.mean(tail) * 1000:.1f} ms over "
-          f"the final 20s ({len(tail)} requests)\n")
+          f"the final {20 * SCALE:g}s ({len(tail)} requests)\n")
 
 
 def part2_resilient_rollout() -> None:

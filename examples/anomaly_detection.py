@@ -13,11 +13,16 @@ request must cross to East *somewhere*:
 Run:  python examples/anomaly_detection.py
 """
 
+import os
+
 from repro import (DemandMatrix, DeploymentSpec, LocalityFailoverPolicy,
                    anomaly_detection_app, summarize, two_region_latency)
 from repro.core import GlobalControllerConfig, SlatePolicy
 from repro.experiments import Scenario, run_policy
 from repro.sim import ClusterSpec, EgressPricing
+
+#: CI smoke knob: scale sim durations down (tests/test_examples.py)
+SCALE = float(os.environ.get("REPRO_EXAMPLE_TIME_SCALE", "1.0"))
 
 
 def main() -> None:
@@ -41,13 +46,13 @@ def main() -> None:
                            ("default", "east"): 100.0})
     scenario = Scenario(name="anomaly-detection", app=app,
                         deployment=deployment, demand=demand,
-                        duration=30.0, warmup=6.0)
+                        duration=30.0 * SCALE, warmup=6.0 * SCALE)
 
     # cost_weight makes the optimizer value egress dollars alongside latency
     slate = SlatePolicy(GlobalControllerConfig(cost_weight=10000.0))
     failover = LocalityFailoverPolicy()
 
-    print("\nSimulating 30s under each policy ...")
+    print(f"\nSimulating {30 * SCALE:g}s under each policy ...")
     results = {}
     for policy in (slate, failover):
         outcome = run_policy(scenario, policy)

@@ -15,6 +15,7 @@ in two clusters; mid-run the post-storage service (PS) dies in West:
 Run:  python examples/failure_recovery.py
 """
 
+import os
 import statistics
 
 from repro import (DemandMatrix, DeploymentSpec, MeshSimulation,
@@ -22,6 +23,9 @@ from repro import (DemandMatrix, DeploymentSpec, MeshSimulation,
 from repro.core import GlobalController, GlobalControllerConfig
 from repro.core.classes import AppSpecClassifier
 from repro.sim import social_network_app
+
+#: CI smoke knob: scale sim durations down (tests/test_examples.py)
+SCALE = float(os.environ.get("REPRO_EXAMPLE_TIME_SCALE", "1.0"))
 
 
 def main() -> None:
@@ -53,15 +57,17 @@ def main() -> None:
         ("read", "east"): 120.0, ("compose", "east"): 40.0,
     })
 
-    print("t=15s: PS fails in west.  t=40s: PS recovers.\n")
-    sim.sim.schedule(15.0, sim.fail_service, "west", "PS")
-    sim.sim.schedule(40.0, sim.restore_service, "west", "PS", 8)
-    sim.run(demand, duration=60.0, epoch=5.0, on_epoch=on_epoch)
+    print(f"t={15 * SCALE:g}s: PS fails in west.  "
+          f"t={40 * SCALE:g}s: PS recovers.\n")
+    sim.sim.schedule(15.0 * SCALE, sim.fail_service, "west", "PS")
+    sim.sim.schedule(40.0 * SCALE, sim.restore_service, "west", "PS", 8)
+    sim.run(demand, duration=60.0 * SCALE, epoch=5.0 * SCALE,
+            on_epoch=on_epoch)
 
     lost = sum(1 for r in sim.telemetry.requests if not r.done)
     print(f"\ncompleted {len(sim.telemetry.requests)} requests; "
           f"calls lost to the failure in flight: {sim.dropped_calls}")
-    window = sim.telemetry.latencies(after=45.0)
+    window = sim.telemetry.latencies(after=45.0 * SCALE)
     print(f"mean latency after recovery: "
           f"{statistics.mean(window) * 1000:.1f} ms")
 

@@ -12,6 +12,7 @@ Run:  python examples/follow_the_sun.py
 """
 
 import math
+import os
 import statistics
 
 from repro import (DemandMatrix, DeploymentSpec, MeshSimulation,
@@ -19,9 +20,12 @@ from repro import (DemandMatrix, DeploymentSpec, MeshSimulation,
 from repro.core import GlobalController, GlobalControllerConfig
 from repro.sim.traces import diurnal_timeline
 
-DAY = 120.0          # one compressed day, seconds
-DURATION = 240.0     # two days
-EPOCH = 5.0
+#: CI smoke knob: scale sim durations down (tests/test_examples.py)
+SCALE = float(os.environ.get("REPRO_EXAMPLE_TIME_SCALE", "1.0"))
+
+DAY = 120.0 * SCALE          # one compressed day, seconds
+DURATION = 240.0 * SCALE     # two days
+EPOCH = 5.0 * SCALE
 
 
 def main() -> None:

@@ -11,12 +11,17 @@ SC idles. SLATE solves the matching globally and uses SC too.
 Run:  python examples/gcp_multicluster.py
 """
 
+import os
+
 from repro import (DemandMatrix, DeploymentSpec, WaterfallConfig,
                    WaterfallPolicy, linear_chain_app, summarize,
                    gcp_four_region_latency)
 from repro.baselines import PolicyContext
 from repro.core import SlatePolicy
 from repro.experiments import run_policy, Scenario
+
+#: CI smoke knob: scale sim durations down (tests/test_examples.py)
+SCALE = float(os.environ.get("REPRO_EXAMPLE_TIME_SCALE", "1.0"))
 
 
 def main() -> None:
@@ -33,7 +38,7 @@ def main() -> None:
     })
     scenario = Scenario(name="gcp-four-region", app=app,
                         deployment=deployment, demand=demand,
-                        duration=30.0, warmup=6.0)
+                        duration=30.0 * SCALE, warmup=6.0 * SCALE)
 
     slate = SlatePolicy()
     waterfall = WaterfallPolicy(
@@ -53,7 +58,7 @@ def main() -> None:
             weights = ", ".join(f"{c}={w:.0%}" for c, w in rule.weights)
             print(f"  {name:9s} {src}: {weights}")
 
-    print("\nSimulating 30s under each policy ...")
+    print(f"\nSimulating {30 * SCALE:g}s under each policy ...")
     for policy in (slate, waterfall):
         outcome = run_policy(scenario, policy)
         summary = summarize(outcome.latencies)

@@ -21,6 +21,7 @@ Run:  python examples/observe_headline.py
 """
 
 import dataclasses
+import os
 from pathlib import Path
 
 from repro import GlobalControllerConfig, SlatePolicy
@@ -31,13 +32,16 @@ from repro.obs import (Observability, ObservabilityConfig, hop_breakdown,
 
 TRACE_PATH = Path("fig6a_trace.json")
 
+#: CI smoke knob: scale sim durations down (tests/test_examples.py)
+SCALE = float(os.environ.get("REPRO_EXAMPLE_TIME_SCALE", "1.0"))
+
 
 def main() -> None:
-    setup = fig6a_how_much(duration=30.0)
+    setup = fig6a_how_much(duration=30.0 * SCALE)
     # re-plan every 5 s so the decision log has epochs to show; pair the
     # demand quantum with learn_profiles=False so plateaus replay from the
     # solver cache instead of re-solving (docs/performance.md)
-    scenario = dataclasses.replace(setup.scenario, epoch=5.0)
+    scenario = dataclasses.replace(setup.scenario, epoch=5.0 * SCALE)
     policy = SlatePolicy(GlobalControllerConfig(
         rho_max=0.95, demand_quantum=25.0, learn_profiles=False),
         adaptive=True)

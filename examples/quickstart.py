@@ -9,16 +9,21 @@ and compare against serving everything locally.
 Run:  python examples/quickstart.py
 """
 
+import os
+
 from repro import (DemandMatrix, DeploymentSpec, GlobalController,
                    MeshSimulation, linear_chain_app, summarize,
                    two_region_latency)
+
+#: CI smoke knob: scale sim durations down (tests/test_examples.py)
+SCALE = float(os.environ.get("REPRO_EXAMPLE_TIME_SCALE", "1.0"))
 
 
 def simulate(app, deployment, demand, rules=None, seed=1):
     simulation = MeshSimulation(app, deployment, seed=seed)
     if rules is not None:
         rules.apply(simulation.table)
-    simulation.run(demand, duration=30.0)
+    simulation.run(demand, duration=30.0 * SCALE)
     return simulation
 
 
@@ -44,8 +49,8 @@ def main() -> None:
     slate = simulate(app, deployment, demand, result.rules())
     local = simulate(app, deployment, demand, rules=None)
 
-    slate_summary = summarize(slate.telemetry.latencies(after=5.0))
-    local_summary = summarize(local.telemetry.latencies(after=5.0))
+    slate_summary = summarize(slate.telemetry.latencies(after=5.0 * SCALE))
+    local_summary = summarize(local.telemetry.latencies(after=5.0 * SCALE))
     print(f"\nSLATE:      mean {slate_summary.mean * 1000:7.1f} ms   "
           f"p99 {slate_summary.p99 * 1000:7.1f} ms")
     print(f"local-only: mean {local_summary.mean * 1000:7.1f} ms   "

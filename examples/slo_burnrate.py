@@ -19,17 +19,27 @@ East, after which burn rates fall and the alert resolves.
 Run:  python examples/slo_burnrate.py
 """
 
+import os
+
 from repro.experiments import run_policy
 from repro.experiments.scenarios import slo_burnrate_setup
 from repro.obs import Observability, join_alerts_decisions
 
+#: CI smoke knob: scale sim durations down (tests/test_examples.py). The
+#: SLO burn windows stay at their real widths, so at small scales the alert
+#: may simply not fire — the pipeline still runs end to end.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_TIME_SCALE", "1.0"))
+
 
 def main() -> None:
-    setup = slo_burnrate_setup()
+    setup = slo_burnrate_setup(surge_start=40.0 * SCALE,
+                               surge_end=100.0 * SCALE,
+                               duration=180.0 * SCALE,
+                               epoch=10.0 * SCALE)
     obs = Observability(setup.observability())
     print(f"scenario: {setup.scenario.name} "
           f"({setup.scenario.duration:g}s sim, surge 250->650 RPS at West "
-          f"over [40, 100))")
+          f"over [{40 * SCALE:g}, {100 * SCALE:g}))")
     rule = setup.slo_rules[0]
     print(f"SLO: {rule.name} — {100 * (1 - rule.budget):g}% of requests "
           f"under {rule.threshold * 1000:g} ms, fast/slow windows "
@@ -46,14 +56,18 @@ def main() -> None:
     # the sliding burn-rate the state machine acted on
     burn = obs.timeseries.series("slo_burn_rate", slo=rule.name,
                                  window="fast")
-    peak_time, peak = max(burn.items(), key=lambda point: point[1])
-    print(f"\npeak fast-window burn: {peak:.1f}x budget at t={peak_time:g}s")
+    if burn:
+        peak_time, peak = max(burn.items(), key=lambda point: point[1])
+        print(f"\npeak fast-window burn: {peak:.1f}x budget "
+              f"at t={peak_time:g}s")
 
     print("\nalert ∩ decision log:")
     for row in join_alerts_decisions(obs.alerts, obs.decisions):
         alert = row["alert"]
+        resolved = (f"{alert.resolved_at:g}" if alert.resolved_at is not None
+                    else "end")
         print(f"  {alert.rule} fired [{alert.fired_at:g}, "
-              f"{alert.resolved_at:g}]s — {len(row['decisions'])} "
+              f"{resolved}]s — {len(row['decisions'])} "
               f"controller epochs inside, {row['replans']} fresh re-plans")
         for decision in row["decisions"]:
             print(f"    t={decision.sim_time:6.1f}  {decision.outcome:<9} "

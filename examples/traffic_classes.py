@@ -13,12 +13,17 @@ overloaded — driven almost entirely by H compute. This example:
 Run:  python examples/traffic_classes.py
 """
 
+import os
+
 from repro import (DemandMatrix, DeploymentSpec, GlobalController,
                    WaterfallConfig, WaterfallPolicy, summarize,
                    two_class_app, two_region_latency)
 from repro.core.classes import derive_classes
 from repro.experiments import Scenario, compare_policies
 from repro.core import SlatePolicy
+
+#: CI smoke knob: scale sim durations down (tests/test_examples.py)
+SCALE = float(os.environ.get("REPRO_EXAMPLE_TIME_SCALE", "1.0"))
 
 
 def main() -> None:
@@ -51,11 +56,12 @@ def main() -> None:
 
     # --- 3. compare with class-blind spilling ----------------------------
     scenario = Scenario(name="two-class", app=app, deployment=deployment,
-                        demand=demand, duration=30.0, warmup=6.0)
+                        demand=demand, duration=30.0 * SCALE,
+                        warmup=6.0 * SCALE)
     waterfall = WaterfallPolicy(
         WaterfallConfig.from_deployment(app, deployment, threshold_rho=0.8))
     comparison = compare_policies(scenario, [SlatePolicy(), waterfall])
-    print("\nSimulated 30s:")
+    print(f"\nSimulated {30 * SCALE:g}s:")
     for name in ("slate", "waterfall"):
         outcome = comparison.outcome(name)
         summary = summarize(outcome.latencies)

@@ -1,0 +1,27 @@
+"""repro.chaos — declarative fault injection and resilience scoring.
+
+The paper's §5 challenges as a runnable subsystem: declare a
+:class:`FaultPlan` of typed, sim-timestamped fault events (WAN
+degradation/partition, replica crash/slowdown, telemetry drop/delay,
+control-plane outage), compile it onto a simulation with
+:class:`ChaosRuntime`, drive the chaos-aware control loop with
+:func:`run_chaos`, and score the outcome against an unfaulted twin with
+:class:`ResilienceReport`.
+
+Determinism contract: the same seed plus the same plan is byte-identical
+run to run, and the empty plan is byte-identical to not using chaos.
+"""
+
+from .harness import ChaosRunResult, make_fallback, run_chaos
+from .inject import ChaosRuntime, FaultRecord
+from .plan import (ControlPlaneOutage, FaultPlan, ReplicaFault,
+                   TelemetryFault, WanFault)
+from .report import FaultEpisode, ResilienceReport, compute_resilience
+
+__all__ = [
+    "FaultPlan", "WanFault", "ReplicaFault", "TelemetryFault",
+    "ControlPlaneOutage",
+    "ChaosRuntime", "FaultRecord",
+    "ChaosRunResult", "run_chaos", "make_fallback",
+    "FaultEpisode", "ResilienceReport", "compute_resilience",
+]

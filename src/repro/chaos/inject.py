@@ -1,0 +1,242 @@
+"""Fault-plan compiler: schedules inject/recover callbacks on the engine.
+
+:class:`ChaosRuntime` binds a :class:`~repro.chaos.plan.FaultPlan` to one
+:class:`~repro.sim.runner.MeshSimulation`:
+
+* WAN and replica faults become pairs of engine events at ``start`` and
+  ``start + duration`` — inject applies a scoped
+  :class:`~repro.sim.network.LatencyOverride` / pool degradation, recover
+  restores exactly what was applied (overrides nest, so overlapping
+  faults compose).
+* Telemetry faults and control-plane outages act at epoch boundaries:
+  the chaos-aware harness calls :meth:`gate_reports` and
+  :meth:`controller_available` from its epoch hook.
+
+Every fault also yields a :class:`FaultRecord` on the runtime's
+``timeline``. Records expose the same ``overlaps(time)`` interface as
+:class:`~repro.obs.alerts.Alert`, so
+:func:`~repro.obs.alerts.join_alerts_decisions` joins the fault timeline
+against the Global Controller decision log unchanged — "which re-plans
+happened while fault X was active".
+
+An empty plan compiles to nothing: no events, no RNG streams, no state —
+a chaos-armed run with no faults is byte-identical to a run without
+chaos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.runner import MeshSimulation
+from .plan import (ControlPlaneOutage, FaultPlan, ReplicaFault,
+                   TelemetryFault, WanFault)
+
+__all__ = ["ChaosRuntime", "FaultRecord"]
+
+
+@dataclass
+class FaultRecord:
+    """One fault's lifecycle on the run's timeline (alert-shaped)."""
+
+    index: int
+    kind: str
+    label: str
+    fired_at: float
+    resolved_at: float
+    #: replicas actually removed by a crash (what recovery added back)
+    crashed: int = 0
+    fault: object = field(default=None, repr=False)
+    #: the LatencyOverride applied on inject (WAN faults only)
+    _token: object = field(default=None, repr=False)
+
+    def overlaps(self, time: float) -> bool:
+        """True when ``time`` falls inside the fault's active window."""
+        return self.fired_at <= time <= self.resolved_at
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "label": self.label,
+            "fired_at": self.fired_at,
+            "resolved_at": self.resolved_at,
+            "crashed": self.crashed,
+        }
+
+
+class ChaosRuntime:
+    """A fault plan compiled onto one simulation.
+
+    Construct *before* :meth:`MeshSimulation.run` — :meth:`install` (called
+    by the constructor) schedules the inject/recover events; the epoch loop
+    then consults :meth:`gate_reports` / :meth:`controller_available`.
+    """
+
+    def __init__(self, simulation: MeshSimulation, plan: FaultPlan) -> None:
+        self.simulation = simulation
+        self.plan = plan
+        self.timeline: list[FaultRecord] = []
+        #: telemetry reports held back by a delay fault: (release, seq, report)
+        self._delayed: list[tuple[float, int, object]] = []
+        self._delayed_seq = 0
+        self.reports_dropped = 0
+        self.reports_delayed = 0
+        self._validate()
+        self._install()
+
+    # ------------------------------------------------------------- compile
+
+    def _validate(self) -> None:
+        deployment = self.simulation.deployment
+        clusters = set(deployment.cluster_names)
+        for fault in self.plan:
+            if isinstance(fault, WanFault):
+                for name in (fault.src, fault.dst):
+                    if name not in clusters:
+                        raise ValueError(
+                            f"{fault.label}: unknown cluster {name!r}")
+            elif isinstance(fault, ReplicaFault):
+                if fault.cluster not in clusters:
+                    raise ValueError(
+                        f"{fault.label}: unknown cluster {fault.cluster!r}")
+                if fault.service not in self.simulation.app.services():
+                    raise ValueError(
+                        f"{fault.label}: unknown service {fault.service!r}")
+            elif isinstance(fault, TelemetryFault):
+                if fault.cluster not in clusters:
+                    raise ValueError(
+                        f"{fault.label}: unknown cluster {fault.cluster!r}")
+
+    def _install(self) -> None:
+        sim = self.simulation.sim
+        for index, fault in enumerate(self.plan):
+            end = fault.start + fault.duration
+            kind = type(fault).__name__
+            record = FaultRecord(index=index, kind=kind, label=fault.label,
+                                 fired_at=fault.start, resolved_at=end,
+                                 fault=fault)
+            self.timeline.append(record)
+            if isinstance(fault, WanFault):
+                sim.schedule_at(fault.start, self._inject_wan, record)
+                sim.schedule_at(end, self._recover_wan, record)
+            elif isinstance(fault, ReplicaFault):
+                sim.schedule_at(fault.start, self._inject_replica, record)
+                sim.schedule_at(end, self._recover_replica, record)
+            # telemetry faults and outages have no engine hook: they gate
+            # the control loop at epoch boundaries via the chaos harness
+
+    # ------------------------------------------------- WAN inject/recover
+
+    def _inject_wan(self, record: FaultRecord) -> None:
+        fault: WanFault = record.fault
+        network = self.simulation.network
+        token = network.latency.apply_override(
+            fault.src, fault.dst, extra_delay=fault.extra_delay,
+            multiplier=fault.multiplier, partition=fault.partition)
+        record._token = token
+        if fault.jitter > 0:
+            a, b = sorted((fault.src, fault.dst))
+            rng = self.simulation.rngs.stream(f"chaos/jitter/{a}:{b}")
+            network.set_jitter(fault.src, fault.dst, fault.jitter, rng)
+
+    def _recover_wan(self, record: FaultRecord) -> None:
+        fault: WanFault = record.fault
+        network = self.simulation.network
+        network.latency.remove_override(record._token)
+        if fault.jitter > 0:
+            network.clear_jitter(fault.src, fault.dst)
+
+    # --------------------------------------------- replica inject/recover
+
+    def _inject_replica(self, record: FaultRecord) -> None:
+        fault: ReplicaFault = record.fault
+        cluster = self.simulation.clusters[fault.cluster]
+        if fault.slowdown > 1.0:
+            cluster.degrade(fault.service, fault.slowdown)
+        if fault.crash > 0:
+            died = cluster.crash_replicas(fault.service, fault.crash)
+            record.crashed = died
+            if died:
+                # keep the deployment view honest so proxies and re-plans
+                # see the reduced capacity (mirrors fail_service)
+                spec = self.simulation.deployment.cluster(fault.cluster)
+                spec.replicas[fault.service] -= died
+
+    def _recover_replica(self, record: FaultRecord) -> None:
+        fault: ReplicaFault = record.fault
+        cluster = self.simulation.clusters[fault.cluster]
+        if fault.slowdown > 1.0:
+            cluster.degrade(fault.service, 1.0)
+        if record.crashed:
+            pool = cluster.pool(fault.service)
+            pool.resize(pool.replicas + record.crashed)
+            spec = self.simulation.deployment.cluster(fault.cluster)
+            spec.replicas[fault.service] += record.crashed
+
+    # -------------------------------------------------- control-plane gates
+
+    def controller_available(self, now: float) -> bool:
+        """False while a :class:`ControlPlaneOutage` covers ``now``.
+
+        Windows are half-open ``[start, start + duration)`` so an epoch
+        landing exactly at the outage's end already sees the controller.
+        """
+        for fault in self.plan:
+            if (isinstance(fault, ControlPlaneOutage)
+                    and fault.start <= now < fault.start + fault.duration):
+                return False
+        return True
+
+    def gate_reports(self, now: float, reports: list) -> list:
+        """Apply telemetry faults to this epoch's harvested reports.
+
+        Reports from a cluster under a *drop* fault are discarded; under a
+        *delay* fault they are buffered and re-released (oldest first) at
+        the first epoch boundary ``>= now + delay``. Everything else
+        passes through untouched, in arrival order.
+        """
+        ready: list = []
+        held = self._delayed
+        if held:
+            still_held = []
+            released = []
+            for release, seq, report in held:
+                if release <= now:
+                    released.append((release, seq, report))
+                else:
+                    still_held.append((release, seq, report))
+            released.sort(key=lambda item: (item[0], item[1]))
+            ready.extend(report for _, _, report in released)
+            self._delayed = still_held
+        for report in reports:
+            fault = self._telemetry_fault(report.cluster, now)
+            if fault is None:
+                ready.append(report)
+            elif fault.mode == "drop":
+                self.reports_dropped += 1
+            else:
+                self.reports_delayed += 1
+                self._delayed.append((now + fault.delay, self._delayed_seq,
+                                      report))
+                self._delayed_seq += 1
+        return ready
+
+    def _telemetry_fault(self, cluster: str, now: float):
+        for fault in self.plan:
+            if (isinstance(fault, TelemetryFault)
+                    and fault.cluster == cluster
+                    and fault.start <= now < fault.start + fault.duration):
+                return fault
+        return None
+
+    # -------------------------------------------------------------- queries
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "faults": len(self.plan),
+            "reports_dropped": self.reports_dropped,
+            "reports_delayed": self.reports_delayed,
+            "pending_delayed": len(self._delayed),
+            "dropped_transfers": self.simulation.network.dropped_transfers,
+        }

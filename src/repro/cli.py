@@ -22,8 +22,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-__all__ = ["APPS", "FIGURES", "build_parser", "cmd_figure", "cmd_list",
-           "cmd_obs", "cmd_solve", "cmd_survey", "main"]
+__all__ = ["APPS", "FIGURES", "build_parser", "cmd_chaos", "cmd_figure",
+           "cmd_list", "cmd_obs", "cmd_solve", "cmd_survey", "main"]
 
 from .analysis.report import format_cdf_series, format_comparison, format_table
 from .core.controller.global_controller import GlobalController
@@ -343,6 +343,82 @@ def _obs_diff(args: argparse.Namespace) -> int:
     return 1 if report.has_regressions else 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    handlers = {"run": _chaos_run, "report": _chaos_report}
+    return handlers[args.chaos_command](args)
+
+
+def _chaos_setup(args: argparse.Namespace):
+    return sc.chaos_outage_setup(
+        duration=args.duration, seed=args.seed,
+        fault_start=args.fault_start, fault_duration=args.fault_duration,
+        wan_multiplier=args.wan_multiplier,
+        max_rule_age=args.max_rule_age, fallback=args.fallback)
+
+
+def _chaos_percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _chaos_run(args: argparse.Namespace) -> int:
+    from .chaos import run_chaos
+    setup = _chaos_setup(args)
+    fallback = None if args.fallback == "none" else args.fallback
+    max_age = None if fallback is None else setup.max_rule_age
+    print("fault campaign:")
+    for line in setup.plan.describe():
+        print(f"  {line}")
+    result = run_chaos(setup.scenario, setup.policy, setup.plan,
+                       fallback=fallback, max_rule_age=max_age)
+    latencies = result.outcome.latencies
+    print(f"\n{setup.scenario.name} (slate, {args.duration:g}s sim, "
+          f"fallback={args.fallback}): {len(latencies)} requests "
+          f"after warm-up")
+    if latencies:
+        print(f"p50 {_chaos_percentile(latencies, 0.50) * 1000:.1f} ms   "
+              f"p95 {_chaos_percentile(latencies, 0.95) * 1000:.1f} ms   "
+              f"p99 {_chaos_percentile(latencies, 0.99) * 1000:.1f} ms")
+    trips = result.fallback_trips
+    reconciled = sum(c.reconciliations for c in result.controllers.values())
+    print(f"stale-rule guard trips: {len(trips)}"
+          + (f" at t={', '.join(f'{t:.1f}' for t in trips)}" if trips else "")
+          + f"; reconciliations: {reconciled}")
+    counters = result.chaos.counters()
+    print(f"telemetry dropped={counters['reports_dropped']} "
+          f"delayed={counters['reports_delayed']}; "
+          f"wan transfers dropped={counters['dropped_transfers']}; "
+          f"hung requests={result.hung_requests}")
+    return 0
+
+
+def _chaos_report(args: argparse.Namespace) -> int:
+    import json as json_module
+    from .chaos import FaultPlan, run_chaos
+    setup = _chaos_setup(args)
+    fallback = None if args.fallback == "none" else args.fallback
+    max_age = None if fallback is None else setup.max_rule_age
+    result = run_chaos(setup.scenario, setup.policy, setup.plan,
+                       fallback=fallback, max_rule_age=max_age)
+    # fresh setup for the twin: the faulted policy holds learned state
+    twin = _chaos_setup(args)
+    baseline = run_chaos(twin.scenario, twin.policy, FaultPlan.empty())
+    report = result.resilience(baseline, band=args.band,
+                               window=args.window)
+    print(report.render())
+    if args.output:
+        from pathlib import Path
+        payload = {"scenario": setup.scenario.name,
+                   "fallback": args.fallback,
+                   "resilience": report.as_dict(),
+                   "faults": [r.as_dict() for r in result.chaos.timeline]}
+        Path(args.output).write_text(
+            json_module.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"wrote resilience report to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -462,13 +538,50 @@ def build_parser() -> argparse.ArgumentParser:
                       help="show unchanged keys too")
     diff.add_argument("--report", default=None,
                       help="write the full diff report JSON here")
+
+    chaos = sub.add_parser(
+        "chaos", help="run a fault campaign; score resilience "
+                      "(docs/substrate.md fault model)")
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    def _chaos_common(p) -> None:
+        p.add_argument("--duration", type=float, default=40.0,
+                       help="simulated seconds")
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--fault-start", type=float, default=10.0)
+        p.add_argument("--fault-duration", type=float, default=14.0)
+        p.add_argument("--wan-multiplier", type=float, default=20.0,
+                       help="west<->east delay inflation during the fault")
+        p.add_argument("--max-rule-age", type=float, default=5.0,
+                       help="stale-rule guard threshold (simulated seconds)")
+        p.add_argument("--fallback",
+                       choices=("locality", "waterfall", "none"),
+                       default="locality",
+                       help="'none' freezes the stale rules (no guard)")
+
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run the controller-outage campaign; print what "
+                    "happened")
+    _chaos_common(chaos_run)
+
+    chaos_report = chaos_sub.add_parser(
+        "report", help="score the campaign against an unfaulted twin run")
+    _chaos_common(chaos_report)
+    chaos_report.add_argument("--band", type=float, default=1.5,
+                              help="recovered when window p95 <= band x "
+                                   "pre-fault p95")
+    chaos_report.add_argument("--window", type=float, default=2.0,
+                              help="sliding p95 window (simulated seconds)")
+    chaos_report.add_argument("-o", "--output", default=None,
+                              help="write the resilience report JSON here")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "figure": cmd_figure,
-                "solve": cmd_solve, "survey": cmd_survey, "obs": cmd_obs}
+                "solve": cmd_solve, "survey": cmd_survey, "obs": cmd_obs,
+                "chaos": cmd_chaos}
     return handlers[args.command](args)
 
 

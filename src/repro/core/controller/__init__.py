@@ -1,13 +1,13 @@
 """SLATE control plane: Global Controller, Cluster Controller, rollout."""
 
-from .cluster_controller import ClusterController
+from .cluster_controller import ClusterController, FallbackPolicy
 from .forecast import HoltForecaster
 from .global_controller import GlobalController, GlobalControllerConfig
 from .policy import SlatePolicy
 from .rollout import IncrementalRollout, RolloutConfig
 
 __all__ = [
-    "ClusterController",
+    "ClusterController", "FallbackPolicy",
     "HoltForecaster",
     "GlobalController", "GlobalControllerConfig",
     "SlatePolicy",

@@ -83,6 +83,10 @@ class GlobalController:
         self._demand_estimate: dict[tuple[str, str], float] = {}
         self.last_result: OptimizationResult | None = None
         self.epochs_observed = 0
+        #: end of the newest telemetry window folded in (None until first
+        #: observe); lets the decision log report how stale the planning
+        #: input was — nonzero only when telemetry was delayed or dropped
+        self.last_observe_time: float | None = None
         #: memoizes epoch solves; see GlobalControllerConfig.solver_cache_size
         self.solver_cache: SolverCache | None = (
             SolverCache(self.config.solver_cache_size)
@@ -99,6 +103,10 @@ class GlobalController:
                 self.callgraph.ingest(report.span_samples)
         alpha = self.config.demand_alpha
         for report in reports:
+            window_end = report.start_time + report.duration
+            if (self.last_observe_time is None
+                    or window_end > self.last_observe_time):
+                self.last_observe_time = window_end
             for cls in self.app.classes:
                 observed = report.ingress_rps(cls)
                 key = (cls, report.cluster)

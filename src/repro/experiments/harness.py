@@ -104,9 +104,14 @@ def run_policy(scenario: Scenario, policy: RoutingPolicy,
             controller.ingest(report)
             relayed.extend(controller.relay())
         update = policy.on_epoch(relayed, ctx)
+        now = sim.sim.now
+        for controller in controllers.values():
+            # healthy run: every epoch is a successful GC contact, so the
+            # (optional) staleness guard shares one audit trail with chaos
+            controller.touch(now)
         if update is not None:
             for controller in controllers.values():
-                controller.distribute(update, sim.table)
+                controller.distribute(update, sim.table, now=now)
         if decision_log is not None:
             global_controller = getattr(policy, "controller", None)
             if global_controller is not None:

@@ -24,8 +24,10 @@ from ..sim.traces import DemandTimeline, diurnal_timeline
 from ..sim.workload import DemandMatrix
 from .harness import Scenario
 
-__all__ = ["DiurnalControlSetup", "FigureSetup", "SloBurnrateSetup",
-           "diurnal_control_setup", "slo_burnrate_setup",
+__all__ = ["ChaosOutageSetup", "DiurnalControlSetup", "FigureSetup",
+           "SloBurnrateSetup",
+           "chaos_outage_setup", "diurnal_control_setup",
+           "slo_burnrate_setup",
            "fig6a_how_much", "fig6b_which_cluster",
            "fig6c_multihop", "fig6d_traffic_classes",
            "fig4_offload_threshold_problem", "fig3_threshold_scenario",
@@ -298,6 +300,75 @@ def slo_burnrate_setup(base_rps: float = 250.0,
                                  fast_window=10.0, slow_window=30.0,
                                  fast_burn=4.0, slow_burn=1.0),)
     return SloBurnrateSetup(scenario, policy, timeline, rules)
+
+
+@dataclass
+class ChaosOutageSetup:
+    """A fault campaign plus everything needed to run and score it."""
+
+    scenario: Scenario
+    policy: SlatePolicy
+    plan: object       # a repro.chaos.FaultPlan
+    max_rule_age: float
+    fallback: str
+
+    def observability(self, **overrides):
+        """Decision log on, so re-plans can be attributed to faults."""
+        from ..obs.config import ObservabilityConfig
+        settings = dict(decisions=True)
+        settings.update(overrides)
+        return ObservabilityConfig(**settings)
+
+
+def chaos_outage_setup(west_rps: float = 480.0,
+                       east_rps: float = 100.0,
+                       one_way_ms: float = 25.0,
+                       fault_start: float = 10.0,
+                       fault_duration: float = 14.0,
+                       wan_multiplier: float = 20.0,
+                       duration: float = 40.0,
+                       epoch: float = 2.0,
+                       max_rule_age: float = 5.0,
+                       fallback: str = "locality",
+                       replicas: int = 5,
+                       seed: int = 42) -> ChaosOutageSetup:
+    """§5 challenge campaign: Global Controller outage + WAN degradation.
+
+    West runs hot (default 480 RPS against a 500 RPS per-service
+    capacity), so SLATE's plan offloads part of the traffic to East —
+    worth 2×25 ms of WAN RTT to escape the M/M/c queueing knee. At
+    ``fault_start`` the Global Controller goes dark *and* the west<->east
+    link degrades ``wan_multiplier``-fold: the frozen offload rules now
+    pay ~1 s RTT per crossing. A Cluster Controller armed with
+    ``max_rule_age`` + a local fallback detects the stale rules within a
+    few epochs and fails over to local-first routing (p95 drops back to
+    local queueing, ~3× better than frozen rules); when the controller
+    returns it re-plans against the healed matrix and reconciles the
+    fallback. Scored by :func:`repro.chaos.run_chaos` +
+    :meth:`~repro.chaos.ChaosRunResult.resilience`.
+    """
+    from ..chaos.plan import ControlPlaneOutage, FaultPlan, WanFault
+
+    app = linear_chain_app(n_services=3, exec_time=0.010)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=replicas,
+        latency=two_region_latency(one_way_ms))
+    demand = DemandMatrix({("default", "west"): west_rps,
+                           ("default", "east"): east_rps})
+    scenario = Scenario(name="chaos-outage", app=app,
+                        deployment=deployment, demand=demand,
+                        duration=duration, warmup=duration / 8,
+                        seed=seed, epoch=epoch)
+    policy = SlatePolicy(
+        GlobalControllerConfig(rho_max=0.95, learn_profiles=False),
+        adaptive=True)
+    plan = FaultPlan((
+        ControlPlaneOutage(start=fault_start, duration=fault_duration),
+        WanFault(start=fault_start, duration=fault_duration,
+                 src="west", dst="east", multiplier=wan_multiplier),
+    ))
+    return ChaosOutageSetup(scenario, policy, plan,
+                            max_rule_age=max_rule_age, fallback=fallback)
 
 
 def fig4_offload_threshold_problem(one_way_ms: float, west_rps: float,

@@ -55,6 +55,23 @@ class RoutingTable:
         self._rules.clear()
         self.version += 1
 
+    def remove(self, key: RouteKey) -> bool:
+        """Drop one rule (True if it existed).
+
+        Lookups for its class then fall back to the wildcard rule or the
+        proxy default — how a Cluster Controller retires rules it no
+        longer trusts (e.g. the stale-rule guard purging a dead Global
+        Controller's per-class rules so its fallback wildcards apply).
+        """
+        if self._rules.pop(key, None) is None:
+            return False
+        self.version += 1
+        return True
+
+    def keys_for_cluster(self, src_cluster: str) -> list[RouteKey]:
+        """All installed rule keys whose source is ``src_cluster``."""
+        return [key for key in self._rules if key.src_cluster == src_cluster]
+
     def weights_for(self, service: str, traffic_class: str,
                     src_cluster: str) -> dict[str, float] | None:
         """Look up weights, falling back to the wildcard class.

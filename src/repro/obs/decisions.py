@@ -50,6 +50,10 @@ class EpochDecision:
     rules_changed: int
     #: summed |weight change| across all (rule, destination) pairs
     weight_churn: float
+    #: seconds between the newest telemetry window the controller folded in
+    #: and the moment this plan was applied — ~0 for healthy runs, > 0 when
+    #: chaos delayed/dropped reports, None before the first observe
+    telemetry_age: float | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -67,6 +71,7 @@ class EpochDecision:
             "rules_removed": self.rules_removed,
             "rules_changed": self.rules_changed,
             "weight_churn": self.weight_churn,
+            "telemetry_age": self.telemetry_age,
         }
 
 
@@ -147,6 +152,9 @@ class DecisionLog:
             rules_removed=removed,
             rules_changed=changed,
             weight_churn=churn,
+            telemetry_age=(
+                None if getattr(controller, "last_observe_time", None) is None
+                else max(0.0, sim_time - controller.last_observe_time)),
         )
         self._prev_demand = demand
         self.decisions.append(decision)
@@ -171,16 +179,18 @@ class DecisionLog:
         """Fixed-width text table of the log (for the CLI)."""
         header = (f"{'epoch':>5} {'t(sim)':>8} {'outcome':<9} "
                   f"{'demand':>8} {'delta':>8} {'objective':>10} "
-                  f"{'+':>3} {'-':>3} {'~':>3} {'churn':>7}")
+                  f"{'+':>3} {'-':>3} {'~':>3} {'churn':>7} {'age':>6}")
         lines = [header, "-" * len(header)]
         for d in self.decisions:
             objective = ("-" if d.objective is None
                          else f"{d.objective:.4f}")
+            age = ("-" if d.telemetry_age is None
+                   else f"{d.telemetry_age:.2f}")
             lines.append(
                 f"{d.epoch:>5} {d.sim_time:>8.1f} {d.outcome:<9} "
                 f"{d.demand_total:>8.1f} {d.demand_delta:>8.1f} "
                 f"{objective:>10} {d.rules_added:>3} {d.rules_removed:>3} "
-                f"{d.rules_changed:>3} {d.weight_churn:>7.3f}")
+                f"{d.rules_changed:>3} {d.weight_churn:>7.3f} {age:>6}")
         counts = self.counts()
         lines.append(
             f"epochs={len(self.decisions)} solved={counts['solved']} "

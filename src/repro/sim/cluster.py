@@ -54,6 +54,29 @@ class Cluster:
             pool.resize(replicas)
         return pool
 
+    def degrade(self, service: str, factor: float) -> None:
+        """Apply a service-time multiplier to one service's pool.
+
+        ``factor > 1`` models slow replicas (noisy neighbour, failing disk);
+        restore health with ``degrade(service, 1.0)``.
+        """
+        self.pool(service).degrade(factor)
+
+    def crash_replicas(self, service: str, count: int) -> int:
+        """Abruptly remove up to ``count`` replicas; returns how many died.
+
+        A crash never takes out the last replica — model a full wipe with
+        :meth:`repro.sim.runner.MeshSimulation.fail_service` instead. The
+        return value is what a later recovery should add back.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        pool = self.pool(service)
+        died = min(count, pool.replicas - 1)
+        if died > 0:
+            pool.resize(pool.replicas - died)
+        return died
+
     def undeploy(self, service: str) -> None:
         """Remove a service (models decommissioning / failure, §2).
 

@@ -19,8 +19,8 @@ from typing import Callable, Iterable, Mapping
 
 from .engine import Simulator
 
-__all__ = ["LatencyMatrix", "EgressPricing", "EgressLedger", "WanNetwork",
-           "GB"]
+__all__ = ["LatencyMatrix", "LatencyOverride", "EgressPricing",
+           "EgressLedger", "WanNetwork", "GB"]
 
 GB = 1_000_000_000  # bytes, decimal as billed by cloud providers
 
@@ -30,11 +30,32 @@ def _pair(a: str, b: str) -> tuple[str, str]:
     return (a, b) if a <= b else (b, a)
 
 
+@dataclass(frozen=True)
+class LatencyOverride:
+    """Opaque token for one scoped delay override on a :class:`LatencyMatrix`.
+
+    Returned by :meth:`LatencyMatrix.apply_override`; pass it back to
+    :meth:`LatencyMatrix.remove_override` to restore the pair. Tokens nest:
+    removing one override leaves any others on the same pair in effect.
+    """
+
+    pair: tuple[str, str]
+    extra_delay: float
+    multiplier: float
+    partition: bool
+
+
 class LatencyMatrix:
     """Symmetric one-way delay (seconds) between clusters.
 
     Intra-cluster delay defaults to 0.25 ms (two pod-to-pod hops inside a
     data center), configurable per deployment.
+
+    Base delays are fixed at construction; the chaos layer layers *scoped*
+    dynamic overrides (inflation, multipliers, partitions) on top via
+    :meth:`apply_override` / :meth:`remove_override`, each of which restores
+    exactly on removal. With no overrides active the lookup path is the
+    original single-dict probe.
     """
 
     def __init__(self, clusters: Iterable[str],
@@ -46,8 +67,18 @@ class LatencyMatrix:
         if intra_cluster_delay < 0:
             raise ValueError("intra_cluster_delay must be >= 0")
         self.intra_cluster_delay = intra_cluster_delay
+        known = set(self.clusters)
         self._delays: dict[tuple[str, str], float] = {}
         for (a, b), delay in one_way_delays.items():
+            if a == b:
+                raise ValueError(
+                    f"self-pair entry {(a, b)}: intra-cluster delay is set "
+                    f"via intra_cluster_delay, not the pair map")
+            unknown = {a, b} - known
+            if unknown:
+                raise ValueError(
+                    f"delay entry {(a, b)} names unknown cluster(s) "
+                    f"{sorted(unknown)}; clusters are {sorted(known)}")
             if delay < 0:
                 raise ValueError(f"negative delay for {(a, b)}: {delay}")
             self._delays[_pair(a, b)] = delay
@@ -59,15 +90,69 @@ class LatencyMatrix:
         ]
         if missing:
             raise ValueError(f"missing inter-cluster delays for {missing}")
+        self._overrides: dict[tuple[str, str], list[LatencyOverride]] = {}
+        self._partitioned: int = 0
+
+    def apply_override(self, a: str, b: str, *, extra_delay: float = 0.0,
+                       multiplier: float = 1.0,
+                       partition: bool = False) -> LatencyOverride:
+        """Inflate (or sever) the ``a``<->``b`` link until the token is removed.
+
+        The effective one-way delay applies every active override in the
+        order installed: ``delay = delay * multiplier + extra_delay``. A
+        ``partition`` override additionally makes the pair unreachable for
+        :class:`WanNetwork` transfers (the delay figure is still reported,
+        so distance-based orderings remain total).
+        """
+        if a == b:
+            raise ValueError(f"cannot override the intra-cluster pair {a!r}")
+        pair = _pair(a, b)
+        if pair not in self._delays:
+            raise KeyError(f"no delay configured for {a!r}<->{b!r}")
+        if extra_delay < 0:
+            raise ValueError(f"extra_delay must be >= 0, got {extra_delay}")
+        if multiplier < 0:
+            raise ValueError(f"multiplier must be >= 0, got {multiplier}")
+        token = LatencyOverride(pair, extra_delay, multiplier, partition)
+        self._overrides.setdefault(pair, []).append(token)
+        if partition:
+            self._partitioned += 1
+        return token
+
+    def remove_override(self, token: LatencyOverride) -> None:
+        """Restore the link scoped by ``token`` (other overrides persist)."""
+        stack = self._overrides.get(token.pair)
+        if not stack or token not in stack:
+            raise ValueError(f"override not active: {token}")
+        stack.remove(token)
+        if not stack:
+            del self._overrides[token.pair]
+        if token.partition:
+            self._partitioned -= 1
+
+    @property
+    def has_partitions(self) -> bool:
+        return self._partitioned > 0
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        """True when an active partition override severs ``src``<->``dst``."""
+        if self._partitioned == 0 or src == dst:
+            return False
+        return any(ov.partition
+                   for ov in self._overrides.get(_pair(src, dst), ()))
 
     def one_way(self, src: str, dst: str) -> float:
         """One-way delay in seconds from ``src`` to ``dst``."""
         if src == dst:
             return self.intra_cluster_delay
         try:
-            return self._delays[_pair(src, dst)]
+            delay = self._delays[_pair(src, dst)]
         except KeyError:
             raise KeyError(f"no delay configured for {src!r}<->{dst!r}") from None
+        if self._overrides:
+            for ov in self._overrides.get(_pair(src, dst), ()):
+                delay = delay * ov.multiplier + ov.extra_delay
+        return delay
 
     def rtt(self, src: str, dst: str) -> float:
         """Round-trip time in seconds."""
@@ -135,7 +220,16 @@ class EgressLedger:
 
 
 class WanNetwork:
-    """Delivers messages between clusters with delay and egress billing."""
+    """Delivers messages between clusters with delay and egress billing.
+
+    The chaos layer can attach per-pair *jitter* (a uniform random delay
+    addition drawn from a named registry stream) and relies on
+    :class:`LatencyMatrix` partition overrides to model a severed link:
+    transfers on a partitioned pair are silently dropped — never billed,
+    never delivered — and counted in ``dropped_transfers`` (the caller's
+    timeout/hedge machinery is what notices, exactly as with a blackholed
+    TCP flow).
+    """
 
     def __init__(self, sim: Simulator, latency: LatencyMatrix,
                  pricing: EgressPricing | None = None) -> None:
@@ -143,6 +237,25 @@ class WanNetwork:
         self.latency = latency
         self.pricing = pricing or EgressPricing()
         self.ledger = EgressLedger()
+        self.dropped_transfers = 0
+        self.dropped_bytes = 0
+        self._jitter: dict[tuple[str, str], tuple[float, object]] = {}
+
+    def set_jitter(self, a: str, b: str, amplitude: float, rng) -> None:
+        """Add uniform ``[0, amplitude)`` seconds to ``a``<->``b`` transfers.
+
+        ``rng`` must be a registry-owned generator (e.g. the chaos layer's
+        ``chaos/wan-jitter`` stream) so jittered runs stay reproducible and
+        un-jittered runs never touch the stream.
+        """
+        if a == b:
+            raise ValueError(f"cannot jitter the intra-cluster pair {a!r}")
+        if amplitude < 0:
+            raise ValueError(f"amplitude must be >= 0, got {amplitude}")
+        self._jitter[_pair(a, b)] = (amplitude, rng)
+
+    def clear_jitter(self, a: str, b: str) -> None:
+        self._jitter.pop(_pair(a, b), None)
 
     def transfer(self, src: str, dst: str, nbytes: int,
                  on_delivered: Callable[[], None]) -> None:
@@ -150,11 +263,24 @@ class WanNetwork:
 
         Cross-cluster transfers are billed to ``src`` (the cluster the data
         leaves). Intra-cluster transfers incur only the intra-cluster delay.
+        Transfers across a partitioned pair are dropped: no billing, no
+        delivery callback.
         """
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        if src != dst and nbytes:
-            cost = nbytes * self.pricing.per_byte(src, dst)
-            self.ledger.record(src, dst, nbytes, cost)
-        self._sim.schedule(self.latency.one_way(src, dst),
-                           lambda: on_delivered())
+        if src != dst:
+            if (self.latency.has_partitions
+                    and self.latency.is_partitioned(src, dst)):
+                self.dropped_transfers += 1
+                self.dropped_bytes += nbytes
+                return
+            if nbytes:
+                cost = nbytes * self.pricing.per_byte(src, dst)
+                self.ledger.record(src, dst, nbytes, cost)
+        delay = self.latency.one_way(src, dst)
+        if self._jitter and src != dst:
+            jitter = self._jitter.get(_pair(src, dst))
+            if jitter is not None:
+                amplitude, rng = jitter
+                delay += amplitude * float(rng.random())
+        self._sim.schedule(delay, lambda: on_delivered())

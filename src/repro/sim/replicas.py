@@ -116,6 +116,7 @@ class ReplicaSet:
         self.service = service
         self.cluster = cluster
         self._balancer = balancer
+        self._slowdown = 1.0
         self._replicas: list[Replica] = []
         self._next_index = 0
         for _ in range(replicas):
@@ -148,6 +149,21 @@ class ReplicaSet:
     def in_flight(self) -> int:
         return sum(r.outstanding for r in self._replicas)
 
+    @property
+    def slowdown(self) -> float:
+        """Service-time multiplier (chaos slow-replica fault); default 1.0."""
+        return self._slowdown
+
+    def degrade(self, factor: float) -> None:
+        """Set the service-time multiplier, applied to newly submitted jobs.
+
+        Mirrors :meth:`repro.sim.service.ReplicaPool.degrade`; the default
+        1.0 multiplies bit-exactly, so healthy runs are unchanged.
+        """
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be > 0, got {factor}")
+        self._slowdown = factor
+
     def submit(self, work_time: float,
                on_complete: Callable[[float], None],
                on_start: Callable[[float], None] | None = None,
@@ -157,7 +173,7 @@ class ReplicaSet:
             raise ValueError(f"work_time must be >= 0, got {work_time}")
         self._stats.arrivals += 1
         replica = self._balancer.pick(self._replicas, key=key)
-        replica.submit(work_time, on_complete, on_start)
+        replica.submit(work_time * self._slowdown, on_complete, on_start)
 
     def resize(self, replicas: int) -> None:
         """Grow by adding replicas; shrink by draining the least loaded."""

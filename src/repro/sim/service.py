@@ -79,6 +79,7 @@ class ReplicaPool:
         self.cluster = cluster
         self._replicas = replicas
         self._busy = 0
+        self._slowdown = 1.0
         self._queue: deque[_Job] = deque()
         # busy-time integration
         self._lifetime_busy = 0.0
@@ -105,6 +106,23 @@ class ReplicaPool:
     def in_flight(self) -> int:
         """Jobs occupying a replica plus jobs queued."""
         return self._busy + len(self._queue)
+
+    @property
+    def slowdown(self) -> float:
+        """Service-time multiplier for a degraded ("slow replica") pool.
+
+        1.0 (the default) leaves compute times untouched bit-for-bit;
+        the chaos layer sets a factor > 1 on inject and restores 1.0 on
+        recover. Applies when a replica *starts* a job, so jobs already
+        running keep their original finish times.
+        """
+        return self._slowdown
+
+    def degrade(self, factor: float) -> None:
+        """Set the service-time multiplier (chaos slow-replica fault)."""
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be > 0, got {factor}")
+        self._slowdown = factor
 
     @property
     def lifetime_busy_seconds(self) -> float:
@@ -179,7 +197,9 @@ class ReplicaPool:
         self._stats.queue_wait_seconds += now - job.enqueue_time
         if job.on_start is not None:
             job.on_start(now)
-        self._sim.schedule(job.work_time, self._finish, job)
+        # multiplying by the default 1.0 is bit-exact, so healthy runs are
+        # byte-identical to the pre-slowdown implementation
+        self._sim.schedule(job.work_time * self._slowdown, self._finish, job)
 
     def _finish(self, job: _Job) -> None:
         self._accumulate_busy()

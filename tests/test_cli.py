@@ -79,6 +79,26 @@ def test_obs_timeseries_summary(capsys, tmp_path):
     assert "series" in snapshot.read_text()
 
 
+def test_chaos_run_short(capsys):
+    assert main(["chaos", "run", "--duration", "20", "--fault-start", "4",
+                 "--fault-duration", "8", "--max-rule-age", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "controller-outage" in out and "wan:east<->west" in out
+    assert "stale-rule guard trips:" in out
+    assert "p95" in out
+
+
+def test_chaos_report_writes_json(capsys, tmp_path):
+    payload = tmp_path / "resilience.json"
+    assert main(["chaos", "report", "--duration", "20", "--fault-start", "4",
+                 "--fault-duration", "8", "--max-rule-age", "3",
+                 "-o", str(payload)]) == 0
+    out = capsys.readouterr().out
+    assert "detect(s)" in out and "egress cost" in out
+    text = payload.read_text()
+    assert "controller-outage" in text and "episodes" in text
+
+
 def test_obs_slo_renders_alerts_and_join(capsys):
     # 60 simulated seconds: the surge starts at t=40, so the alert fires
     # but stays active at the end of the run

@@ -1,0 +1,57 @@
+"""Smoke-run every example script end to end at a compressed time scale.
+
+Each ``examples/*.py`` reads ``REPRO_EXAMPLE_TIME_SCALE`` and multiplies
+its simulated durations by it, so the whole gallery runs in seconds here
+while exercising the same code paths users see. A failing import, a
+renamed API, or an example that crashes on its own output formatting all
+surface as a test failure instead of a broken README walkthrough.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+#: examples that simulate long horizons even scaled down
+_SLOW_OK_SECONDS = 180
+
+#: compressed sim-time factor; cost_budget.py has no sim clock and
+#: ignores it
+_SCALE = "0.2"
+
+
+@pytest.mark.parametrize("example", EXAMPLES,
+                         ids=[path.stem for path in EXAMPLES])
+def test_example_runs(example: Path, tmp_path: Path) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_EXAMPLE_TIME_SCALE"] = _SCALE
+    # cwd=tmp_path: examples that write artifacts (observe_headline's
+    # Chrome trace) must not litter the repo
+    proc = subprocess.run(
+        [sys.executable, str(example)],
+        cwd=tmp_path, env=env, capture_output=True, text=True,
+        timeout=_SLOW_OK_SECONDS)
+    assert proc.returncode == 0, (
+        f"{example.name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}")
+    assert proc.stdout.strip(), f"{example.name} printed nothing"
+
+
+def test_every_sim_example_has_the_scale_knob() -> None:
+    """New examples must honor the smoke knob (or be sim-clock free)."""
+    exempt = {"cost_budget.py"}  # fluid-model only, no sim clock
+    for example in EXAMPLES:
+        if example.name in exempt:
+            continue
+        source = example.read_text()
+        assert "REPRO_EXAMPLE_TIME_SCALE" in source, (
+            f"{example.name} does not read REPRO_EXAMPLE_TIME_SCALE; "
+            "scale its durations or exempt it here")

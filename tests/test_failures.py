@@ -75,6 +75,52 @@ def test_restore_validation():
         sim.restore_service("west", "S2", 0)
 
 
+def test_restore_never_failed_service_resizes_pool():
+    # restoring a healthy service is a resize, not an error
+    _, deployment, sim = make_sim()
+    assert sim.clusters["west"].pool("S2").replicas == 5
+    sim.restore_service("west", "S2", 8)
+    assert sim.clusters["west"].pool("S2").replicas == 8
+    assert deployment.cluster("west").replicas["S2"] == 8
+    assert deployment.clusters_with("S2") == ["west", "east"]
+
+
+def test_double_restore_is_idempotent():
+    _, deployment, sim = make_sim()
+    sim.fail_service("west", "S2")
+    sim.restore_service("west", "S2", 5)
+    pool_after_first = sim.clusters["west"].pool("S2")
+    sim.restore_service("west", "S2", 5)
+    # second restore keeps the same live pool (no queued-job loss)
+    assert sim.clusters["west"].pool("S2") is pool_after_first
+    assert pool_after_first.replicas == 5
+    assert deployment.cluster("west").replicas["S2"] == 5
+
+
+def test_restore_with_different_replica_count():
+    _, deployment, sim = make_sim()
+    sim.fail_service("west", "S2")
+    sim.restore_service("west", "S2", 2)   # degraded comeback
+    assert sim.clusters["west"].pool("S2").replicas == 2
+    assert deployment.cluster("west").replicas["S2"] == 2
+    sim.restore_service("west", "S2", 9)   # scale-up later
+    assert sim.clusters["west"].pool("S2").replicas == 9
+    assert deployment.cluster("west").replicas["S2"] == 9
+
+
+def test_restore_keeps_clusters_with_consistent():
+    _, deployment, sim = make_sim()
+    sim.fail_service("west", "S2")
+    assert deployment.clusters_with("S2") == ["east"]
+    sim.restore_service("west", "S2", 1)
+    # deployment view and live pools must agree after every transition
+    assert deployment.clusters_with("S2") == ["west", "east"]
+    assert sim.clusters["west"].has("S2")
+    sim.fail_service("west", "S2")
+    assert deployment.clusters_with("S2") == ["east"]
+    assert not sim.clusters["west"].has("S2")
+
+
 def test_adaptive_controller_replans_around_failure():
     app, deployment, sim = make_sim()
     controller = GlobalController(

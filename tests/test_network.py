@@ -1,9 +1,10 @@
-"""Tests for the WAN model: delays, egress metering, pricing."""
+"""Tests for the WAN model: delays, egress metering, pricing, overrides."""
 
 import pytest
 
 from repro.sim.engine import Simulator
 from repro.sim.network import (GB, EgressPricing, LatencyMatrix, WanNetwork)
+from repro.sim.rng import RngRegistry
 
 
 def simple_latency():
@@ -117,3 +118,105 @@ def test_negative_bytes_rejected():
     net = WanNetwork(sim, simple_latency())
     with pytest.raises(ValueError):
         net.transfer("a", "b", -1, lambda: None)
+
+
+# --------------------------------------------------- construction validation
+
+
+def test_self_pair_entry_rejected():
+    with pytest.raises(ValueError, match="intra_cluster_delay"):
+        LatencyMatrix(["a", "b"], {("a", "a"): 0.001, ("a", "b"): 0.010})
+
+
+def test_unknown_cluster_in_pair_map_rejected():
+    with pytest.raises(ValueError, match="unknown cluster"):
+        LatencyMatrix(["a", "b"], {("a", "b"): 0.010, ("a", "zz"): 0.010})
+
+
+def test_negative_intra_cluster_delay_rejected():
+    with pytest.raises(ValueError):
+        LatencyMatrix(["a", "b"], {("a", "b"): 0.010},
+                      intra_cluster_delay=-0.001)
+
+
+# ------------------------------------------------------------ WAN overrides
+
+
+def test_override_extra_delay_and_multiplier_stack_in_order():
+    lat = simple_latency()
+    lat.apply_override("a", "b", multiplier=2.0)
+    lat.apply_override("a", "b", extra_delay=0.005)
+    # (0.010 * 2.0) + 0.005, applied in install order
+    assert lat.one_way("a", "b") == pytest.approx(0.025)
+
+
+def test_remove_override_restores_base_delay():
+    lat = simple_latency()
+    token = lat.apply_override("a", "b", multiplier=10.0)
+    assert lat.one_way("a", "b") == pytest.approx(0.100)
+    lat.remove_override(token)
+    assert lat.one_way("a", "b") == pytest.approx(0.010)
+    with pytest.raises(ValueError):
+        lat.remove_override(token)        # already removed
+
+
+def test_override_validation():
+    lat = simple_latency()
+    with pytest.raises(ValueError):
+        lat.apply_override("a", "a", multiplier=2.0)      # intra-cluster
+    with pytest.raises(KeyError):
+        lat.apply_override("a", "zz", multiplier=2.0)     # unknown cluster
+    with pytest.raises(ValueError):
+        lat.apply_override("a", "b", extra_delay=-0.001)  # negative
+    with pytest.raises(ValueError):
+        lat.apply_override("a", "b", multiplier=-1.0)
+
+
+def test_partition_blackholes_transfers_and_counts_them():
+    sim = Simulator()
+    lat = simple_latency()
+    net = WanNetwork(sim, lat, EgressPricing(default_price_per_gb=0.02))
+    token = lat.apply_override("a", "b", partition=True)
+    assert lat.is_partitioned("a", "b") and lat.is_partitioned("b", "a")
+    arrivals = []
+    net.transfer("a", "b", GB, lambda: arrivals.append(sim.now))
+    sim.run()
+    assert arrivals == []                      # never delivered
+    assert net.dropped_transfers == 1
+    assert net.dropped_bytes == GB
+    assert net.ledger.total_cost == 0.0        # blackholed bytes not billed
+    lat.remove_override(token)
+    net.transfer("a", "b", 100, lambda: arrivals.append(sim.now))
+    sim.run()
+    assert len(arrivals) == 1                  # link healed
+
+
+def test_partition_leaves_other_pairs_untouched():
+    sim = Simulator()
+    lat = simple_latency()
+    net = WanNetwork(sim, lat)
+    lat.apply_override("a", "b", partition=True)
+    arrivals = []
+    net.transfer("a", "c", 100, lambda: arrivals.append(sim.now))
+    sim.run()
+    assert arrivals == [pytest.approx(0.025)]
+
+
+def test_jitter_adds_bounded_noise_per_transfer():
+    sim = Simulator()
+    lat = simple_latency()
+    net = WanNetwork(sim, lat)
+    net.set_jitter("a", "b", 0.004, RngRegistry(7).stream("jitter"))
+    arrivals = []
+    for _ in range(20):
+        net.transfer("a", "b", 100, lambda: arrivals.append(sim.now))
+    sim.run()
+    offsets = [t - 0.010 for t in arrivals]
+    assert all(0.0 <= off <= 0.004 for off in offsets)
+    assert len(set(arrivals)) > 1              # actually noisy
+    net.clear_jitter("a", "b")
+    start = sim.now
+    arrivals.clear()
+    net.transfer("a", "b", 100, lambda: arrivals.append(sim.now))
+    sim.run()
+    assert arrivals == [pytest.approx(start + 0.010)]   # base delay again
