@@ -1,8 +1,8 @@
 # SLATE reproduction — convenience targets
 PYTHON ?= python3
 
-.PHONY: install test lint check bench bench-smoke bench-diff examples \
-	figures clean
+.PHONY: install test lint analyze check bench bench-smoke bench-diff \
+	examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -11,10 +11,18 @@ test:
 	$(PYTHON) -m pytest tests/
 
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src tests benchmarks examples
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src tests benchmarks \
+		examples --audit-suppressions
 
-# lint + tier-1 tests with runtime invariant checks enabled
-check: lint
+# whole-program flow analyzer: purity proofs, determinism taint,
+# architecture contracts (docs/devtools.md); report lands in
+# analyze-report.json for the CI artifact
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.analyze src \
+		--report analyze-report.json
+
+# lint + analyzer + tier-1 tests with runtime invariant checks enabled
+check: lint analyze
 	REPRO_DEBUG_INVARIANTS=1 PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 bench:
@@ -25,7 +33,7 @@ bench:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_engine.py \
 		benchmarks/bench_sweep.py benchmarks/bench_obs.py \
-		benchmarks/bench_chaos.py \
+		benchmarks/bench_chaos.py benchmarks/bench_devtools.py \
 		--benchmark-only -q
 
 # regression-gate freshly regenerated BENCH_*.json against a snapshot of

@@ -1,0 +1,51 @@
+"""Devtools wall-time: the lint pass and the whole-program analyzer.
+
+Both run in `make check` on every CI build, so their cost is part of the
+edit-test loop budget. The headline keys in ``BENCH_devtools.json`` are
+wall-clock seconds over the real ``src`` tree (``lint_seconds``,
+``analyze_seconds``) — tracked across PRs with a wide diff band, since
+analysis time grows with the tree.
+
+The analyzer parses everything once and runs fixpoints over ~900
+functions, so it is benchmarked with a single round to keep the smoke
+subset under budget.
+"""
+
+from pathlib import Path
+
+from repro.devtools import run_analysis
+from repro.devtools.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+
+def _lint_tree():
+    return lint_paths([SRC])
+
+
+def _analyze_tree():
+    _, result = run_analysis([SRC])
+    return result
+
+
+def test_lint_wall_time(benchmark, bench_json):
+    """File-local AST lint over src (the `make lint` hot path)."""
+    findings = benchmark.pedantic(_lint_tree, rounds=3, iterations=1)
+    assert not findings   # the tree lints clean
+    if benchmark.stats is not None:
+        bench_json("devtools", {
+            "lint_seconds": benchmark.stats.stats.mean,
+        })
+
+
+def test_analyze_wall_time(benchmark, bench_json):
+    """Whole-program flow analysis over src (parse + 3 passes)."""
+    result = benchmark.pedantic(_analyze_tree, rounds=1, iterations=1)
+    assert result.stats["modules"] > 50   # really analyzed the tree
+    if benchmark.stats is not None:
+        bench_json("devtools", {
+            "analyze_seconds": benchmark.stats.stats.mean,
+            "analyze_modules": result.stats["modules"],
+            "analyze_functions": result.stats["functions"],
+        })

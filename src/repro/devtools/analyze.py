@@ -1,0 +1,237 @@
+"""Whole-program analyzer CLI.
+
+Run over the tree with::
+
+    PYTHONPATH=src python -m repro.devtools.analyze src
+
+The analyzer parses everything under the given roots once, builds the
+import and call graphs, and runs the purity (A01/A02), determinism-taint
+(A03), and architecture-contract (A04–A06) passes — see
+:mod:`repro.devtools.flow` and ``docs/devtools.md``. Sibling ``tests``,
+``examples``, and ``benchmarks`` directories are parsed as consumers for
+dead-public-API detection.
+
+Exits nonzero when any error-severity finding survives per-line
+suppression and the committed baseline (``analyze-baseline.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .changes import GitError, changed_paths
+from .findings import Severity
+from .flow.analyzer import ANALYZER_RULES, AnalysisResult, FlowAnalyzer
+from .flow.baseline import Baseline
+from .flow.contracts import LayerSpec
+from .flow.project import Project
+
+__all__ = ["build_parser", "main", "run_analysis"]
+
+DEFAULT_BASELINE = "analyze-baseline.json"
+
+#: consumer roots auto-discovered next to the analysis root
+_CONSUMER_DIRS = ("tests", "examples", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.analyze",
+        description=("Whole-program flow analyzer: purity proofs, "
+                     "determinism taint, architecture contracts."))
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="package roots to analyze (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--baseline", metavar="FILE",
+                        default=None,
+                        help=(f"baseline file of grandfathered findings "
+                              f"(default: {DEFAULT_BASELINE} when it "
+                              f"exists)"))
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="adopt every current finding into the "
+                             "baseline file and exit")
+    parser.add_argument("--layers", metavar="FILE",
+                        help="JSON layering spec overriding the default")
+    parser.add_argument("--select", metavar="IDS",
+                        help="comma-separated pass ids (e.g. A01,A04)")
+    parser.add_argument("--changed-only", metavar="BASE", nargs="?",
+                        const="HEAD", default=None,
+                        help="report findings only for files changed "
+                             "against BASE (default HEAD)")
+    parser.add_argument("--report", metavar="FILE",
+                        help="also write the JSON report to FILE "
+                             "(CI artifact)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the pass catalogue and exit")
+    return parser
+
+
+def run_analysis(paths: Sequence[str], *,
+                 layer_spec: LayerSpec | None = None,
+                 select: frozenset[str] | None = None,
+                 baseline: Baseline | None = None,
+                 changed: set[str] | None = None
+                 ) -> tuple[FlowAnalyzer, AnalysisResult]:
+    """Load the project (with sibling consumer roots) and run the passes."""
+    consumer_roots = []
+    for root in paths:
+        for sibling in _CONSUMER_DIRS:
+            candidate = Path(root).resolve().parent / sibling
+            if candidate.is_dir():
+                consumer_roots.append(candidate)
+    project = Project.load(paths, consumer_roots)
+    analyzer = FlowAnalyzer(project, layer_spec=layer_spec)
+    changed_resolved = None
+    if changed is not None:
+        # findings carry paths as given on the command line; compare
+        # resolved so `src/...` matches git's repo-relative names
+        changed_resolved = changed
+    result = analyzer.run(select=select, baseline=baseline,
+                          changed_paths=_rebase(project, changed_resolved))
+    return analyzer, result
+
+
+def _rebase(project: Project,
+            changed: set[str] | None) -> set[str] | None:
+    """Map resolved changed paths back to the project's path spellings."""
+    if changed is None:
+        return None
+    spellings: set[str] = set()
+    for module in project.modules.values():
+        resolved = str(Path(module.path).resolve()).replace("\\", "/")
+        if resolved in changed:
+            spellings.add(module.path.replace("\\", "/"))
+    return spellings
+
+
+def _render_text(result: AnalysisResult) -> str:
+    lines = [f.render() for f in result.findings]
+    lines.extend(f"{path}: parse error: {message}"
+                 for path, message in result.parse_errors)
+    for entry in result.stale_baseline:
+        lines.append(f"stale baseline entry ({entry.rule} {entry.path}): "
+                     f"fixed for real — remove it from the baseline")
+    stats = result.stats
+    summary = (f"analyzed {stats.get('modules', 0)} modules, "
+               f"{stats.get('functions', 0)} functions, "
+               f"{stats.get('import_edges', 0)} import edges")
+    errors = sum(1 for f in result.findings
+                 if f.severity is Severity.ERROR)
+    warnings = len(result.findings) - errors
+    if result.findings or result.parse_errors:
+        lines.append(f"{summary}: {errors} error(s), {warnings} "
+                     f"warning(s), {len(result.baselined)} baselined, "
+                     f"{result.suppressed} suppressed")
+    else:
+        lines.append(f"{summary}: clean "
+                     f"({len(result.baselined)} baselined, "
+                     f"{result.suppressed} suppressed)")
+    return "\n".join(lines)
+
+
+def _report_payload(result: AnalysisResult) -> dict:
+    return {
+        "findings": [f.as_dict() for f in result.findings],
+        "baselined": [f.as_dict() for f in result.baselined],
+        "stale_baseline": [
+            {"rule": e.rule, "path": e.path, "message": e.message,
+             "reason": e.reason} for e in result.stale_baseline],
+        "parse_errors": [{"path": p, "message": m}
+                         for p, m in result.parse_errors],
+        "suppressed_count": result.suppressed,
+        "error_count": sum(1 for f in result.findings
+                           if f.severity is Severity.ERROR),
+        "warning_count": sum(1 for f in result.findings
+                             if f.severity is Severity.WARNING),
+        "stats": result.stats,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id in sorted(ANALYZER_RULES):
+            print(f"{rule_id}  {ANALYZER_RULES[rule_id]}")
+        return 0
+
+    select: frozenset[str] | None = None
+    if args.select:
+        select = frozenset(s.strip() for s in args.select.split(",")
+                           if s.strip())
+        unknown = sorted(select - set(ANALYZER_RULES))
+        if unknown:
+            print(f"error: unknown pass id(s) in --select: "
+                  f"{', '.join(unknown)} (see --list-rules)",
+                  file=sys.stderr)
+            return 2
+
+    layer_spec = None
+    if args.layers:
+        try:
+            layer_spec = LayerSpec.from_file(args.layers)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).exists():
+        baseline_path = DEFAULT_BASELINE
+    baseline = None
+    if baseline_path is not None and not args.write_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except FileNotFoundError:
+            print(f"error: baseline file not found: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    changed: set[str] | None = None
+    if args.changed_only is not None:
+        try:
+            changed = changed_paths(args.changed_only)
+        except GitError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        _, result = run_analysis(args.paths, layer_spec=layer_spec,
+                                 select=select, baseline=baseline,
+                                 changed=changed)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        merged = Baseline.from_findings(result.findings)
+        if baseline_path is not None and Path(baseline_path).exists():
+            previous = Baseline.load(baseline_path)
+            for key, entry in previous.entries.items():
+                if key in merged.entries and entry.reason:
+                    merged.entries[key] = entry
+        merged.save(target)
+        print(f"baseline written: {target} "
+              f"({len(merged)} entries — add a reason to each)")
+        return 0
+
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(_report_payload(result), indent=2) + "\n",
+            encoding="utf-8")
+    if args.format == "json":
+        print(json.dumps(_report_payload(result), indent=2))
+    else:
+        print(_render_text(result))
+    return 1 if result.failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""``--changed-only`` support: the set of files touched since a base ref.
+
+Both CLIs (:mod:`repro.devtools.lint` and :mod:`repro.devtools.analyze`)
+accept ``--changed-only [BASE]`` so pre-commit runs stay fast as the tree
+grows: the lint scopes which files it *checks*, the analyzer scopes which
+findings it *reports* (its passes are whole-program by construction).
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+__all__ = ["GitError", "changed_paths", "is_changed"]
+
+
+class GitError(RuntimeError):
+    """git was unavailable or the base ref did not resolve."""
+
+
+def changed_paths(base: str = "HEAD",
+                  cwd: str | Path | None = None) -> set[str]:
+    """Repo files changed against ``base``, plus untracked files.
+
+    Returns absolute, ``/``-normalized path strings (deleted files are
+    skipped — there is nothing left to analyze).
+    """
+    root = Path(cwd) if cwd is not None else Path.cwd()
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "-z", base, "--"],
+            cwd=root, capture_output=True, text=True, check=True)
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+            cwd=root, capture_output=True, text=True, check=True)
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=root, capture_output=True, text=True, check=True)
+    except FileNotFoundError as exc:
+        raise GitError("git executable not found") from exc
+    except subprocess.CalledProcessError as exc:
+        detail = (exc.stderr or "").strip() or f"exit status {exc.returncode}"
+        raise GitError(f"git diff against {base!r} failed: {detail}") \
+            from exc
+    repo_root = Path(top.stdout.strip())
+    names = [n for n in diff.stdout.split("\0") if n]
+    names.extend(n for n in untracked.stdout.split("\0") if n)
+    paths: set[str] = set()
+    for name in names:
+        candidate = repo_root / name
+        if candidate.exists():
+            paths.add(str(candidate.resolve()).replace("\\", "/"))
+    return paths
+
+
+def is_changed(path: str | Path, changed: set[str]) -> bool:
+    """Whether ``path`` (any spelling) is in a ``changed_paths`` result."""
+    resolved = str(Path(path).resolve()).replace("\\", "/")
+    return resolved in changed

@@ -14,15 +14,35 @@ its own line.
 from __future__ import annotations
 
 import enum
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 
 __all__ = ["Finding", "Severity", "Suppressions"]
 
 _IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9,\s]*)\])?")
 
-#: Sentinel stored for a blanket ``# lint: ignore`` (no rule list).
+#: Sentinel stored for a blanket ``lint: ignore`` marker (no rule list).
 _ALL_RULES = "*"
+
+
+def _comments(source: str) -> list[tuple[int, str]]:
+    """Real comment tokens as (line, text).
+
+    Tokenizing (rather than regex-scanning every line) keeps marker text
+    inside docstrings and string literals — documentation examples, lint
+    test fixtures — from registering as live suppressions.
+    """
+    out: list[tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # unparseable tail: keep whatever comments tokenized so far
+        pass
+    return out
 
 
 class Severity(enum.Enum):
@@ -62,7 +82,8 @@ class Suppressions:
 
     def __init__(self, source: str) -> None:
         self._by_line: dict[int, set[str]] = {}
-        for lineno, text in enumerate(source.splitlines(), start=1):
+        self._fired: set[int] = set()
+        for lineno, text in _comments(source):
             match = _IGNORE_RE.search(text)
             if match is None:
                 continue
@@ -78,7 +99,30 @@ class Suppressions:
         ids = self._by_line.get(line)
         if ids is None:
             return False
-        return _ALL_RULES in ids or rule in ids
+        if _ALL_RULES in ids or rule in ids:
+            self._fired.add(line)
+            return True
+        return False
+
+    def unused(self, running: set[str]) -> list[tuple[int, frozenset[str]]]:
+        """Marker lines that silenced nothing this run.
+
+        Markers naming only rule ids that are not running are skipped — a
+        ``--select D01`` run must not flag every unrelated marker (nor the
+        flow analyzer's ``ignore[Axx]`` markers when the lint audits).
+        Blanket markers (no id list) are always audited.
+        """
+        out: list[tuple[int, frozenset[str]]] = []
+        for line, ids in sorted(self._by_line.items()):
+            if line in self._fired:
+                continue
+            if _ALL_RULES in ids:
+                out.append((line, frozenset()))
+                continue
+            relevant = ids & running
+            if relevant:
+                out.append((line, frozenset(relevant)))
+        return out
 
     def __len__(self) -> int:
         return len(self._by_line)

@@ -1,0 +1,111 @@
+"""Committed finding baselines: grandfather known findings with rationale.
+
+A whole-program analyzer lands on a tree that already exists, so it needs
+a way to adopt the contract without a flag day: triage each pre-existing
+finding, record the intentional ones in a committed baseline file with a
+reason, and gate CI on *new* findings only. Baseline entries match on
+``(rule, path, message)`` — deliberately not on line numbers, which shift
+on every edit; analyzer messages therefore never embed line numbers.
+
+Workflow::
+
+    python -m repro.devtools.analyze src --write-baseline   # adopt
+    $EDITOR analyze-baseline.json                           # add reasons
+    python -m repro.devtools.analyze src                    # gates on new
+
+Stale entries (baselined findings that no longer fire) are reported so
+the file shrinks as violations get fixed for real.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    """One grandfathered finding, with its triage rationale."""
+
+    rule: str
+    path: str
+    message: str
+    reason: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    entries: dict[tuple[str, str, str], BaselineEntry] = field(
+        default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      reason: str = "TODO: triage") -> "Baseline":
+        entries = {}
+        for finding in findings:
+            entry = BaselineEntry(rule=finding.rule, path=finding.path,
+                                  message=finding.message, reason=reason)
+            entries[entry.key] = entry
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict) or not isinstance(
+                raw.get("entries"), list):
+            raise ValueError(f"{path}: baseline root must be an object "
+                             f"with an 'entries' list")
+        entries = {}
+        for item in raw["entries"]:
+            entry = BaselineEntry(
+                rule=str(item.get("rule", "")),
+                path=str(item.get("path", "")),
+                message=str(item.get("message", "")),
+                reason=str(item.get("reason", "")))
+            entries[entry.key] = entry
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "schema_version": _SCHEMA_VERSION,
+            "entries": [
+                {"rule": e.rule, "path": e.path, "message": e.message,
+                 "reason": e.reason}
+                for e in sorted(self.entries.values())
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+
+    def split(self, findings: list[Finding]
+              ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition into (new, grandfathered, stale-baseline-entries)."""
+        fresh: list[Finding] = []
+        known: list[Finding] = []
+        hit: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.message)
+            if key in self.entries:
+                known.append(finding)
+                hit.add(key)
+            else:
+                fresh.append(finding)
+        stale = sorted(entry for key, entry in self.entries.items()
+                       if key not in hit)
+        return fresh, known, stale
+
+    def __len__(self) -> int:
+        return len(self.entries)

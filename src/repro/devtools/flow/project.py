@@ -1,0 +1,360 @@
+"""Whole-program parse: the project's module set and import graph.
+
+A :class:`Project` parses every ``*.py`` under one or more roots exactly
+once and derives, for each module, its dotted name (``repro.sim.engine``),
+its AST, its per-line lint suppressions, and its imports of *other project
+modules*. Import edges distinguish eager (module/class body) from
+deferred (function body) imports, because the layering contracts treat
+them differently and only eager edges can participate in import cycles.
+
+Everything downstream — the call graph, the purity and taint passes, the
+architecture contracts — works off this one parse.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Callable, Iterable, Iterator
+
+from ..findings import Suppressions
+
+__all__ = ["ImportEdge", "Project", "ProjectModule", "SourceFile",
+           "import_cycles"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache",
+                        ".hypothesis", "build", "dist"})
+
+
+@dataclass(frozen=True, order=True)
+class ImportEdge:
+    """One project-internal import: ``src`` imports ``dst``."""
+
+    src: str        # importing module (dotted name)
+    dst: str        # imported project module (dotted name)
+    line: int
+    deferred: bool  # inside a function body (lazy import)
+
+
+@dataclass
+class SourceFile:
+    """One parsed file that is *not* part of the analyzed package.
+
+    Tests, examples, and benchmarks are parsed as consumers: their
+    references keep public API alive, but no findings are raised on them.
+    """
+
+    path: str
+    tree: ast.Module
+    source: str
+
+
+@dataclass
+class ProjectModule:
+    """One parsed module of the analyzed package."""
+
+    name: str       # dotted module name, e.g. "repro.sim.engine"
+    path: str       # path as given on the command line
+    tree: ast.Module
+    source: str
+    suppressions: Suppressions
+    is_package: bool  # True for __init__.py
+
+
+def _norm(path: str | Path) -> str:
+    return str(path).replace("\\", "/")
+
+
+def _module_name(path: str, is_package_dir: Callable[[str], bool]) -> str:
+    """Dotted module name for ``path``, ascending while parents are packages."""
+    pure = PurePosixPath(_norm(path))
+    if pure.name == "__init__.py":
+        parts = [pure.parent.name]
+        cursor = pure.parent.parent
+    else:
+        parts = [pure.stem]
+        cursor = pure.parent
+    while cursor.name and is_package_dir(str(cursor)):
+        parts.append(cursor.name)
+        cursor = cursor.parent
+    return ".".join(reversed(parts))
+
+
+def _parse(source: str, path: str) -> ast.Module | None:
+    try:
+        return ast.parse(source, filename=path)
+    except SyntaxError:
+        return None
+
+
+class Project:
+    """The parsed module set of one package tree plus its consumer files."""
+
+    def __init__(self, modules: dict[str, ProjectModule],
+                 consumers: list[SourceFile] | None = None,
+                 parse_errors: list[tuple[str, str]] | None = None) -> None:
+        self.modules = modules
+        self.consumers = consumers or []
+        #: files that failed to parse: (path, message)
+        self.parse_errors = parse_errors or []
+        self._by_path = {_norm(m.path): m for m in modules.values()}
+        self._edges: list[ImportEdge] | None = None
+
+    # ------------------------------------------------------------ loading
+
+    @classmethod
+    def load(cls, roots: Iterable[str | Path],
+             consumer_roots: Iterable[str | Path] = ()) -> "Project":
+        """Parse every ``*.py`` under ``roots`` into project modules.
+
+        ``consumer_roots`` (tests, examples, benchmarks) are parsed too,
+        but only to record references for dead-public-API detection.
+        """
+        modules: dict[str, ProjectModule] = {}
+        consumers: list[SourceFile] = []
+        parse_errors: list[tuple[str, str]] = []
+
+        def is_package_dir(directory: str) -> bool:
+            return (Path(directory) / "__init__.py").exists()
+
+        for root in roots:
+            root_path = Path(root)
+            if not root_path.exists():
+                raise FileNotFoundError(
+                    f"no such file or directory: {root}")
+            files = ([root_path] if root_path.is_file()
+                     else sorted(root_path.rglob("*.py")))
+            for candidate in files:
+                if _SKIP_DIRS.intersection(candidate.parts):
+                    continue
+                source = candidate.read_text(encoding="utf-8")
+                tree = _parse(source, str(candidate))
+                if tree is None:
+                    parse_errors.append((str(candidate), "syntax error"))
+                    continue
+                name = _module_name(str(candidate), is_package_dir)
+                modules[name] = ProjectModule(
+                    name=name, path=str(candidate), tree=tree, source=source,
+                    suppressions=Suppressions(source),
+                    is_package=candidate.name == "__init__.py")
+        for root in consumer_roots:
+            root_path = Path(root)
+            if not root_path.exists():
+                continue
+            files = ([root_path] if root_path.is_file()
+                     else sorted(root_path.rglob("*.py")))
+            for candidate in files:
+                if _SKIP_DIRS.intersection(candidate.parts):
+                    continue
+                source = candidate.read_text(encoding="utf-8")
+                tree = _parse(source, str(candidate))
+                if tree is None:
+                    parse_errors.append((str(candidate), "syntax error"))
+                    continue
+                consumers.append(SourceFile(path=str(candidate), tree=tree,
+                                            source=source))
+        return cls(modules, consumers, parse_errors)
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str],
+                     consumer_sources: dict[str, str] | None = None
+                     ) -> "Project":
+        """Build a project from in-memory ``{path: source}`` (fixtures)."""
+        paths = {_norm(p) for p in sources}
+
+        def is_package_dir(directory: str) -> bool:
+            return f"{_norm(directory)}/__init__.py" in paths
+
+        modules: dict[str, ProjectModule] = {}
+        parse_errors: list[tuple[str, str]] = []
+        for path in sorted(sources):
+            source = sources[path]
+            tree = _parse(source, path)
+            if tree is None:
+                parse_errors.append((path, "syntax error"))
+                continue
+            name = _module_name(path, is_package_dir)
+            modules[name] = ProjectModule(
+                name=name, path=path, tree=tree, source=source,
+                suppressions=Suppressions(source),
+                is_package=_norm(path).endswith("/__init__.py"))
+        consumers = []
+        for path in sorted(consumer_sources or {}):
+            tree = _parse(consumer_sources[path], path)
+            if tree is not None:
+                consumers.append(SourceFile(
+                    path=path, tree=tree, source=consumer_sources[path]))
+        return cls(modules, consumers, parse_errors)
+
+    # ----------------------------------------------------------- accessors
+
+    def module_for_path(self, path: str | Path) -> ProjectModule | None:
+        return self._by_path.get(_norm(path))
+
+    def sorted_modules(self) -> list[ProjectModule]:
+        return [self.modules[name] for name in sorted(self.modules)]
+
+    # -------------------------------------------------------- import graph
+
+    @property
+    def import_edges(self) -> list[ImportEdge]:
+        """All project-internal import edges, sorted and deduplicated."""
+        if self._edges is None:
+            edges: set[ImportEdge] = set()
+            for module in self.modules.values():
+                edges.update(self._edges_of(module))
+            self._edges = sorted(edges)
+        return self._edges
+
+    def _edges_of(self, module: ProjectModule) -> Iterator[ImportEdge]:
+        for node, deferred in _walk_imports(module.tree):
+            for target in self.resolve_import_targets(module, node):
+                yield ImportEdge(src=module.name, dst=target,
+                                 line=node.lineno, deferred=deferred)
+
+    def resolve_import_targets(self, module: ProjectModule,
+                               node: ast.Import | ast.ImportFrom
+                               ) -> list[str]:
+        """Project modules the import statement binds (sorted, deduped)."""
+        targets: set[str] = set()
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                hit = self._longest_module_prefix(alias.name)
+                if hit is not None:
+                    targets.add(hit)
+        else:
+            base = self.resolve_from_base(module, node)
+            if base is not None:
+                for alias in node.names:
+                    if alias.name == "*":
+                        if base in self.modules:
+                            targets.add(base)
+                        continue
+                    child = f"{base}.{alias.name}"
+                    if child in self.modules:
+                        targets.add(child)
+                    elif base in self.modules:
+                        targets.add(base)
+        return sorted(targets)
+
+    def resolve_from_base(self, module: ProjectModule,
+                          node: ast.ImportFrom) -> str | None:
+        """Absolute dotted base of a ``from ... import`` statement."""
+        if node.level == 0:
+            return node.module
+        parts = module.name.split(".")
+        # for a plain module, level 1 is its parent package; for a
+        # package __init__, level 1 is the package itself
+        drop = node.level if not module.is_package else node.level - 1
+        if drop >= len(parts) and not (module.is_package and drop == 0):
+            return None
+        base_parts = parts[:len(parts) - drop] if drop else parts
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts) if base_parts else None
+
+    def _longest_module_prefix(self, dotted: str) -> str | None:
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            name = ".".join(parts[:end])
+            if name in self.modules:
+                return name
+        return None
+
+
+def _walk_imports(tree: ast.Module
+                  ) -> Iterator[tuple[ast.Import | ast.ImportFrom, bool]]:
+    """Yield every import with a flag for deferred ones.
+
+    Imports inside function bodies and under ``if TYPE_CHECKING:`` guards
+    never execute at module import time, so they cannot participate in an
+    import cycle and are excluded from the eager import graph.
+    """
+
+    def visit(node: ast.AST, deferred: bool) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.Import, ast.ImportFrom)):
+                yield child, deferred
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)):
+                yield from visit(child, True)
+            elif isinstance(child, ast.If) and _is_type_checking(child.test):
+                yield from visit(child, True)
+            else:
+                yield from visit(child, deferred)
+
+    yield from visit(tree, False)
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    """True for ``TYPE_CHECKING`` / ``typing.TYPE_CHECKING`` guards."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def import_cycles(project: Project) -> list[list[str]]:
+    """Import cycles among eager edges, as sorted SCC member lists.
+
+    Deferred (function-body) imports cannot deadlock module loading, so
+    they are excluded; each returned cycle is the sorted module list of
+    one strongly connected component with more than one member (or a
+    self-loop).
+    """
+    graph: dict[str, set[str]] = {name: set() for name in project.modules}
+    for edge in project.import_edges:
+        if not edge.deferred and edge.src != edge.dst:
+            graph[edge.src].add(edge.dst)
+
+    # Tarjan's SCC, iterative to survive deep trees
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(graph[root])))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index_of:
+                    index_of[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+
+    for name in sorted(graph):
+        if name not in index_of:
+            strongconnect(name)
+    return sorted(sccs)

@@ -1,0 +1,736 @@
+"""Name resolution and the intra-project call graph.
+
+Built on top of :class:`~repro.devtools.flow.project.Project`:
+
+* a **symbol table** per module — every local name mapped to the project
+  module or the fully qualified class/function it binds, following
+  package ``__init__`` re-export chains to the defining module;
+* **class info** — methods, project base classes, and field types
+  harvested from dataclass annotations and ``__init__`` assignments;
+* **local type inference** per function — parameter annotations,
+  ``x = ClassName(...)`` constructor assignments, annotated assignments,
+  and builtin-container literals (so ``seen = set()`` is never confused
+  with a project object);
+* **call resolution** — direct calls, module-attribute calls,
+  ``self.method()``, typed-receiver method calls, and a capped
+  class-hierarchy-analysis fallback by method name when the receiver
+  type is unknown.
+
+The purity and taint passes both consume this one resolved view, which
+is what lets them see flows whose source and sink live in different
+modules — the whole point of the analyzer over the per-line lints.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .project import Project, ProjectModule
+
+__all__ = ["BUILTIN", "ClassInfo", "FunctionInfo", "SymbolTable",
+           "dotted_name"]
+
+#: sentinel "type" for builtin containers/scalars — receivers of this
+#: type never resolve to project methods, killing the CHA noise that
+#: ``seen.add(...)`` on a local set would otherwise produce
+BUILTIN = "<builtin>"
+
+#: receiver-less CHA: give up when a method name is defined on more than
+#: this many project classes (the edge set would be meaningless)
+_CHA_CAP = 12
+
+_MAPPING_TYPES = frozenset({"dict", "defaultdict", "OrderedDict",
+                            "Counter", "Mapping", "MutableMapping"})
+
+_SEQUENCE_TYPES = frozenset({"list", "set", "frozenset", "tuple", "deque",
+                             "Sequence", "Iterable", "Iterator",
+                             "MutableSequence", "Collection"})
+
+#: dict methods whose return is (possibly) an element of the receiver
+_ELEMENT_GETTERS = frozenset({"get", "setdefault", "pop"})
+
+_BUILTIN_FACTORIES = frozenset({
+    "list", "dict", "set", "frozenset", "tuple", "str", "int", "float",
+    "bool", "bytes", "bytearray", "sorted", "reversed", "enumerate",
+    "zip", "map", "filter", "range", "len", "sum", "min", "max", "abs",
+    "round", "repr", "format", "defaultdict", "OrderedDict", "Counter",
+    "deque", "namedtuple",
+})
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``np.random.default_rng`` → that string; None for non-name chains."""
+    names: list[str] = []
+    while isinstance(node, ast.Attribute):
+        names.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    names.append(node.id)
+    return ".".join(reversed(names))
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method of the project."""
+
+    qualname: str          # repro.sim.engine.Simulator.schedule
+    module: str            # defining module's dotted name
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None = None  # owning class qualname for methods
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    def param_names(self) -> list[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs]
+        names.extend(a.arg for a in args.args)
+        if args.vararg is not None:
+            names.append(args.vararg.arg)
+        names.extend(a.arg for a in args.kwonlyargs)
+        if args.kwarg is not None:
+            names.append(args.kwarg.arg)
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One project class: methods, bases, and inferred field types."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: project base-class qualnames (external bases are dropped)
+    bases: list[str] = field(default_factory=list)
+    #: field name → possible class qualnames (or BUILTIN)
+    fields: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: container field name → element class qualnames, so objects pulled
+    #: out of `self._states[key]` / `.get(key)` keep their type
+    elements: dict[str, frozenset[str]] = field(default_factory=dict)
+
+
+class SymbolTable:
+    """Whole-program symbol and call resolution over one project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: module → local name → ("module", name) | ("symbol", qualname)
+        self.bindings: dict[str, dict[str, tuple[str, str]]] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: raw import aliases per module: local → (base module, orig name)
+        self._imports: dict[str, dict[str, tuple[str, str | None]]] = {}
+        self._methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self._fields_by_name: dict[str, set[str]] = {}
+        self._canonical_memo: dict[tuple[str, str], tuple[str, str]] = {}
+        self._build()
+
+    # ------------------------------------------------------------ building
+
+    def _build(self) -> None:
+        for module in self.project.sorted_modules():
+            self._collect_defs(module)
+            self._collect_imports(module)
+        for module in self.project.sorted_modules():
+            self._resolve_bindings(module)
+        for cls in self.classes.values():
+            self._resolve_bases(cls)
+        for cls in self.classes.values():
+            self._infer_fields(cls)
+        for cls in self.classes.values():
+            for name, info in cls.methods.items():
+                self._methods_by_name.setdefault(name, []).append(info)
+            for fname in cls.fields:
+                self._fields_by_name.setdefault(fname, set()).add(
+                    cls.qualname)
+
+    def _collect_defs(self, module: ProjectModule) -> None:
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{module.name}.{stmt.name}"
+                self.functions[qualname] = FunctionInfo(
+                    qualname=qualname, module=module.name, name=stmt.name,
+                    node=stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                cls_qual = f"{module.name}.{stmt.name}"
+                info = ClassInfo(qualname=cls_qual, module=module.name,
+                                 name=stmt.name, node=stmt)
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                        method_qual = f"{cls_qual}.{sub.name}"
+                        method = FunctionInfo(
+                            qualname=method_qual, module=module.name,
+                            name=sub.name, node=sub, cls=cls_qual)
+                        info.methods[sub.name] = method
+                        self.functions[method_qual] = method
+                self.classes[cls_qual] = info
+
+    def _collect_imports(self, module: ProjectModule) -> None:
+        imports: dict[str, tuple[str, str | None]] = {}
+        for stmt in ast.walk(module.tree):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = (alias.name if alias.asname
+                              else alias.name.split(".")[0])
+                    imports[local] = (target, None)
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self.project.resolve_from_base(module, stmt)
+                if base is None:
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports[local] = (base, alias.name)
+        self._imports[module.name] = imports
+
+    def _resolve_bindings(self, module: ProjectModule) -> None:
+        table: dict[str, tuple[str, str]] = {}
+        for qualname, info in self.functions.items():
+            if info.module == module.name and info.cls is None:
+                table[info.name] = ("symbol", qualname)
+        for qualname, cls in self.classes.items():
+            if cls.module == module.name:
+                table[cls.name] = ("symbol", qualname)
+        for local, (base, orig) in self._imports[module.name].items():
+            resolved = self._resolve_import_binding(base, orig)
+            if resolved is not None:
+                table[local] = resolved
+        self.bindings[module.name] = table
+
+    def _resolve_import_binding(self, base: str, orig: str | None
+                                ) -> tuple[str, str] | None:
+        if orig is None:
+            # plain `import x.y` — binds a module (or nothing of ours)
+            return ("module", base) if base in self.project.modules else None
+        submodule = f"{base}.{orig}"
+        if submodule in self.project.modules:
+            return ("module", submodule)
+        if base in self.project.modules:
+            target_module, target_name = self.canonical(base, orig)
+            qualname = f"{target_module}.{target_name}"
+            if qualname in self.functions or qualname in self.classes:
+                return ("symbol", qualname)
+            if f"{target_module}.{target_name}" in self.project.modules:
+                return ("module", f"{target_module}.{target_name}")
+            # name exists only dynamically (PEP 562 __getattr__, module
+            # globals): keep the package-level identity
+            return ("symbol", qualname)
+        return None
+
+    def canonical(self, module: str, name: str) -> tuple[str, str]:
+        """Follow re-export chains to the defining ``(module, name)``."""
+        memo = self._canonical_memo
+        seen: set[tuple[str, str]] = set()
+        current = (module, name)
+        chain: list[tuple[str, str]] = []
+        while True:
+            if current in memo:
+                result = memo[current]
+                break
+            if current in seen:
+                result = current
+                break
+            seen.add(current)
+            chain.append(current)
+            mod, nm = current
+            qualname = f"{mod}.{nm}"
+            if qualname in self.functions or qualname in self.classes:
+                result = current
+                break
+            if qualname in self.project.modules:
+                result = current
+                break
+            imported = self._imports.get(mod, {}).get(nm)
+            if imported is None:
+                result = current
+                break
+            base, orig = imported
+            if orig is None:
+                result = (base, "") if base in self.project.modules \
+                    else current
+                break
+            submodule = f"{base}.{orig}"
+            if submodule in self.project.modules:
+                result = (base, orig)
+                break
+            if base not in self.project.modules:
+                result = current
+                break
+            current = (base, orig)
+        for link in chain:
+            memo[link] = result
+        return result
+
+    def _resolve_bases(self, cls: ClassInfo) -> None:
+        for base in cls.node.bases:
+            resolved = self.resolve_annotation(cls.module, base)
+            cls.bases.extend(q for q in sorted(resolved)
+                             if q in self.classes)
+
+    def _infer_fields(self, cls: ClassInfo) -> None:
+        fields: dict[str, set[str]] = {}
+        elements: dict[str, set[str]] = {}
+        for stmt in cls.node.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                types = self.resolve_annotation(cls.module, stmt.annotation)
+                if types:
+                    fields.setdefault(stmt.target.id, set()).update(types)
+                elts = self.annotation_elements(cls.module, stmt.annotation)
+                if elts:
+                    elements.setdefault(stmt.target.id, set()).update(elts)
+        init = cls.methods.get("__init__")
+        if init is not None:
+            param_types = self._param_annotation_types(init)
+            for stmt in ast.walk(init.node):
+                target: ast.expr | None = None
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value = stmt.target, stmt.value
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        types = self.resolve_annotation(cls.module,
+                                                        stmt.annotation)
+                        if types:
+                            fields.setdefault(target.attr, set()).update(
+                                types)
+                        elts = self.annotation_elements(cls.module,
+                                                        stmt.annotation)
+                        if elts:
+                            elements.setdefault(target.attr, set()).update(
+                                elts)
+                if (target is None or value is None
+                        or not isinstance(target, ast.Attribute)
+                        or not isinstance(target.value, ast.Name)
+                        or target.value.id != "self"):
+                    continue
+                types = self._value_types(cls.module, value, param_types)
+                if types:
+                    fields.setdefault(target.attr, set()).update(types)
+                elts = self._value_elements(cls.module, value, param_types)
+                if elts:
+                    elements.setdefault(target.attr, set()).update(elts)
+        # `self.field[key] = Thing(...)` anywhere in the class also
+        # populates the container's element types
+        for method in cls.methods.values():
+            param_types = self._param_annotation_types(method)
+            for stmt in ast.walk(method.node):
+                if not (isinstance(stmt, ast.Assign) and stmt.targets):
+                    continue
+                for target in stmt.targets:
+                    if not (isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Attribute)
+                            and isinstance(target.value.value, ast.Name)
+                            and target.value.value.id == "self"):
+                        continue
+                    types = self._value_types(cls.module, stmt.value,
+                                              param_types)
+                    if types - {BUILTIN}:
+                        elements.setdefault(
+                            target.value.attr, set()).update(
+                                types - {BUILTIN})
+        cls.fields = {name: frozenset(types)
+                      for name, types in fields.items()}
+        cls.elements = {name: frozenset(types)
+                        for name, types in elements.items()
+                        if types - {BUILTIN}}
+
+    # --------------------------------------------------------- type lookup
+
+    def resolve_annotation(self, module: str,
+                           node: ast.expr | None) -> frozenset[str]:
+        """Class qualnames (or BUILTIN) an annotation may denote."""
+        if node is None:
+            return frozenset()
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, str):
+                try:
+                    parsed = ast.parse(node.value, mode="eval").body
+                except SyntaxError:
+                    return frozenset()
+                return self.resolve_annotation(module, parsed)
+            return frozenset()
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return (self.resolve_annotation(module, node.left)
+                    | self.resolve_annotation(module, node.right))
+        if isinstance(node, ast.Subscript):
+            base = dotted_name(node.value)
+            if base and base.split(".")[-1] in ("Optional", "Union"):
+                inner = node.slice
+                elements = (inner.elts if isinstance(inner, ast.Tuple)
+                            else [inner])
+                out: set[str] = set()
+                for element in elements:
+                    out |= self.resolve_annotation(module, element)
+                return frozenset(out)
+            return frozenset({BUILTIN})   # list[T], dict[K, V], ...
+        dotted = dotted_name(node)
+        if dotted is None:
+            return frozenset()
+        resolved = self._resolve_dotted_symbol(module, dotted)
+        if resolved is not None and resolved in self.classes:
+            return frozenset({resolved})
+        if dotted.split(".")[-1] in _BUILTIN_FACTORIES or dotted in (
+                "None", "object", "Any"):
+            return frozenset({BUILTIN})
+        return frozenset()
+
+    def annotation_elements(self, module: str,
+                            node: ast.expr | None) -> frozenset[str]:
+        """Element classes of a container annotation.
+
+        ``dict[K, V]`` → classes of ``V``; ``list[T]`` → classes of
+        ``T``; unions recurse. Only project classes are kept.
+        """
+        if node is None:
+            return frozenset()
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return frozenset()
+            return self.annotation_elements(module, parsed)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return (self.annotation_elements(module, node.left)
+                    | self.annotation_elements(module, node.right))
+        if not isinstance(node, ast.Subscript):
+            return frozenset()
+        base = dotted_name(node.value)
+        if base is None:
+            return frozenset()
+        last = base.split(".")[-1]
+        inner = node.slice
+        if last in ("Optional", "Union"):
+            branches = (inner.elts if isinstance(inner, ast.Tuple)
+                        else [inner])
+            out: set[str] = set()
+            for branch in branches:
+                out |= self.annotation_elements(module, branch)
+            return frozenset(out)
+        if last in _MAPPING_TYPES:
+            if isinstance(inner, ast.Tuple) and len(inner.elts) == 2:
+                return self.resolve_annotation(
+                    module, inner.elts[1]) - {BUILTIN}
+            return frozenset()
+        if last in _SEQUENCE_TYPES:
+            elts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+            out = set()
+            for elt in elts:
+                out |= self.resolve_annotation(module, elt)
+            return frozenset(out - {BUILTIN})
+        return frozenset()
+
+    def _value_elements(self, module: str, value: ast.expr,
+                        env: dict[str, frozenset[str]]) -> frozenset[str]:
+        """Element classes of a container-building RHS expression."""
+        sources: list[ast.expr] = []
+        if isinstance(value, ast.Dict):
+            sources = [v for v in value.values if v is not None]
+        elif isinstance(value, (ast.List, ast.Set, ast.Tuple)):
+            sources = list(value.elts)
+        elif isinstance(value, ast.DictComp):
+            sources = [value.value]
+        elif isinstance(value, (ast.ListComp, ast.SetComp)):
+            sources = [value.elt]
+        out: set[str] = set()
+        for source in sources:
+            out |= self._value_types(module, source, env)
+        return frozenset(out - {BUILTIN})
+
+    def _resolve_dotted_symbol(self, module: str,
+                               dotted: str) -> str | None:
+        """Resolve ``alias.attr...`` through this module's bindings."""
+        parts = dotted.split(".")
+        binding = self.bindings.get(module, {}).get(parts[0])
+        if binding is None:
+            return None
+        kind, target = binding
+        if kind == "symbol":
+            return target if len(parts) == 1 else None
+        current = target
+        for index, attr in enumerate(parts[1:], start=1):
+            child = f"{current}.{attr}"
+            if child in self.project.modules:
+                current = child
+                continue
+            target_module, target_name = self.canonical(current, attr)
+            qualname = f"{target_module}.{target_name}"
+            if index == len(parts) - 1:
+                return qualname
+            if qualname in self.project.modules:
+                current = qualname
+                continue
+            return None
+        return current
+
+    def _param_annotation_types(self, func: FunctionInfo
+                                ) -> dict[str, frozenset[str]]:
+        types: dict[str, frozenset[str]] = {}
+        args = func.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.annotation is not None:
+                resolved = self.resolve_annotation(func.module,
+                                                   arg.annotation)
+                if resolved:
+                    types[arg.arg] = resolved
+        return types
+
+    def _value_types(self, module: str, value: ast.expr,
+                     env: dict[str, frozenset[str]]) -> frozenset[str]:
+        """Types of a RHS expression: constructor calls, typed names."""
+        if isinstance(value, ast.Call):
+            dotted = dotted_name(value.func)
+            if dotted is not None:
+                resolved = self._resolve_dotted_symbol(module, dotted)
+                if resolved is not None and resolved in self.classes:
+                    return frozenset({resolved})
+                if resolved is not None and resolved in self.functions:
+                    return self.return_types(self.functions[resolved])
+                if dotted.split(".")[-1] in _BUILTIN_FACTORIES:
+                    return frozenset({BUILTIN})
+            return frozenset()
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.Tuple,
+                              ast.ListComp, ast.DictComp, ast.SetComp,
+                              ast.GeneratorExp, ast.JoinedStr)):
+            return frozenset({BUILTIN})
+        if isinstance(value, ast.Constant):
+            return frozenset({BUILTIN})
+        if isinstance(value, ast.Name):
+            return env.get(value.id, frozenset())
+        return frozenset()
+
+    def return_types(self, func: FunctionInfo) -> frozenset[str]:
+        """Types from the return annotation (classes or BUILTIN)."""
+        return self.resolve_annotation(func.module, func.node.returns)
+
+    # ------------------------------------------------- per-function context
+
+    def local_types(self, func: FunctionInfo) -> dict[str, frozenset[str]]:
+        """Best-effort local variable types for one function body."""
+        env: dict[str, frozenset[str]] = dict(
+            self._param_annotation_types(func))
+        if func.cls is not None:
+            env["self"] = frozenset({func.cls})
+        for stmt in ast.walk(func.node):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                # `for workload in problem.workloads.values():` — type the
+                # loop variable from the container's element classes
+                if isinstance(stmt.target, ast.Name):
+                    types = self._iter_element_types(func, stmt.iter, env)
+                    if types:
+                        env[stmt.target.id] = env.get(
+                            stmt.target.id, frozenset()) | types
+                continue
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+                if isinstance(stmt.target, ast.Name):
+                    annotated = self.resolve_annotation(func.module,
+                                                        stmt.annotation)
+                    if annotated:
+                        env[stmt.target.id] = env.get(
+                            stmt.target.id, frozenset()) | annotated
+            names = [t for t in targets if isinstance(t, ast.Name)]
+            if not names or value is None:
+                continue
+            types = self._value_types(func.module, value, env)
+            if not types and isinstance(value,
+                                        (ast.Call, ast.Attribute,
+                                         ast.Subscript)):
+                # `store = self.store` / `latency = registry.histogram(...)`
+                # / `state = self._states[key]` — flow field, element, and
+                # return-annotation types into the local
+                types = self.expr_types(func, value, env)
+            if types:
+                for name in names:
+                    env[name.id] = env.get(name.id, frozenset()) | types
+        return env
+
+    def expr_types(self, func: FunctionInfo, expr: ast.expr,
+                   env: dict[str, frozenset[str]]) -> frozenset[str]:
+        """Possible classes of an expression (receiver inference)."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, frozenset())
+        if isinstance(expr, ast.Attribute):
+            base_types = self.expr_types(func, expr.value, env)
+            out: set[str] = set()
+            for base in base_types:
+                if base == BUILTIN:
+                    continue
+                for cls in self._mro(base):
+                    fields = self.classes[cls].fields
+                    if expr.attr in fields:
+                        out.update(fields[expr.attr])
+                        break
+            if out:
+                return frozenset(out)
+            # `mod.attr` where mod is a module alias: a symbol, not an
+            # instance; expr_types is about instances so return nothing
+            return frozenset()
+        if isinstance(expr, ast.Subscript):
+            # `self._states[key]` → the container field's element types
+            return self.container_elements(func, expr.value, env)
+        if isinstance(expr, ast.Call):
+            if (isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr in _ELEMENT_GETTERS):
+                out = set(self.container_elements(func, expr.func.value,
+                                                  env))
+                if len(expr.args) >= 2:   # `.get(key, default)`
+                    out |= self.expr_types(func, expr.args[1], env)
+                if out - {BUILTIN}:
+                    return frozenset(out - {BUILTIN})
+            dotted = dotted_name(expr.func)
+            if dotted is not None:
+                if dotted == "cls" and func.cls is not None:
+                    # `cls(...)` in a classmethod builds an instance of
+                    # the enclosing class
+                    return frozenset({func.cls})
+                resolved = self._resolve_dotted_symbol(func.module, dotted)
+                if resolved is not None and resolved in self.classes:
+                    return frozenset({resolved})
+                if dotted.split(".")[-1] in _BUILTIN_FACTORIES:
+                    return frozenset({BUILTIN})
+            callees = self.resolve_call(func, expr, env)
+            out = set()
+            for callee in callees:
+                out |= self.return_types(callee)
+            return frozenset(out)
+        if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.Tuple,
+                             ast.ListComp, ast.DictComp, ast.SetComp,
+                             ast.GeneratorExp, ast.Constant,
+                             ast.JoinedStr)):
+            return frozenset({BUILTIN})
+        return frozenset()
+
+    def _iter_element_types(self, func: FunctionInfo, iter_expr: ast.expr,
+                            env: dict[str, frozenset[str]]
+                            ) -> frozenset[str]:
+        """Element classes of a ``for`` iterable, if statically known."""
+        if (isinstance(iter_expr, ast.Call)
+                and isinstance(iter_expr.func, ast.Attribute)
+                and iter_expr.func.attr == "values"
+                and not iter_expr.args):
+            return self.container_elements(func, iter_expr.func.value, env)
+        return frozenset()
+
+    def container_elements(self, func: FunctionInfo, container: ast.expr,
+                           env: dict[str, frozenset[str]]
+                           ) -> frozenset[str]:
+        """Element classes of a container-valued expression, if known."""
+        if not isinstance(container, ast.Attribute):
+            return frozenset()
+        owners = self.expr_types(func, container.value, env)
+        out: set[str] = set()
+        for owner in sorted(owners - {BUILTIN}):
+            for cls in self._mro(owner):
+                elements = self.classes[cls].elements
+                if container.attr in elements:
+                    out.update(elements[container.attr])
+                    break
+        return frozenset(out)
+
+    def _mro(self, cls_qualname: str) -> Iterator[str]:
+        """The class and its project bases, breadth-first, deduplicated."""
+        seen: set[str] = set()
+        queue = [cls_qualname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            yield current
+            queue.extend(self.classes[current].bases)
+
+    def lookup_method(self, cls_qualname: str,
+                      name: str) -> FunctionInfo | None:
+        for cls in self._mro(cls_qualname):
+            method = self.classes[cls].methods.get(name)
+            if method is not None:
+                return method
+        return None
+
+    # ------------------------------------------------------ call resolution
+
+    def resolve_call(self, func: FunctionInfo, node: ast.Call,
+                     env: dict[str, frozenset[str]]) -> list[FunctionInfo]:
+        """Project functions a call may reach (empty when external)."""
+        callee = node.func
+        if isinstance(callee, ast.Name):
+            if callee.id == "cls" and func.cls is not None:
+                return self._symbol_callees(func.cls)
+            binding = self.bindings.get(func.module, {}).get(callee.id)
+            if binding is None:
+                return []
+            kind, target = binding
+            if kind != "symbol":
+                return []
+            return self._symbol_callees(target)
+        if not isinstance(callee, ast.Attribute):
+            return []
+        # module-attribute call: `engine.foo()` / `repro.sim.engine.foo()`
+        dotted = dotted_name(callee)
+        if dotted is not None:
+            resolved = self._resolve_dotted_symbol(func.module, dotted)
+            if resolved is not None:
+                hits = self._symbol_callees(resolved)
+                if hits:
+                    return hits
+        receiver_types = self.expr_types(func, callee.value, env)
+        if BUILTIN in receiver_types and len(receiver_types) == 1:
+            return []
+        hits = []
+        for cls in sorted(receiver_types - {BUILTIN}):
+            method = self.lookup_method(cls, callee.attr)
+            if method is not None:
+                hits.append(method)
+        if hits:
+            return hits
+        if receiver_types - {BUILTIN}:
+            return []   # typed receiver, method not in project: external
+        # unknown receiver: class-hierarchy fallback by method name
+        candidates = self._methods_by_name.get(callee.attr, [])
+        if 0 < len(candidates) <= _CHA_CAP:
+            return list(candidates)
+        return []
+
+    def _symbol_callees(self, qualname: str) -> list[FunctionInfo]:
+        if qualname in self.functions:
+            return [self.functions[qualname]]
+        if qualname in self.classes:
+            init = self.lookup_method(qualname, "__init__")
+            if init is not None:
+                return [init]
+        return []
+
+    def classes_with_field(self, attr: str) -> frozenset[str]:
+        """Project classes declaring a field named ``attr`` (CHA on writes)."""
+        return frozenset(self._fields_by_name.get(attr, ()))
+
+    def call_edges(self, func: FunctionInfo
+                   ) -> Iterator[tuple[ast.Call, list[FunctionInfo]]]:
+        """Every call in the body with its resolved project callees.
+
+        Nested function bodies (closures like epoch hooks) are included:
+        their effects belong to the enclosing function for the purposes
+        of the purity and taint passes.
+        """
+        env = self.local_types(func)
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Call):
+                yield node, self.resolve_call(func, node, env)

@@ -18,6 +18,7 @@ import sys
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from .changes import GitError, changed_paths, is_changed
 from .config import LintConfig
 from .findings import Finding, Severity, Suppressions
 from .rules import ALL_RULES, ModuleSource, Rule
@@ -45,10 +46,13 @@ class Linter:
     """Applies the rule set to files, honouring config and suppressions."""
 
     def __init__(self, config: LintConfig | None = None,
-                 rules: Sequence[type[Rule]] = ALL_RULES) -> None:
+                 rules: Sequence[type[Rule]] = ALL_RULES,
+                 audit_suppressions: bool = False) -> None:
         self.config = config or LintConfig()
         self.rules: list[Rule] = [cls() for cls in rules
                                   if self.config.runs(cls.rule_id)]
+        #: warn about `lint: ignore[...]` markers that silence nothing
+        self.audit_suppressions = audit_suppressions
         #: files that failed to parse: (path, message)
         self.parse_errors: list[tuple[str, str]] = []
 
@@ -74,6 +78,14 @@ class Linter:
                     found = Finding(found.path, found.line, found.col,
                                     found.rule, severity, found.message)
                 findings[found] = None
+        if self.audit_suppressions:
+            running = {rule.rule_id for rule in self.rules}
+            for line, ids in suppressions.unused(running):
+                label = ",".join(sorted(ids)) if ids else "all rules"
+                findings[Finding(
+                    path, line, 0, "SUP", Severity.WARNING,
+                    f"unused suppression: `# lint: ignore` marker for "
+                    f"{label} silences nothing on this line")] = None
         return sorted(findings, key=lambda f: (f.path, f.line, f.col,
                                                f.rule, f.message))
 
@@ -134,6 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JSON file with per-rule severity overrides")
     parser.add_argument("--select", metavar="IDS",
                         help="comma-separated rule ids to run (e.g. D01,D03)")
+    parser.add_argument("--audit-suppressions", action="store_true",
+                        help="warn about `# lint: ignore` markers that "
+                             "silence nothing")
+    parser.add_argument("--changed-only", metavar="BASE", nargs="?",
+                        const="HEAD", default=None,
+                        help="lint only files changed against BASE "
+                             "(default HEAD)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -161,9 +180,17 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"{', '.join(unknown)} (see --list-rules)",
                   file=sys.stderr)
             return 2
-    linter = Linter(config)
+    linter = Linter(config, audit_suppressions=args.audit_suppressions)
     try:
-        findings = linter.lint_paths(args.paths)
+        targets: Iterable[str | Path] = args.paths
+        if args.changed_only is not None:
+            changed = changed_paths(args.changed_only)
+            targets = [p for p in _iter_python_files(args.paths)
+                       if is_changed(p, changed)]
+        findings = linter.lint_paths(targets)
+    except GitError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

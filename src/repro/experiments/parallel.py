@@ -114,7 +114,7 @@ class SweepExecutor:
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list:
         """Apply ``fn`` to every item, returning results in item order."""
         items = list(items)
-        started = time.perf_counter()   # lint: ignore[D02] diagnostic only
+        started = time.perf_counter()   # diagnostic wall-time only
         try:
             if self.workers <= 1 or len(items) <= 1:
                 return [fn(item) for item in items]
@@ -123,7 +123,7 @@ class SweepExecutor:
             return self._map_parallel(fn, items)
         finally:
             self.last_elapsed = (
-                time.perf_counter() - started)   # lint: ignore[D02]
+                time.perf_counter() - started)
 
     def run_units(self, units: Sequence[SweepUnit]) -> list[PolicyOutcome]:
         """Run sweep units, preserving submission order."""

@@ -23,6 +23,11 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imports for annotations only — obs stays decoupled
+    from ..sim.runner import MeshSimulation
+    from .slo import SloEngine
 
 __all__ = ["DEFAULT_MAX_POINTS", "ScrapeLoop", "TimeSeries",
            "TimeSeriesStore", "percentile"]
@@ -280,8 +285,9 @@ class ScrapeLoop:
     #: percentiles recorded per scrape window, as (suffix, q)
     PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
 
-    def __init__(self, store: TimeSeriesStore, simulation,
-                 interval: float, slo_engine=None) -> None:
+    def __init__(self, store: TimeSeriesStore, simulation: "MeshSimulation",
+                 interval: float,
+                 slo_engine: "SloEngine | None" = None) -> None:
         if interval <= 0:
             raise ValueError(f"scrape_interval must be > 0, got {interval}")
         self.store = store

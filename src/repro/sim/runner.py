@@ -119,8 +119,12 @@ class MeshSimulation:
             rng=(self.rngs.stream("telemetry/reservoir")
                  if latency_reservoir is not None else None))
         # observability (repro.obs) accepts a config or a prebuilt runtime;
-        # None/all-off coerces to None so the hot path pays one `is None`
-        from ..obs.config import Observability
+        # None/all-off coerces to None so the hot path pays one `is None`.
+        # This deferred import is the one sanctioned sim->obs edge: the
+        # runner is the attach point, and keeping the import inside
+        # __init__ keeps every sim module free of obs imports at load
+        # time (no eager edge, no cycle — only this call-time one).
+        from ..obs.config import Observability   # lint: ignore[A04]
         self.observability = Observability.coerce(observability)
         self._obs_tracer = (self.observability.tracer
                             if self.observability is not None else None)

@@ -16,8 +16,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.devtools import LintConfig, Severity
-from repro.devtools.lint import Linter, lint_paths, main
+from repro.devtools import LintConfig, Linter, Severity, lint_paths
+from repro.devtools.lint import main
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -364,3 +364,116 @@ def test_src_repro_lints_clean():
 def test_tests_and_benchmarks_lint_clean():
     findings = lint_paths([REPO_ROOT / "tests", REPO_ROOT / "benchmarks"])
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# ------------------------------------------------- suppression audit (SUP)
+
+def test_audit_flags_unused_suppression():
+    findings = Linter(audit_suppressions=True).lint_source(
+        "__all__ = []\n"
+        "def _f(x):\n"
+        "    return x + 1   # lint: ignore[D05]\n", SIM_PATH)
+    assert [f.rule for f in findings] == ["SUP"]
+    assert findings[0].severity is Severity.WARNING
+    assert "D05" in findings[0].message
+
+
+def test_audit_keeps_quiet_about_used_suppression():
+    findings = Linter(audit_suppressions=True).lint_source(
+        "__all__ = []\n"
+        "def _collect(out=[]):   # lint: ignore[D05]\n"
+        "    return out\n", SIM_PATH)
+    assert findings == []
+
+
+def test_audit_ignores_markers_for_rules_not_running():
+    # an analyzer suppression (Axx) must not be flagged by the lint audit,
+    # nor a Dxx marker when --select excludes that rule
+    config = LintConfig()
+    config.select = frozenset({"D01"})
+    findings = Linter(config, audit_suppressions=True).lint_source(
+        "__all__ = []\n"
+        "from x import y   # lint: ignore[A04]\n"
+        "def _f(out=[]):   # lint: ignore[D05]\n"
+        "    return out\n", SIM_PATH)
+    assert findings == []
+
+
+def test_audit_flags_unused_blanket_marker():
+    findings = Linter(audit_suppressions=True).lint_source(
+        "__all__ = []\n"
+        "X = 1   # lint: ignore\n", SIM_PATH)
+    assert [f.rule for f in findings] == ["SUP"]
+    assert "all rules" in findings[0].message
+
+
+def test_cli_audit_suppressions_flag(tmp_path, capsys):
+    victim = tmp_path / "src" / "repro" / "sim" / "mod.py"
+    victim.parent.mkdir(parents=True)
+    victim.write_text("__all__ = []\n"
+                      "X = 1   # lint: ignore[D05]\n")
+    assert main([str(victim)]) == 0                      # audit off: silent
+    capsys.readouterr()
+    assert main([str(victim), "--audit-suppressions"]) == 0   # warning only
+    out = capsys.readouterr().out
+    assert "SUP" in out and "unused suppression" in out
+
+
+def test_repo_tree_has_no_unused_suppressions():
+    linter = Linter(audit_suppressions=True)
+    findings = linter.lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks",
+         REPO_ROOT / "examples"])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# --------------------------------------------------------- --changed-only
+
+def _git(tmp_path, *argv):
+    subprocess.run(
+        ["git", "-c", "user.email=t@example.com", "-c", "user.name=t",
+         *argv], cwd=tmp_path, check=True, capture_output=True)
+
+
+def test_cli_changed_only_scopes_to_dirty_files(tmp_path, capsys):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    clean = pkg / "clean.py"
+    dirty = pkg / "dirty.py"
+    clean.write_text("__all__ = []\n"
+                     "def _bad(out=[]):\n"
+                     "    return out\n")
+    dirty.write_text("__all__ = []\n")
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-qm", "seed")
+    dirty.write_text("__all__ = []\n"
+                     "def _worse(out=[]):\n"
+                     "    return out\n")
+
+    cwd = os.getcwd()
+    os.chdir(tmp_path)
+    try:
+        # full run sees both files' findings; scoped run only dirty.py
+        assert main([str(tmp_path / "src")]) == 1
+        full = capsys.readouterr().out
+        assert "clean.py" in full and "dirty.py" in full
+        assert main([str(tmp_path / "src"), "--changed-only"]) == 1
+        scoped = capsys.readouterr().out
+        assert "dirty.py" in scoped and "clean.py" not in scoped
+    finally:
+        os.chdir(cwd)
+
+
+def test_cli_changed_only_bad_base_is_usage_error(tmp_path, capsys):
+    pkg = tmp_path / "src"
+    pkg.mkdir()
+    (pkg / "m.py").write_text("__all__ = []\n")
+    _git(tmp_path, "init", "-q")
+    cwd = os.getcwd()
+    os.chdir(tmp_path)
+    try:
+        assert main([str(pkg), "--changed-only", "no-such-ref"]) == 2
+        assert "no-such-ref" in capsys.readouterr().err
+    finally:
+        os.chdir(cwd)

@@ -44,6 +44,59 @@ def test_public_entry_points_have_docstrings():
             assert obj.__doc__, f"{name} lacks a docstring"
 
 
+def test_top_level_solve_smoke():
+    """`repro.solve` is the documented one-call path into the optimizer."""
+    from repro import DemandMatrix, DeploymentSpec, solve
+    from repro.core.optimizer import TEProblem
+    from repro.sim import linear_chain_app, two_region_latency
+
+    app = linear_chain_app(n_services=2, exec_time=0.010)
+    deployment = DeploymentSpec.uniform(
+        app.services(), ["west", "east"], replicas=4,
+        latency=two_region_latency(25.0))
+    demand = DemandMatrix({("default", "west"): 50.0})
+    result = solve(TEProblem.from_specs(app, deployment, demand))
+    assert result.status == "optimal"
+
+
+def test_metrics_writer_exports(tmp_path):
+    """The exported snapshot writers produce parseable artifacts."""
+    import json
+
+    from repro.obs import (MetricsRegistry, write_metrics_json,
+                           write_metrics_prometheus)
+
+    registry = MetricsRegistry()
+    registry.counter("reqs_total", "requests").inc(7, cluster="west")
+    json_path = tmp_path / "metrics.json"
+    prom_path = tmp_path / "metrics.prom"
+    assert write_metrics_json(registry, json_path) == 1
+    assert write_metrics_prometheus(registry, prom_path) > 0
+    assert json.loads(json_path.read_text())
+    assert "reqs_total" in prom_path.read_text()
+
+
+def test_load_balancers_satisfy_protocol():
+    """Every shipped balancer implements the exported LoadBalancer protocol."""
+    from repro.mesh.loadbalancer import (ConsistentHashBalancer, LoadBalancer,
+                                         LeastOutstandingBalancer,
+                                         RoundRobinBalancer)
+
+    class FakeEndpoint:
+        def __init__(self, name):
+            self.name = name
+            self.outstanding = 0
+
+    def pick_twice(balancer: LoadBalancer) -> list[str]:
+        endpoints = [FakeEndpoint("a"), FakeEndpoint("b")]
+        return [balancer.pick(endpoints, key="req").name for _ in range(2)]
+
+    assert pick_twice(RoundRobinBalancer()) == ["a", "b"]
+    assert set(pick_twice(LeastOutstandingBalancer())) <= {"a", "b"}
+    first, second = pick_twice(ConsistentHashBalancer())
+    assert first == second   # same key -> same endpoint
+
+
 def test_import_order_independence():
     """core <-> mesh <-> sim import in any entry order (no hidden cycles)."""
     import subprocess
