@@ -28,12 +28,13 @@ check: lint analyze
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# <60s perf subset: regenerates benchmarks/results/BENCH_*.json
+# fast perf subset (~90s): regenerates benchmarks/results/BENCH_*.json
 # (docs/performance.md documents the keys)
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_engine.py \
 		benchmarks/bench_sweep.py benchmarks/bench_obs.py \
 		benchmarks/bench_chaos.py benchmarks/bench_devtools.py \
+		benchmarks/bench_optimizer.py \
 		--benchmark-only -q
 
 # regression-gate freshly regenerated BENCH_*.json against a snapshot of

@@ -4,56 +4,31 @@
 of clusters, services, and traffic classes ... an optimization time on the
 order of seconds for large-scale deployments is desirable."
 
-Measures LP build+solve wall time as each dimension grows. Assertions keep
-the reproduction honest (seconds, not minutes, at the largest size) without
-being brittle about hardware.
+Measures LP build+solve wall time as each dimension grows, on the seeded
+synthetic topologies from :mod:`repro.experiments.scenarios` (so the same
+instances are reachable from tests, benches, and the optimizer bench).
+Assertions keep the reproduction honest (seconds, not minutes, at the
+largest size) without being brittle about hardware.
+
+The sweep now extends well past the paper's 4-region testbed: 32 clusters
+of arc formulation here, and BENCH_optimizer.json carries the 100-cluster
+path-formulation planet case.
 """
 
 import time
 
 from repro.analysis.report import format_table
-from repro.core.optimizer import TEProblem, solve
+from repro.core.optimizer import solve
 from repro.experiments.parallel import SweepExecutor
-from repro.sim import DemandMatrix, DeploymentSpec, LatencyMatrix
-from repro.sim.apps import AppSpec, CallEdge, TrafficClassSpec
-from repro.sim.request import RequestAttributes
-
-
-def synthetic_latency(n_clusters):
-    names = [f"c{i}" for i in range(n_clusters)]
-    delays = {(a, b): 0.005 + 0.002 * abs(i - j)
-              for i, a in enumerate(names)
-              for j, b in enumerate(names) if i < j}
-    return LatencyMatrix(names, delays)
+from repro.experiments.scenarios import synthetic_te_problem
 
 
 def synthetic_problem(n_clusters, n_services, n_classes,
                       rps_per_class=50.0):
-    services = [f"svc{i}" for i in range(n_services)]
-    classes = {}
-    for index in range(n_classes):
-        name = f"class{index}"
-        edges = [CallEdge(services[i], services[i + 1])
-                 for i in range(n_services - 1)]
-        classes[name] = TrafficClassSpec(
-            name=name,
-            attributes=RequestAttributes.make(services[0], "GET",
-                                              f"/{name}"),
-            root_service=services[0],
-            edges=edges,
-            exec_time={s: 0.005 for s in services},
-        )
-    app = AppSpec(name="synthetic", classes=classes)
-    latency = synthetic_latency(n_clusters)
-    deployment = DeploymentSpec.uniform(services, list(latency.clusters),
-                                        replicas=max(
-                                            4, n_classes * 2), latency=latency)
-    demand = DemandMatrix({
-        (cls, cluster): rps_per_class
-        for cls in classes
-        for cluster in latency.clusters
-    })
-    return TEProblem.from_specs(app, deployment, demand)
+    """The scaling-sweep instance family (seeded, fully replicated)."""
+    return synthetic_te_problem(n_clusters, n_services, n_classes,
+                                rps_per_class=rps_per_class,
+                                replicas=max(4, n_classes * 2))
 
 
 SIZES = [
@@ -61,6 +36,9 @@ SIZES = [
     (4, 6, 2),
     (8, 10, 4),
     (12, 15, 8),
+    (16, 15, 8),
+    (24, 15, 8),
+    (32, 12, 8),
 ]
 
 

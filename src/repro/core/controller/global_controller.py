@@ -30,6 +30,8 @@ from ..optimizer.cache import SolverCache
 from ..optimizer.problem import ClassWorkload, TEProblem
 from ..optimizer.result import OptimizationResult
 from ..optimizer.solve import SolverError, solve
+from ..optimizer.vectorized import StructureCache
+from ..optimizer.warm import EpochSolver
 from ..rules import RuleSet
 
 __all__ = ["GlobalControllerConfig", "GlobalController"]
@@ -66,6 +68,22 @@ class GlobalControllerConfig:
     #: LRU bound of the per-controller solver memoization cache;
     #: 0 disables caching entirely
     solver_cache_size: int = 64
+    #: optimizer formulation: "arc" (per-edge flow variables, the exact
+    #: §3.3 model) or "path" (k-best candidate embeddings — linear in
+    #: demand entries instead of quadratic in clusters; pick it past ~30
+    #: clusters, see docs/performance.md)
+    formulation: str = "arc"
+    #: candidate paths per (class, ingress) in path formulation
+    path_k: int = 4
+    #: cap candidate clusters per call-tree hop (path formulation); None
+    #: considers every deployed cluster
+    path_prune_limit: int | None = None
+    #: attempt warm-started re-solves when only demand values moved since
+    #: the previous epoch (exact: certified by reduced-cost pricing)
+    warm_start: bool = True
+    #: LRU bound of the structure cache behind warm builds; 0 disables
+    #: structure reuse (every epoch reassembles matrices from scratch)
+    structure_cache_size: int = 8
 
 
 class GlobalController:
@@ -91,6 +109,25 @@ class GlobalController:
         self.solver_cache: SolverCache | None = (
             SolverCache(self.config.solver_cache_size)
             if self.config.solver_cache_size > 0 else None)
+        #: the build+solve pipeline with structure reuse and warm starts;
+        #: composes the solver cache (replay) with the structure cache
+        #: (warm builds) and previous-solution warm re-solves
+        self.epoch_solver = EpochSolver(
+            cache=self.solver_cache,
+            structure_cache=(StructureCache(self.config.structure_cache_size)
+                             if self.config.structure_cache_size > 0
+                             else None),
+            warm_start=self.config.warm_start,
+            max_splits=self.config.max_splits,
+            formulation=self.config.formulation,
+            path_k=self.config.path_k,
+            path_prune_limit=self.config.path_prune_limit,
+        )
+
+    def attach_profiler(self, profiler) -> None:
+        """Route optimizer build/solve timings into a control-plane
+        profiler (duck-typed ``section(name)`` context manager)."""
+        self.epoch_solver.profiler = profiler
 
     # ------------------------------------------------------------ learning
 
@@ -195,8 +232,7 @@ class GlobalController:
         if problem.total_demand() <= 0:
             return None
         try:
-            result = solve(problem, max_splits=self.config.max_splits,
-                           cache=self.solver_cache)
+            result = self.epoch_solver.solve(problem)
         except SolverError:
             scale = self._feasible_scale(problem)
             if scale >= 1.0:
@@ -204,8 +240,7 @@ class GlobalController:
             for workload in problem.workloads.values():
                 for cluster in workload.demand:
                     workload.demand[cluster] *= scale
-            result = solve(problem, max_splits=self.config.max_splits,
-                           cache=self.solver_cache)
+            result = self.epoch_solver.solve(problem)
         self.last_result = result
         return result
 

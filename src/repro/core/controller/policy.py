@@ -34,6 +34,18 @@ class SlatePolicy:
         self.adaptive = adaptive
         self.rollout = rollout
         self._controller: GlobalController | None = None
+        self._profiler = None
+
+    def attach_profiler(self, profiler) -> None:
+        """Route optimizer timings into a control-plane profiler.
+
+        Duck-typed (``section(name)`` context manager) so the harness can
+        pass the obs-layer profiler without core importing it. Takes effect
+        immediately if the controller exists, else on its lazy creation.
+        """
+        self._profiler = profiler
+        if self._controller is not None:
+            self._controller.attach_profiler(profiler)
 
     @property
     def controller(self) -> GlobalController | None:
@@ -64,6 +76,8 @@ class SlatePolicy:
         if self._controller is None:
             self._controller = GlobalController(ctx.app, ctx.deployment,
                                                 self.config)
+            if self._profiler is not None:
+                self._controller.attach_profiler(self._profiler)
         self._controller.observe(reports)
         result = self._controller.plan()
         if result is None:

@@ -29,8 +29,8 @@ from .problem import ClassWorkload, TEProblem
 from .result import OptimizationResult
 from .solve import solve
 
-__all__ = ["ContractedSolution", "group_clusters", "contract_problem",
-           "expand_rules", "solve_contracted"]
+__all__ = ["ContractedSolution", "candidate_clusters", "group_clusters",
+           "contract_problem", "expand_rules", "solve_contracted"]
 
 GROUP_SEPARATOR = "+"
 
@@ -77,6 +77,26 @@ def group_clusters(latency: LatencyMatrix, clusters: list[str],
         del groups[j]
         groups.sort()
     return groups
+
+
+def candidate_clusters(latency: LatencyMatrix, deployed: list[str],
+                       anchor: str, limit: int | None) -> list[str]:
+    """The ``limit`` deployed clusters nearest ``anchor``, by one-way delay.
+
+    The cheap pruning primitive behind the path formulation's candidate
+    enumeration: where :func:`group_clusters` contracts the whole topology
+    (cubic in clusters), this just ranks one service's deployment sites
+    around one anchor — linear, so it can run per hop of a beam search.
+    Deterministic: ties break on cluster name. ``limit=None`` disables
+    pruning.
+    """
+    if limit is None or limit >= len(deployed):
+        return list(deployed)
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    ranked = sorted(deployed,
+                    key=lambda c: (latency.one_way(anchor, c), c))
+    return ranked[:limit]
 
 
 def _mean_delay(latency: LatencyMatrix, a: list[str], b: list[str]) -> float:

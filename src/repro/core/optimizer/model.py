@@ -34,9 +34,34 @@ from .piecewise import DEFAULT_KNOT_FRACTIONS, Segment, linearize_convex
 from .problem import TEProblem
 
 __all__ = ["EdgeRef", "RouteVar", "LinearModel", "build_model",
-           "class_edges"]
+           "build_model_loop", "class_edges", "pool_segments_for"]
 
 INGRESS_EDGE = -1   # edge index of the user → root pseudo-edge
+
+#: memoized piecewise linearizations — Erlang-C evaluation at the knots
+#: dominates build cost, and uniform fleets share a handful of
+#: (replicas, mode, load-cap) combinations across hundreds of pools
+_SEGMENTS_MEMO: dict[tuple, list[Segment]] = {}
+_SEGMENTS_MEMO_MAX = 4096
+
+
+def pool_segments_for(replicas: int, mode: str, a_max: float,
+                      knot_fractions) -> list[Segment]:
+    """Chord segments for one pool's delay model, memoized by content.
+
+    ``linearize_convex`` is deterministic, so memoization cannot change
+    any model — it only skips recomputing identical Erlang-C chords.
+    """
+    key = (replicas, mode, a_max, tuple(knot_fractions))
+    segments = _SEGMENTS_MEMO.get(key)
+    if segments is None:
+        delay_model = PoolDelayModel(replicas, mode=mode)
+        segments = linearize_convex(delay_model.backlog, a_max,
+                                    knot_fractions)
+        if len(_SEGMENTS_MEMO) >= _SEGMENTS_MEMO_MAX:
+            _SEGMENTS_MEMO.clear()
+        _SEGMENTS_MEMO[key] = segments
+    return segments
 
 
 @dataclass(frozen=True)
@@ -120,11 +145,40 @@ def _edge_flow_bound(problem: TEProblem, workload, edge: EdgeRef) -> float:
 
 
 def build_model(problem: TEProblem, max_splits: int | None = None,
-                knot_fractions=DEFAULT_KNOT_FRACTIONS) -> LinearModel:
+                knot_fractions=DEFAULT_KNOT_FRACTIONS,
+                backend: str = "vectorized",
+                structure_cache=None) -> LinearModel:
     """Assemble the (MI)LP for ``problem``.
 
     ``max_splits`` bounds the number of destination clusters per
     (class, edge, source) rule, turning the LP into a MILP.
+
+    ``backend`` selects the assembly path: ``"vectorized"`` (numpy block
+    construction, the default) or ``"loop"`` (the original per-variable
+    reference builder). Both produce byte-identical models — the property
+    tests pin this down — so the choice is purely a build-speed one.
+    ``structure_cache`` (a :class:`~repro.core.optimizer.vectorized
+    .StructureCache`) lets repeated vectorized LP builds that differ only
+    in demand values reuse the assembled matrices.
+    """
+    if backend == "vectorized":
+        from .vectorized import build_model_vectorized
+        return build_model_vectorized(problem, max_splits=max_splits,
+                                      knot_fractions=knot_fractions,
+                                      structure_cache=structure_cache)
+    if backend != "loop":
+        raise ValueError(f"unknown build backend {backend!r}")
+    return build_model_loop(problem, max_splits=max_splits,
+                            knot_fractions=knot_fractions)
+
+
+def build_model_loop(problem: TEProblem, max_splits: int | None = None,
+                     knot_fractions=DEFAULT_KNOT_FRACTIONS) -> LinearModel:
+    """Reference per-variable assembly (the pre-vectorization builder).
+
+    Kept as the executable specification the vectorized builder is tested
+    against: simple enough to audit row by row, far too slow past a few
+    dozen clusters.
     """
     if max_splits is not None and max_splits < 1:
         raise ValueError(f"max_splits must be >= 1, got {max_splits}")
@@ -237,8 +291,8 @@ def build_model(problem: TEProblem, max_splits: int | None = None,
         if expr:
             ub_rows.append((dict(expr), a_max))
         # epigraph: slope·a - t <= -intercept
-        model = PoolDelayModel(replicas, mode=problem.delay_model)
-        segments = linearize_convex(model.backlog, a_max, knot_fractions)
+        segments = pool_segments_for(replicas, problem.delay_model, a_max,
+                                     knot_fractions)
         pool_segments[(service, cluster)] = segments
         objective[t_col] = 1.0
         if expr:
@@ -311,4 +365,8 @@ def _assemble(rows: list[tuple[dict[int, float], float]],
             data.append(coeff)
     matrix = sparse.csr_matrix(
         (data, (row_idx, col_idx)), shape=(len(rows), n_cols))
+    # canonical form (sorted, deduplicated indices) so the solver input —
+    # and therefore the solution — is bitwise independent of assembly order
+    matrix.sum_duplicates()
+    matrix.sort_indices()
     return matrix, rhs

@@ -1,0 +1,600 @@
+"""Path-based k-best formulation: tractability at planet scale (§5).
+
+The arc formulation's variable count is Σ_classes Σ_edges |src|·|dst| —
+quadratic in clusters — which is what makes 100 clusters × 1000 classes
+(~10⁷ variables) hopeless no matter how fast assembly is. The hypergiant
+TE literature's answer is to decide among *candidate paths* instead of
+arcs: enumerate the k best end-to-end embeddings of each class's call
+tree per ingress, and let the LP split traffic across those candidates
+only. Variables collapse to k per (class, ingress) — linear in demand
+entries, independent of cluster count.
+
+An **embedding** assigns every service of a class's call tree to one
+cluster; its unit latency/egress per ingress request are fixed scalars
+(WAN rtt and transfer cost summed over the tree with the call-multiplier
+on each edge), so path enumeration is pure geometry and the LP only
+balances queueing against those precomputed path costs.
+
+Three objectives, selected per build:
+
+* ``"latency"`` — minimize backlog epigraph + Σ y·(rtt + α·egress); the
+  path-space analogue of the arc objective (same units, same pools);
+* ``"min_mlu"`` — minimize the maximum pool utilization subject to
+  serving all demand (the classic TE objective; utilization may exceed
+  ``rho_max``, which makes overload *visible* rather than infeasible);
+* ``"max_throughput"`` — serve as much demand as possible under pool
+  capacity caps (admission-control view).
+
+Candidate generation is beam search down the call tree (BFS order, so a
+service's caller is always embedded first), with the candidate clusters
+per hop optionally pruned to the nearest deployed clusters — the
+service-layer analogue of topology contraction, provided by
+:func:`repro.core.optimizer.contraction.candidate_clusters`. Everything
+is deterministic: ties break on the assignment tuple.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from .contraction import candidate_clusters
+from .model import INGRESS_EDGE, class_edges, pool_segments_for
+from .piecewise import DEFAULT_KNOT_FRACTIONS, Segment
+from .problem import TEProblem
+from .result import (FLOW_EPSILON, OptimizationResult, finalize_result)
+from .vectorized import _Coo, structure_key
+
+__all__ = ["CandidateEmbedding", "PathModel", "PathStructure",
+           "candidate_paths", "build_path_model", "extract_path_result",
+           "PATH_OBJECTIVES"]
+
+PATH_OBJECTIVES = ("latency", "min_mlu", "max_throughput")
+
+
+@dataclass(frozen=True)
+class CandidateEmbedding:
+    """One candidate end-to-end embedding of a class's call tree.
+
+    ``assignment`` maps every service to its serving cluster, in the call
+    tree's BFS order. ``unit_latency``/``unit_egress`` are per ingress
+    request (call multipliers folded in); ``score`` is the ranking key
+    ``unit_latency + cost_weight · unit_egress``.
+    """
+
+    traffic_class: str
+    ingress: str
+    assignment: tuple[tuple[str, str], ...]
+    unit_latency: float
+    unit_egress: float
+    score: float
+
+
+@dataclass
+class PathModel:
+    """Assembled path-formulation LP, fingerprint-compatible with
+    :class:`~repro.core.optimizer.model.LinearModel` consumers."""
+
+    objective: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    integrality: np.ndarray
+    upper_bounds: np.ndarray
+    path_vars: list[CandidateEmbedding]
+    #: columns of the path variables (warm-solve support detection)
+    route_columns: list[int]
+    #: (service, cluster) → epigraph column ("latency" objective only)
+    pool_columns: dict[tuple[str, str], int]
+    #: every pool of the problem, for result finalization
+    pool_keys: list[tuple[str, str]]
+    pool_segments: dict[tuple[str, str], list[Segment]]
+    path_objective: str
+    problem: TEProblem
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.objective)
+
+    @property
+    def is_mip(self) -> bool:
+        return bool(self.integrality.any())
+
+
+# --------------------------------------------------------------------------
+# candidate enumeration
+# --------------------------------------------------------------------------
+
+def _stratified_beam(frontier: list, beam: int) -> list:
+    """Prune ``frontier`` to ``beam`` entries, round-robin per cluster.
+
+    Plain top-``beam`` truncation collapses the frontier onto the handful
+    of clusters nearest the hot ingresses, and at planet scale that makes
+    every surviving embedding share the same bottleneck pools (the LP
+    goes infeasible even though fleet capacity is ample). Stratifying the
+    cut by the current hop's cluster keeps the best partial for *each*
+    reachable cluster before admitting anyone's second best.
+    """
+    if len(frontier) <= beam:
+        return frontier
+    by_cluster: dict[str, list] = {}
+    for entry in frontier:
+        by_cluster.setdefault(entry[3][-1][1], []).append(entry)
+    groups = sorted(by_cluster.values(), key=lambda g: (g[0][0], g[0][3]))
+    kept: list = []
+    rank = 0
+    while len(kept) < beam:
+        admitted = False
+        for group in groups:
+            if rank < len(group):
+                kept.append(group[rank])
+                admitted = True
+                if len(kept) == beam:
+                    break
+        if not admitted:
+            break
+        rank += 1
+    kept.sort(key=lambda p: (p[0], p[3]))
+    return kept
+
+
+def _penalized_walk(problem: TEProblem, ingress: str, spec, execs,
+                    incoming, order, prune_limit, pool_use) -> tuple:
+    """One greedy embedding that avoids already-used pools.
+
+    The service-layer analogue of link-disjoint k-shortest paths: each
+    hop picks the deployed cluster minimizing ``(times this pool already
+    appears in chosen embeddings, hop score, cluster name)``. Pool reuse
+    only steers the *choice*; the returned score/latency/egress are the
+    true unpenalized values, so the LP sees honest coefficients.
+    """
+    score = lat = egress = 0.0
+    assign: tuple = ()
+    placed: dict[str, str] = {}
+    for service in order:
+        edge = incoming[service]
+        if service == spec.root_service:
+            mult, caller_cluster = 1.0, ingress
+        else:
+            mult = execs[edge.caller] * edge.calls_per_request
+            caller_cluster = placed[edge.caller]
+        best = None
+        for cluster in candidate_clusters(
+                problem.latency, problem.deployed_in(service),
+                caller_cluster, prune_limit):
+            hop_lat = mult * problem.rtt(caller_cluster, cluster)
+            hop_egress = mult * (
+                problem.transfer_cost(caller_cluster, cluster,
+                                      edge.request_bytes)
+                + problem.transfer_cost(cluster, caller_cluster,
+                                        edge.response_bytes))
+            hop_score = hop_lat + problem.cost_weight * hop_egress
+            key = (pool_use[(service, cluster)], hop_score, cluster)
+            if best is None or key < best[0]:
+                best = (key, cluster, hop_lat, hop_egress, hop_score)
+        _, cluster, hop_lat, hop_egress, hop_score = best
+        assign += ((service, cluster),)
+        placed[service] = cluster
+        lat += hop_lat
+        egress += hop_egress
+        score += hop_score
+    return (score, lat, egress, assign)
+
+
+def candidate_paths(problem: TEProblem, name: str, ingress: str,
+                    k: int = 4, prune_limit: int | None = None,
+                    beam: int | None = None) -> list[CandidateEmbedding]:
+    """k best embeddings of class ``name``'s call tree from ``ingress``.
+
+    Beam search over services in BFS order; each hop considers the
+    caller's deployed clusters, pruned to the ``prune_limit`` nearest the
+    caller's assigned cluster. ``beam`` (default ``max(4k, 8)``) bounds
+    the partial frontier, so the result is the exact k best only when the
+    beam is wide enough — the LP is correct for *any* candidate set, the
+    beam only trades path quality for enumeration time.
+
+    Slot 1 is the beam's best embedding; the remaining slots alternate
+    penalized greedy walks (:func:`_penalized_walk`) with ranked beam
+    entries. The walks actively avoid pools the chosen embeddings
+    already use, so the candidate set spreads across clusters instead of
+    stacking k near-duplicates of the shortest path — which is what
+    keeps sparse planet-scale instances feasible at small ``k``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if beam is None:
+        beam = max(4 * k, 8)
+    workload = problem.workloads[name]
+    spec = workload.spec
+    execs = spec.executions_per_request()
+    incoming = {edge.callee: edge for edge in class_edges(problem, name)}
+    order = spec.services()   # BFS, root first: callers precede callees
+
+    root = spec.root_service
+    root_edge = incoming[root]
+    partials: list[tuple[float, float, float, tuple]] = []
+    deployed = problem.deployed_in(root)
+    if not deployed:
+        raise ValueError(
+            f"class {name!r}: service {root!r} deployed nowhere")
+    for cluster in candidate_clusters(problem.latency, deployed, ingress,
+                                      prune_limit):
+        lat = problem.rtt(ingress, cluster)
+        egress = (problem.transfer_cost(ingress, cluster,
+                                        root_edge.request_bytes)
+                  + problem.transfer_cost(cluster, ingress,
+                                          root_edge.response_bytes))
+        score = lat + problem.cost_weight * egress
+        partials.append((score, lat, egress, ((root, cluster),)))
+    partials.sort(key=lambda p: (p[0], p[3]))
+    partials = partials[:beam]
+
+    for service in order[1:]:
+        edge = incoming[service]
+        mult = execs[edge.caller] * edge.calls_per_request
+        deployed = problem.deployed_in(service)
+        if not deployed:
+            raise ValueError(
+                f"class {name!r}: service {service!r} deployed nowhere")
+        frontier: list[tuple[float, float, float, tuple]] = []
+        for score, lat, egress, assign in partials:
+            caller_cluster = dict(assign)[edge.caller]
+            for cluster in candidate_clusters(
+                    problem.latency, deployed, caller_cluster, prune_limit):
+                hop_lat = mult * problem.rtt(caller_cluster, cluster)
+                hop_egress = mult * (
+                    problem.transfer_cost(caller_cluster, cluster,
+                                          edge.request_bytes)
+                    + problem.transfer_cost(cluster, caller_cluster,
+                                            edge.response_bytes))
+                frontier.append((
+                    score + hop_lat + problem.cost_weight * hop_egress,
+                    lat + hop_lat, egress + hop_egress,
+                    assign + ((service, cluster),)))
+        frontier.sort(key=lambda p: (p[0], p[3]))
+        partials = _stratified_beam(frontier, beam)
+
+    chosen: list = [partials[0]]
+    seen = {partials[0][3]}
+    pool_use: Counter = Counter(partials[0][3])
+    beam_rest = iter(partials[1:])
+    while len(chosen) < k:
+        walked = _penalized_walk(problem, ingress, spec, execs, incoming,
+                                 order, prune_limit, pool_use)
+        if walked[3] not in seen:
+            entry = walked
+        else:
+            # the walk converged onto an embedding we already hold (all
+            # diversity this instance offers is exhausted) — fall back to
+            # the best-ranked unchosen beam entry
+            entry = next((e for e in beam_rest if e[3] not in seen), None)
+            if entry is None:
+                break
+        chosen.append(entry)
+        seen.add(entry[3])
+        pool_use.update(entry[3])
+    chosen.sort(key=lambda p: (p[0], p[3]))
+
+    return [CandidateEmbedding(name, ingress, assign, lat, egress, score)
+            for score, lat, egress, assign in chosen]
+
+
+# --------------------------------------------------------------------------
+# model assembly
+# --------------------------------------------------------------------------
+
+@dataclass
+class PathStructure:
+    """Demand-independent snapshot of an assembled path LP.
+
+    Path candidates, scores, and constraint matrices depend on demand only
+    through its sparsity (which ingresses are active — part of the cache
+    key); demand *values* live solely in the demand rows' right-hand side.
+    Duck-types the arc :class:`~repro.core.optimizer.vectorized
+    .ModelStructure` protocol so the generic ``StructureCache`` holds both.
+    """
+
+    key: tuple
+    latency: object
+    pricing: object
+    objective: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    #: copy of the demand-carrying rhs with demand rows zeroed
+    rhs_template: np.ndarray
+    #: True when demand rows live in b_ub (max_throughput), else b_eq
+    demand_in_ub: bool
+    demand_rows: np.ndarray
+    demand_slots: list[tuple[str, str]]
+    integrality: np.ndarray
+    upper_bounds: np.ndarray
+    path_vars: list[CandidateEmbedding]
+    route_columns: list[int]
+    pool_columns: dict[tuple[str, str], int]
+    pool_keys: list[tuple[str, str]]
+    pool_segments: dict[tuple[str, str], list[Segment]]
+    path_objective: str
+    instantiations: int = field(default=0)
+
+    def matches(self, problem: TEProblem) -> bool:
+        return (self.latency is problem.latency
+                and self.pricing is problem.pricing)
+
+    def instantiate(self, problem: TEProblem) -> PathModel:
+        values = np.empty(len(self.demand_slots))
+        for i, (name, cluster) in enumerate(self.demand_slots):
+            values[i] = problem.workloads[name].demand[cluster]
+        rhs = self.rhs_template.copy()
+        rhs[self.demand_rows] = values
+        b_ub, b_eq = ((rhs, self.b_eq) if self.demand_in_ub
+                      else (self.b_ub, rhs))
+        self.instantiations += 1
+        return PathModel(
+            objective=self.objective,
+            a_ub=self.a_ub, b_ub=b_ub, a_eq=self.a_eq, b_eq=b_eq,
+            integrality=self.integrality,
+            upper_bounds=self.upper_bounds,
+            path_vars=self.path_vars,
+            route_columns=self.route_columns,
+            pool_columns=self.pool_columns,
+            pool_keys=self.pool_keys,
+            pool_segments=self.pool_segments,
+            path_objective=self.path_objective,
+            problem=problem,
+        )
+
+
+def build_path_model(problem: TEProblem, k: int = 4,
+                     objective: str = "latency",
+                     prune_limit: int | None = None,
+                     beam: int | None = None,
+                     knot_fractions=DEFAULT_KNOT_FRACTIONS,
+                     structure_cache=None) -> PathModel:
+    """Assemble the path-formulation LP for ``problem``.
+
+    With ``structure_cache`` (the generic
+    :class:`~repro.core.optimizer.vectorized.StructureCache`), rebuilds
+    that differ only in demand values skip candidate enumeration and
+    matrix assembly entirely.
+    """
+    if objective not in PATH_OBJECTIVES:
+        raise ValueError(f"unknown path objective {objective!r}; "
+                         f"expected one of {PATH_OBJECTIVES}")
+
+    key = None
+    if structure_cache is not None:
+        key = ("path", objective, k, prune_limit, beam,
+               structure_key(problem, knot_fractions))
+        structure = structure_cache.lookup(key, problem)
+        if structure is not None:
+            return structure.instantiate(problem)
+
+    # -------------------------------------------------- candidate paths
+    path_vars: list[CandidateEmbedding] = []
+    groups: list[tuple[str, str, int, int]] = []
+    for name in sorted(problem.workloads):
+        workload = problem.workloads[name]
+        for ingress in sorted(c for c in problem.clusters
+                              if workload.demand.get(c, 0) > 0):
+            paths = candidate_paths(problem, name, ingress, k=k,
+                                    prune_limit=prune_limit, beam=beam)
+            if not paths:
+                raise ValueError(
+                    f"class {name!r}: no candidate paths from {ingress!r}")
+            groups.append((name, ingress, len(path_vars), len(paths)))
+            path_vars.extend(paths)
+
+    n_paths = len(path_vars)
+    pools = list(problem.pools())
+    if objective == "latency":
+        pool_columns = {pool: n_paths + i for i, pool in enumerate(pools)}
+        n = n_paths + len(pools)
+    elif objective == "min_mlu":
+        pool_columns = {}
+        mlu_col = n_paths
+        n = n_paths + 1
+    else:   # max_throughput
+        pool_columns = {}
+        n = n_paths
+
+    objective_vec = np.zeros(n)
+    integrality = np.zeros(n)
+    upper = np.full(n, np.inf)
+
+    if objective == "latency":
+        for j, path in enumerate(path_vars):
+            objective_vec[j] = path.score
+        for t_col in pool_columns.values():
+            objective_vec[t_col] = 1.0
+    elif objective == "min_mlu":
+        objective_vec[mlu_col] = 1.0
+    else:
+        objective_vec[:n_paths] = -1.0
+
+    # per-pool offered work per unit path flow: execs[s] · st[s]
+    work_entries: dict[tuple[str, str], list[tuple[int, float]]] = {
+        pool: [] for pool in pools}
+    execs_of: dict[str, dict[str, float]] = {}
+    for j, path in enumerate(path_vars):
+        spec = problem.workloads[path.traffic_class].spec
+        if path.traffic_class not in execs_of:
+            execs_of[path.traffic_class] = spec.executions_per_request()
+        execs = execs_of[path.traffic_class]
+        for service, cluster in path.assignment:
+            st = spec.exec_time_of(service)
+            if st > 0:
+                work_entries[(service, cluster)].append(
+                    (j, execs[service] * st))
+
+    eq = _Coo()
+    ub = _Coo()
+
+    # ------------------------------------------------ demand satisfaction
+    # equality (latency, min_mlu: serve everything) or ≤ (max_throughput)
+    demand_sink = ub if objective == "max_throughput" else eq
+    demand_rows: list[int] = []
+    demand_slots: list[tuple[str, str]] = []
+    for name, ingress, start, count in groups:
+        cols = np.arange(start, start + count, dtype=np.intp)
+        demand_sink.add_rows(np.zeros(count, dtype=np.intp), cols,
+                             np.ones(count))
+        demand_rows.append(demand_sink.n_rows)
+        demand_slots.append((name, ingress))
+        demand_sink.finish_rows([problem.workloads[name].demand[ingress]])
+
+    # ------------------------------------------- per-pool capacity / delay
+    pool_segments: dict[tuple[str, str], list[Segment]] = {}
+    for pool in pools:
+        service, cluster = pool
+        entries = work_entries[pool]
+        replicas = problem.replica_count(service, cluster)
+        a_max = problem.rho_max * replicas
+        if entries:
+            cols = np.array([j for j, _ in entries], dtype=np.intp)
+            work = np.array([w for _, w in entries])
+        if objective == "latency":
+            t_col = pool_columns[pool]
+            segments = pool_segments_for(replicas, problem.delay_model,
+                                         a_max, knot_fractions)
+            pool_segments[pool] = segments
+            if not entries:
+                ub.add_rows(np.zeros(1, dtype=np.intp),
+                            np.array([t_col], dtype=np.intp),
+                            np.full(1, -1.0))
+                ub.finish_rows([0.0])
+                continue
+            m = len(cols)
+            n_seg = len(segments)
+            slopes = np.array([segment.slope for segment in segments])
+            seg_data = np.empty((n_seg, m + 1))
+            seg_data[:, :m] = slopes[:, None] * work[None, :]
+            seg_data[:, m] = -1.0
+            ub.add_rows(np.zeros(m, dtype=np.intp), cols, work)
+            ub.add_rows(
+                1 + np.repeat(np.arange(n_seg, dtype=np.intp), m + 1),
+                np.tile(np.append(cols, t_col), n_seg), seg_data.ravel())
+            ub.finish_rows(
+                [a_max] + [-segment.intercept for segment in segments])
+        elif objective == "min_mlu":
+            # work − replicas·MLU ≤ 0; no hard cap, overload shows as MLU
+            if entries:
+                ub.add_rows(np.zeros(len(cols) + 1, dtype=np.intp),
+                            np.append(cols, mlu_col),
+                            np.append(work, -float(replicas)))
+                ub.finish_rows([0.0])
+        else:   # max_throughput: hard capacity cap
+            if entries:
+                ub.add_rows(np.zeros(len(cols), dtype=np.intp), cols, work)
+                ub.finish_rows([a_max])
+
+    # ------------------------------------------------ egress budget ($/s)
+    if problem.egress_budget is not None:
+        budget_cols = np.array(
+            [j for j, path in enumerate(path_vars) if path.unit_egress > 0],
+            dtype=np.intp)
+        if budget_cols.size:
+            ub.add_rows(np.zeros(len(budget_cols), dtype=np.intp),
+                        budget_cols,
+                        np.array([path_vars[j].unit_egress
+                                  for j in budget_cols]))
+            ub.finish_rows([problem.egress_budget])
+
+    a_eq, b_eq = eq.matrix(n)
+    a_ub, b_ub = ub.matrix(n)
+    model = PathModel(
+        objective=objective_vec,
+        a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+        integrality=integrality,
+        upper_bounds=upper,
+        path_vars=path_vars,
+        route_columns=list(range(n_paths)),
+        pool_columns=pool_columns,
+        pool_keys=pools,
+        pool_segments=pool_segments,
+        path_objective=objective,
+        problem=problem,
+    )
+    if key is not None:
+        demand_in_ub = objective == "max_throughput"
+        rhs = b_ub if demand_in_ub else b_eq
+        rhs_template = rhs.copy()
+        rhs_template[np.array(demand_rows, dtype=np.intp)] = 0.0
+        structure_cache.store(key, PathStructure(
+            key=key,
+            latency=problem.latency,
+            pricing=problem.pricing,
+            objective=objective_vec,
+            a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+            rhs_template=rhs_template,
+            demand_in_ub=demand_in_ub,
+            demand_rows=np.array(demand_rows, dtype=np.intp),
+            demand_slots=demand_slots,
+            integrality=integrality,
+            upper_bounds=upper,
+            path_vars=path_vars,
+            route_columns=model.route_columns,
+            pool_columns=pool_columns,
+            pool_keys=pools,
+            pool_segments=pool_segments,
+            path_objective=objective,
+        ))
+    return model
+
+
+# --------------------------------------------------------------------------
+# extraction
+# --------------------------------------------------------------------------
+
+def extract_path_result(model: PathModel, solution, status: str,
+                        solve_time: float) -> OptimizationResult:
+    """Expand path flows onto call-tree edges and finalize the result.
+
+    Path flows map exactly onto the arc flow keys — each unit of path flow
+    puts the edge multiplier's worth of flow on every (caller cluster →
+    callee cluster) hop of its embedding — so routing rules, predicted
+    latency, and egress cost come from the same shared machinery as the
+    arc extractor.
+    """
+    problem = model.problem
+    result = OptimizationResult(
+        status=status,
+        objective=float("nan"),
+        solve_time=solve_time,
+        total_demand=problem.total_demand(),
+        n_variables=model.n_variables,
+        n_constraints=int(model.a_ub.shape[0] + model.a_eq.shape[0]),
+    )
+    for name in problem.workloads:
+        for edge in class_edges(problem, name):
+            result._edge_service[(name, edge.edge_index)] = edge.callee
+    if solution is None:
+        return result
+
+    x = np.asarray(solution)
+    result.objective = float(model.objective @ x)
+
+    execs_of: dict[str, dict[str, float]] = {}
+    for j in np.flatnonzero(x[:len(model.route_columns)] > FLOW_EPSILON):
+        path = model.path_vars[j]
+        rate = float(x[j])
+        name = path.traffic_class
+        spec = problem.workloads[name].spec
+        if name not in execs_of:
+            execs_of[name] = spec.executions_per_request()
+        execs = execs_of[name]
+        assign = dict(path.assignment)
+        key = (name, INGRESS_EDGE, path.ingress, assign[spec.root_service])
+        result.flows[key] = result.flows.get(key, 0.0) + rate
+        for index, edge in enumerate(spec.edges):
+            mult = execs[edge.caller] * edge.calls_per_request
+            key = (name, index, assign[edge.caller], assign[edge.callee])
+            result.flows[key] = result.flows.get(key, 0.0) + rate * mult
+
+    finalize_result(result, problem, model.pool_keys)
+    return result

@@ -4,12 +4,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..latency.mm1 import PoolDelayModel
 from ..rules import RoutingRule, RuleSet
 from .model import INGRESS_EDGE, LinearModel
 from .problem import TEProblem
 
-__all__ = ["OptimizationResult", "extract_result"]
+__all__ = ["OptimizationResult", "extract_result", "finalize_result"]
 
 #: flows below this rate (requests/second) are treated as numerical zeros
 FLOW_EPSILON = 1e-7
@@ -48,6 +50,14 @@ class OptimizationResult:
     n_constraints: int = field(default=0, compare=False)
     #: content fingerprint of the solved model (set when a cache keyed it)
     fingerprint: str | None = field(default=None, compare=False)
+    #: wall-clock cost of model assembly (0 when the caller did not build)
+    build_time: float = field(default=0.0, compare=False)
+    #: the assembled matrices came from a structure-cache rescatter rather
+    #: than a cold build (see repro.core.optimizer.vectorized)
+    warm_build: bool = field(default=False, compare=False)
+    #: solved by the restricted warm-start path (verified optimal by
+    #: pricing) instead of a full cold solve
+    warm_start: bool = field(default=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -117,16 +127,30 @@ def extract_result(model: LinearModel, solution, status: str,
     x = solution
     result.objective = float(model.objective @ x)
 
-    # flows
-    for var, col in zip(model.route_vars, model.route_columns):
-        rate = float(x[col])
-        if rate > FLOW_EPSILON:
-            key = (var.edge.traffic_class, var.edge.edge_index,
-                   var.src, var.dst)
-            result.flows[key] = result.flows.get(key, 0.0) + rate
+    # flows: gather route columns once, then touch only the nonzeros
+    # (solutions are sparse — most route variables sit at zero)
+    route_x = np.asarray(x)[np.asarray(model.route_columns, dtype=np.intp)]
+    for i in np.flatnonzero(route_x > FLOW_EPSILON):
+        var = model.route_vars[i]
+        rate = float(route_x[i])
+        key = (var.edge.traffic_class, var.edge.edge_index,
+               var.src, var.dst)
+        result.flows[key] = result.flows.get(key, 0.0) + rate
 
+    finalize_result(result, problem, model.pool_columns)
+    return result
+
+
+def finalize_result(result: OptimizationResult, problem: TEProblem,
+                    pools) -> OptimizationResult:
+    """Fill predicted system state from ``result.flows``.
+
+    Shared by the arc and path extractors: once flows are in the common
+    (class, edge, src, dst) → rate shape, predicted pool loads, backlog,
+    network delay, and egress cost are formulation-independent.
+    """
     # pool loads: recompute offered work from flows
-    work: dict[tuple[str, str], float] = {p: 0.0 for p in model.pool_columns}
+    work: dict[tuple[str, str], float] = {p: 0.0 for p in pools}
     for (cls, edge_index, src, dst), rate in result.flows.items():
         workload = problem.workloads[cls]
         service = result._edge_service[(cls, edge_index)]

@@ -28,16 +28,24 @@ class SolverError(RuntimeError):
 
 def solve(problem: TEProblem, max_splits: int | None = None,
           knot_fractions=DEFAULT_KNOT_FRACTIONS,
-          cache: SolverCache | None = None) -> OptimizationResult:
+          cache: SolverCache | None = None,
+          backend: str = "vectorized",
+          structure_cache=None) -> OptimizationResult:
     """Formulate and solve ``problem``; raise :class:`SolverError` on failure.
 
     A failure here means the instance itself is infeasible — most commonly
     total demand beyond global capacity (``rho_max`` × replicas), which the
     paper's framework treats as an admission/provisioning problem outside
     the router's control.
+
+    ``backend`` and ``structure_cache`` pass through to
+    :func:`~repro.core.optimizer.model.build_model`; epoch-to-epoch reuse
+    (warm builds *and* warm solves) lives in
+    :class:`~repro.core.optimizer.warm.EpochSolver`.
     """
     model = build_model(problem, max_splits=max_splits,
-                        knot_fractions=knot_fractions)
+                        knot_fractions=knot_fractions,
+                        backend=backend, structure_cache=structure_cache)
     return solve_model(model, cache=cache)
 
 

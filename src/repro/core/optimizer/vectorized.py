@@ -1,0 +1,597 @@
+"""Vectorized (MI)LP assembly: numpy block construction + structure reuse.
+
+The loop builder in :mod:`repro.core.optimizer.model` emits one python dict
+per constraint row and one list append per variable — fine at two clusters,
+hopeless at a hundred (GATE's observation: TE model *assembly* dominates
+once the solver is fast). This module assembles the identical model with
+numpy index arithmetic:
+
+* columns are laid out in contiguous **blocks**, one per (class, edge),
+  ``column = block.start + src_index * n_dst + dst_index`` — the same
+  (sorted class → edge order → source order → destination order) layout the
+  loop builder produces, so the two builders are byte-compatible;
+* every constraint family (demand, conservation, capacity, epigraph,
+  egress budget, MILP activation) is emitted as stacked COO triplets and
+  converted to canonical CSR once.
+
+Byte-identity with the loop builder is a hard requirement (it is what makes
+the solver cache and the warm-start path safe), so scalar float expressions
+deliberately replicate the loop builder's operation order.
+
+**Structure reuse** is the second win: across adaptive epochs only demand
+*values* move — the constraint matrices, objective, and row/column layout
+depend on demand only through its sparsity pattern. A :class:`ModelStructure`
+snapshot turns the next epoch's build into "copy b_eq, scatter new demand,
+refresh per-block flow bounds", which is orders of magnitude cheaper than
+any cold build. :class:`StructureCache` keys snapshots by the structural
+fingerprint of the problem.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from .model import (INGRESS_EDGE, EdgeRef, LinearModel, RouteVar,
+                    class_edges, pool_segments_for)
+from .piecewise import DEFAULT_KNOT_FRACTIONS, Segment
+from .problem import TEProblem
+
+__all__ = ["build_model_vectorized", "ModelStructure", "StructureCache",
+           "structure_key", "DEFAULT_STRUCTURE_CACHE_SIZE"]
+
+#: adaptive controllers alternate between a handful of demand sparsity
+#: patterns (classes appearing/disappearing); a small LRU covers them
+DEFAULT_STRUCTURE_CACHE_SIZE = 8
+
+
+@dataclass(frozen=True)
+class _Block:
+    """One (class, edge) column block: src-major × dst-minor layout."""
+
+    traffic_class: str
+    edge_index: int
+    start: int
+    n_src: int
+    n_dst: int
+    #: source/destination cluster names in column order
+    src_names: tuple[str, ...]
+    dst_names: tuple[str, ...]
+    #: indices into problem.clusters (for latency/price matrix gathers)
+    src_ids: np.ndarray
+    dst_ids: np.ndarray
+    #: executions of the caller per ingress request × calls_per_request;
+    #: flow bound = total_demand * execs * cpr (ingress: total_demand)
+    execs: float
+    calls_per_request: float
+
+    @property
+    def size(self) -> int:
+        return self.n_src * self.n_dst
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.size
+
+    def flow_bound(self, total_demand: float) -> float:
+        # replicate the loop builder's _edge_flow_bound op order exactly
+        if self.edge_index == INGRESS_EDGE:
+            return total_demand
+        return total_demand * self.execs * self.calls_per_request
+
+
+def structure_key(problem: TEProblem,
+                  knot_fractions=DEFAULT_KNOT_FRACTIONS) -> tuple:
+    """Everything the model depends on *except* demand values.
+
+    Two problems with equal keys (and identical latency/pricing objects —
+    checked separately via :meth:`ModelStructure.matches`) produce models
+    that differ only in ``b_eq`` demand entries and flow upper bounds.
+    """
+    classes = []
+    for name in sorted(problem.workloads):
+        workload = problem.workloads[name]
+        spec = workload.spec
+        classes.append((
+            name,
+            spec.root_service,
+            spec.ingress_request_bytes,
+            spec.ingress_response_bytes,
+            tuple((e.caller, e.callee, e.calls_per_request,
+                   e.request_bytes, e.response_bytes) for e in spec.edges),
+            tuple(sorted(spec.exec_time.items())),
+            # demand *pattern*: which clusters have positive ingress
+            tuple(c for c in problem.clusters
+                  if workload.demand.get(c, 0) > 0),
+        ))
+    return (
+        tuple(problem.clusters),
+        tuple(sorted(problem.replicas.items())),
+        problem.rho_max,
+        problem.cost_weight,
+        problem.egress_budget,
+        problem.delay_model,
+        tuple(knot_fractions),
+        tuple(classes),
+    )
+
+
+@dataclass
+class ModelStructure:
+    """Demand-independent snapshot of an assembled LP.
+
+    Holds the constraint matrices, objective, and layout metadata; a warm
+    rebuild (:meth:`instantiate`) refreshes only the demand entries of
+    ``b_eq`` and the per-block flow bounds. The big arrays are *shared*
+    between the snapshot and every model instantiated from it — which is
+    what lets the warm-start solver recognise "same structure, new demand"
+    by object identity.
+    """
+
+    key: tuple
+    #: identity anchors — structural equality of latency/pricing content is
+    #: too expensive to verify, so a snapshot only matches the exact objects
+    latency: object
+    pricing: object
+    objective: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq_template: np.ndarray
+    integrality: np.ndarray
+    blocks: list[_Block]
+    #: b_eq positions of demand rows, in (sorted class, sorted cluster) order
+    demand_rows: np.ndarray
+    #: demand fill order: (class, cluster) per demand row
+    demand_slots: list[tuple[str, str]]
+    n_variables: int
+    route_vars: list[RouteVar]
+    route_columns: list[int]
+    pool_columns: dict[tuple[str, str], int]
+    pool_segments: dict[tuple[str, str], list[Segment]]
+    instantiations: int = field(default=0)
+
+    def matches(self, problem: TEProblem) -> bool:
+        return (self.latency is problem.latency
+                and self.pricing is problem.pricing)
+
+    def instantiate(self, problem: TEProblem) -> LinearModel:
+        """Warm rebuild: scatter the new demand into the cached structure."""
+        upper = np.empty(self.n_variables)
+        upper[len(self.route_columns):] = np.inf
+        for block in self.blocks:
+            workload = problem.workloads[block.traffic_class]
+            upper[block.start:block.stop] = block.flow_bound(
+                workload.total_demand)
+        b_eq = self.b_eq_template.copy()
+        values = np.empty(len(self.demand_slots))
+        for i, (name, cluster) in enumerate(self.demand_slots):
+            values[i] = problem.workloads[name].demand[cluster]
+        b_eq[self.demand_rows] = values
+        self.instantiations += 1
+        return LinearModel(
+            objective=self.objective,
+            a_ub=self.a_ub, b_ub=self.b_ub,
+            a_eq=self.a_eq, b_eq=b_eq,
+            integrality=self.integrality,
+            upper_bounds=upper,
+            route_vars=self.route_vars,
+            route_columns=self.route_columns,
+            pool_columns=self.pool_columns,
+            pool_segments=self.pool_segments,
+            problem=problem,
+        )
+
+
+class StructureCache:
+    """Bounded LRU cache of demand-independent model structures.
+
+    Generic over structure kinds (arc :class:`ModelStructure`, path
+    structures): entries need ``matches(problem)`` and
+    ``instantiate(problem)``. Composes with — does not replace — the
+    content-addressed :class:`~repro.core.optimizer.cache.SolverCache`:
+    this cache makes *builds* cheap when only demand values moved; the
+    solver cache skips the *solve* when nothing moved at all.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_STRUCTURE_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lookup(self, key: tuple, problem: TEProblem):
+        entry = self._entries.get(key)
+        if entry is None or not entry.matches(problem):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def store(self, key: tuple, structure) -> None:
+        self._entries[key] = structure
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": self.hit_rate, "entries": len(self._entries)}
+
+    def __repr__(self) -> str:
+        return (f"StructureCache(entries={len(self._entries)}/{self.maxsize},"
+                f" hits={self.hits}, misses={self.misses})")
+
+
+# --------------------------------------------------------------------------
+# cold vectorized build
+# --------------------------------------------------------------------------
+
+def _cluster_matrices(problem: TEProblem) -> tuple[np.ndarray, np.ndarray]:
+    """Dense rtt and per-byte-price gather tables over problem.clusters."""
+    names = problem.clusters
+    n = len(names)
+    rtt = np.empty((n, n))
+    price = np.empty((n, n))
+    for i, a in enumerate(names):
+        for j, b in enumerate(names):
+            rtt[i, j] = problem.rtt(a, b)
+            price[i, j] = problem.pricing.per_byte(a, b)
+    return rtt, price
+
+
+def _layout_blocks(problem: TEProblem) -> tuple[list[_Block], list[RouteVar]]:
+    cluster_id = {name: i for i, name in enumerate(problem.clusters)}
+    blocks: list[_Block] = []
+    route_vars: list[RouteVar] = []
+    next_col = 0
+    for name in sorted(problem.workloads):
+        workload = problem.workloads[name]
+        execs = workload.spec.executions_per_request()
+        for edge in class_edges(problem, name):
+            destinations = problem.deployed_in(edge.callee)
+            if not destinations:
+                raise ValueError(
+                    f"class {name!r}: service {edge.callee!r} deployed "
+                    "nowhere")
+            if edge.edge_index == INGRESS_EDGE:
+                sources = [c for c in problem.clusters
+                           if workload.demand.get(c, 0) > 0]
+                edge_execs = 1.0
+            else:
+                sources = problem.deployed_in(edge.caller)
+                edge_execs = execs[edge.caller]
+            block = _Block(
+                traffic_class=name,
+                edge_index=edge.edge_index,
+                start=next_col,
+                n_src=len(sources),
+                n_dst=len(destinations),
+                src_names=tuple(sources),
+                dst_names=tuple(destinations),
+                src_ids=np.array([cluster_id[c] for c in sources],
+                                 dtype=np.intp),
+                dst_ids=np.array([cluster_id[c] for c in destinations],
+                                 dtype=np.intp),
+                execs=edge_execs,
+                calls_per_request=edge.calls_per_request,
+            )
+            blocks.append(block)
+            route_vars.extend(RouteVar(edge, src, dst)
+                              for src in sources for dst in destinations)
+            next_col += block.size
+    return blocks, route_vars
+
+
+class _Coo:
+    """Accumulates COO triplets as numpy chunks; one concatenate at the end."""
+
+    def __init__(self) -> None:
+        self.rows: list[np.ndarray] = []
+        self.cols: list[np.ndarray] = []
+        self.data: list[np.ndarray] = []
+        self.rhs: list[float] = []
+        self.n_rows = 0
+
+    def add_rows(self, rows: np.ndarray, cols: np.ndarray,
+                 data: np.ndarray) -> None:
+        """Append pre-offset entries (row indices relative to 0)."""
+        self.rows.append(rows + self.n_rows)
+        self.cols.append(cols)
+        self.data.append(data)
+
+    def finish_rows(self, rhs_values) -> None:
+        """Declare len(rhs_values) rows complete (entries already added)."""
+        self.rhs.extend(rhs_values)
+        self.n_rows += len(rhs_values)
+
+    def matrix(self, n_cols: int) -> tuple[sparse.csr_matrix, np.ndarray]:
+        if self.rows:
+            rows = np.concatenate(self.rows)
+            cols = np.concatenate(self.cols)
+            data = np.concatenate(self.data)
+            # build canonical CSR directly: no (row, col) pair is emitted
+            # twice by construction, so sorting by (row, col) is all the
+            # canonicalization sum_duplicates/sort_indices would do
+            order = np.lexsort((cols, rows))
+            rows = rows[order]
+            cols = cols[order]
+            data = data[order]
+            counts = np.bincount(rows, minlength=self.n_rows)
+        else:
+            cols = np.empty(0, dtype=np.intp)
+            data = np.empty(0)
+            counts = np.zeros(self.n_rows, dtype=np.intp)
+        # match scipy's COO->CSR index-dtype choice so fingerprints agree
+        # with the loop builder byte for byte
+        maxval = max(self.n_rows, n_cols, len(data))
+        idx_dtype = np.int32 if maxval < np.iinfo(np.int32).max else np.int64
+        indptr = np.empty(self.n_rows + 1, dtype=idx_dtype)
+        indptr[0] = 0
+        np.cumsum(counts, out=indptr[1:])
+        matrix = sparse.csr_matrix(
+            (data, cols.astype(idx_dtype), indptr),
+            shape=(self.n_rows, n_cols))
+        return matrix, np.array(self.rhs, dtype=float)
+
+
+def build_model_vectorized(problem: TEProblem,
+                           max_splits: int | None = None,
+                           knot_fractions=DEFAULT_KNOT_FRACTIONS,
+                           structure_cache: StructureCache | None = None,
+                           ) -> LinearModel:
+    """Assemble the (MI)LP with numpy block operations.
+
+    Produces a model byte-identical (same canonical fingerprint, same
+    solver input) to the loop builder's. With ``structure_cache``, LP
+    builds whose structural key was seen before skip assembly entirely
+    and rescatter demand into the cached matrices; MILP builds are always
+    cold (the big-M activation rows depend on demand values).
+    """
+    if max_splits is not None and max_splits < 1:
+        raise ValueError(f"max_splits must be >= 1, got {max_splits}")
+
+    key = None
+    if structure_cache is not None and max_splits is None:
+        key = structure_key(problem, knot_fractions)
+        structure = structure_cache.lookup(key, problem)
+        if structure is not None:
+            return structure.instantiate(problem)
+
+    blocks, route_vars = _layout_blocks(problem)
+    block_of = {(b.traffic_class, b.edge_index): b for b in blocks}
+    n_routes = sum(b.size for b in blocks)
+
+    pools = problem.pools()
+    pool_columns = {pool: n_routes + i for i, pool in enumerate(pools)}
+    n_pools = len(pools)
+
+    activation_base = n_routes + n_pools
+    n = activation_base + (n_routes if max_splits is not None else 0)
+
+    objective = np.zeros(n)
+    integrality = np.zeros(n)
+    if max_splits is not None:
+        integrality[activation_base:] = 1
+
+    upper = np.empty(n)
+    for block in blocks:
+        workload = problem.workloads[block.traffic_class]
+        upper[block.start:block.stop] = block.flow_bound(
+            workload.total_demand)
+    upper[n_routes:activation_base] = np.inf
+    if max_splits is not None:
+        upper[activation_base:] = 1.0
+
+    rtt, price = _cluster_matrices(problem)
+
+    # flow objective + egress coefficients, one gather per block
+    egress_cols: list[np.ndarray] = []
+    egress_vals: list[np.ndarray] = []
+    for block in blocks:
+        if not block.size:
+            continue
+        src = np.repeat(block.src_ids, block.n_dst)
+        dst = np.tile(block.dst_ids, block.n_src)
+        edge = route_vars[block.start].edge
+        egress = (edge.request_bytes * price[src, dst]
+                  + edge.response_bytes * price[dst, src])
+        objective[block.start:block.stop] = (
+            rtt[src, dst] + problem.cost_weight * egress)
+        positive = np.flatnonzero(egress > 0)
+        if positive.size:
+            egress_cols.append(block.start + positive)
+            egress_vals.append(egress[positive])
+
+    # ------------------------------------------------- demand satisfaction
+    eq = _Coo()
+    demand_rows: list[int] = []
+    demand_slots: list[tuple[str, str]] = []
+    for name in sorted(problem.workloads):
+        workload = problem.workloads[name]
+        block = block_of[(name, INGRESS_EDGE)]
+        src_pos = {c: i for i, c in enumerate(block.src_names)}
+        demanded = [(cluster, rps)
+                    for cluster, rps in sorted(workload.demand.items())
+                    if rps > 0]
+        if not demanded:
+            continue
+        n_demand = len(demanded)
+        starts = np.array(
+            [block.start + src_pos[cluster] * block.n_dst
+             for cluster, _ in demanded], dtype=np.intp)
+        cols = (starts[:, None]
+                + np.arange(block.n_dst, dtype=np.intp)[None, :]).ravel()
+        eq.add_rows(np.repeat(np.arange(n_demand, dtype=np.intp),
+                              block.n_dst),
+                    cols, np.ones(n_demand * block.n_dst))
+        demand_rows.extend(range(eq.n_rows, eq.n_rows + n_demand))
+        demand_slots.extend((name, cluster) for cluster, _ in demanded)
+        eq.finish_rows([rps for _, rps in demanded])
+
+    # ------------------------------------------------------- conservation
+    for name in sorted(problem.workloads):
+        workload = problem.workloads[name]
+        edges = class_edges(problem, name)
+        incoming = {edge.callee: edge for edge in edges}
+        for edge in edges:
+            if edge.edge_index == INGRESS_EDGE:
+                continue
+            block = block_of[(name, edge.edge_index)]
+            parent = block_of[(name, incoming[edge.caller].edge_index)]
+            n_src = block.n_src          # == parent.n_dst
+            if not n_src:
+                continue
+            span = np.arange(n_src, dtype=np.intp)
+            eq.add_rows(
+                np.repeat(span, block.n_dst),
+                block.start + np.arange(block.size, dtype=np.intp),
+                np.ones(block.size))
+            if parent.n_src:
+                origin_cols = (parent.start
+                               + np.arange(parent.n_src, dtype=np.intp)
+                               * parent.n_dst)
+                eq.add_rows(
+                    np.repeat(span, parent.n_src),
+                    (origin_cols[None, :] + span[:, None]).ravel(),
+                    np.full(n_src * parent.n_src, -edge.calls_per_request))
+            eq.finish_rows(np.zeros(n_src))
+
+    # ------------------------------------------- per-pool workload & delay
+    # offered work a[s,c] = Σ_k st[k,s] · exec_rate[k,s,c] (erlangs)
+    pool_entries: dict[tuple[str, str], list[tuple[np.ndarray, float]]] = {
+        pool: [] for pool in pool_columns
+    }
+    for name in sorted(problem.workloads):
+        workload = problem.workloads[name]
+        edges = class_edges(problem, name)
+        incoming = {edge.callee: edge for edge in edges}
+        for service in workload.spec.services():
+            st = workload.spec.exec_time_of(service)
+            if st <= 0:
+                continue
+            block = block_of[(name, incoming[service].edge_index)]
+            if not block.n_src:
+                continue
+            src_strides = (block.start
+                           + np.arange(block.n_src, dtype=np.intp)
+                           * block.n_dst)
+            for dst_pos, dst in enumerate(block.dst_names):
+                pool_entries[(service, dst)].append(
+                    (src_strides + dst_pos, st))
+
+    ub = _Coo()
+    pool_segments: dict[tuple[str, str], list[Segment]] = {}
+    for service, cluster in pools:
+        t_col = pool_columns[(service, cluster)]
+        objective[t_col] = 1.0
+        replicas = problem.replica_count(service, cluster)
+        a_max = problem.rho_max * replicas
+        segments = pool_segments_for(replicas, problem.delay_model, a_max,
+                                     knot_fractions)
+        pool_segments[(service, cluster)] = segments
+        entries = pool_entries[(service, cluster)]
+        if not entries:
+            # pin t at the zero-load backlog (see loop builder)
+            ub.add_rows(np.zeros(1, dtype=np.intp),
+                        np.array([t_col], dtype=np.intp),
+                        np.full(1, -1.0))
+            ub.finish_rows([0.0])
+            continue
+        cols = np.concatenate([c for c, _ in entries])
+        work = np.concatenate([np.full(len(c), st) for c, st in entries])
+        m = len(cols)
+        n_seg = len(segments)
+        # one batched emit per pool: the capacity row (work <= a_max)
+        # followed by every epigraph row (slope·work - t <= -intercept)
+        slopes = np.array([segment.slope for segment in segments])
+        seg_data = np.empty((n_seg, m + 1))
+        seg_data[:, :m] = slopes[:, None] * work[None, :]
+        seg_data[:, m] = -1.0
+        seg_cols = np.tile(np.append(cols, t_col), n_seg)
+        ub.add_rows(np.zeros(m, dtype=np.intp), cols, work)
+        ub.add_rows(
+            1 + np.repeat(np.arange(n_seg, dtype=np.intp), m + 1),
+            seg_cols, seg_data.ravel())
+        ub.finish_rows(
+            [a_max] + [-segment.intercept for segment in segments])
+
+    # ------------------------------------------------ egress budget ($/s)
+    if problem.egress_budget is not None and egress_cols:
+        cols = np.concatenate(egress_cols)
+        ub.add_rows(np.zeros(len(cols), dtype=np.intp), cols,
+                    np.concatenate(egress_vals))
+        ub.finish_rows([problem.egress_budget])
+
+    # --------------------------------------------------- MILP split limits
+    if max_splits is not None:
+        # the loop builder sorts groups by (class, edge index, src name);
+        # blocks are already (class, edge index)-ordered
+        for block in blocks:
+            dst_span = np.arange(block.n_dst, dtype=np.intp)
+            for src in sorted(block.src_names):
+                k = block.src_names.index(src)
+                cols = block.start + k * block.n_dst + dst_span
+                big_m = np.maximum(upper[cols], 1e-9)
+                for col, m in zip(cols, big_m):
+                    ub.add_rows(
+                        np.zeros(2, dtype=np.intp),
+                        np.array([col, activation_base + col], dtype=np.intp),
+                        np.array([1.0, -m]))
+                    ub.finish_rows([0.0])
+                ub.add_rows(np.zeros(block.n_dst, dtype=np.intp),
+                            activation_base + cols, np.ones(block.n_dst))
+                ub.finish_rows([float(max_splits)])
+
+    a_eq, b_eq = eq.matrix(n)
+    a_ub, b_ub = ub.matrix(n)
+    route_columns = list(range(n_routes))
+    model = LinearModel(
+        objective=objective,
+        a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+        integrality=integrality,
+        upper_bounds=upper,
+        route_vars=route_vars,
+        route_columns=route_columns,
+        pool_columns=pool_columns,
+        pool_segments=pool_segments,
+        problem=problem,
+    )
+    if key is not None:
+        b_eq_template = b_eq.copy()
+        b_eq_template[np.array(demand_rows, dtype=np.intp)] = 0.0
+        structure_cache.store(key, ModelStructure(
+            key=key,
+            latency=problem.latency,
+            pricing=problem.pricing,
+            objective=objective,
+            a_ub=a_ub, b_ub=b_ub, a_eq=a_eq,
+            b_eq_template=b_eq_template,
+            integrality=integrality,
+            blocks=blocks,
+            demand_rows=np.array(demand_rows, dtype=np.intp),
+            demand_slots=demand_slots,
+            n_variables=n,
+            route_vars=route_vars,
+            route_columns=route_columns,
+            pool_columns=pool_columns,
+            pool_segments=pool_segments,
+        ))
+    return model

@@ -1,0 +1,336 @@
+"""Warm-started epoch solving: previous-solution reuse across re-plans.
+
+scipy's HiGHS bindings expose no basis I/O, so classic simplex warm starts
+are unavailable. What *is* available — and exact — is column restriction
+with a pricing certificate:
+
+1. keep the columns the previous epoch's solution actually used (its
+   support) plus every pool epigraph column;
+2. solve the LP restricted to those columns (tiny compared to the full
+   model);
+3. price every excluded column with the restricted solve's duals:
+   ``r = c − A_ubᵀ·y_ub − A_eqᵀ·y_eq``. If every excluded reduced cost is
+   nonnegative, the restricted optimum is optimal for the **full** LP —
+   this is exactly delayed column generation's termination test, so the
+   warm result is not an approximation;
+4. columns that price negative are admitted and the restriction re-solved;
+   if optimality still cannot be certified, fall back to a cold solve.
+
+:class:`EpochSolver` packages this with the other two reuse layers so the
+controller gets a strict cost ladder per epoch:
+
+* demand unchanged (after ``demand_quantum`` rounding) → identical
+  fingerprint → :class:`~repro.core.optimizer.cache.SolverCache` replay,
+  no solver at all;
+* demand values moved, structure didn't → structure-cache rescatter build
+  + warm restricted solve;
+* structure moved (topology, classes, replicas) → cold build + cold solve.
+
+Under ``REPRO_DEBUG_INVARIANTS=1`` every warm solve is shadowed by a full
+cold solve and must land on the same optimal vertex: agreement to a scaled
+``WARM_SHADOW_TOLERANCE`` (1e-9 relative). Bitwise equality is checked
+first and usually holds — on the seed scenarios, whose round demand values
+produce exactly-representable vertices, it always does, and the property
+tests pin that down — but it is not a structural guarantee: the restricted
+problem takes a different arithmetic route through HiGHS presolve, so
+instances with non-representable vertex coordinates (e.g. EWMA-estimated
+demand) can differ from the cold solve in the last float bit. Exact
+*optimality* is never in question either way — that is what the pricing
+certificate proves.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+
+import numpy as np
+from scipy import optimize
+
+from ...devtools.invariants import InvariantViolation, invariants_enabled
+from .cache import SolverCache, model_fingerprint
+from .model import build_model
+from .piecewise import DEFAULT_KNOT_FRACTIONS
+from .problem import TEProblem
+from .result import OptimizationResult, extract_result
+from .solve import SolverError, _solve_lp, _solve_milp
+from .vectorized import StructureCache
+
+__all__ = ["EpochSolver", "warm_solve"]
+
+#: solution entries below this are not part of the support
+SUPPORT_EPSILON = 1e-9
+
+#: pricing slack: an excluded column is admissible at zero when its reduced
+#: cost is above -tol (scaled by objective magnitude)
+PRICING_TOLERANCE = 1e-9
+
+#: rounds of admit-and-re-solve before giving up and solving cold
+MAX_WARM_ROUNDS = 2
+
+#: shadow-check tolerance (relative, scaled by the cold solution's
+#: magnitude) for solver-arithmetic last-bit noise; see module docstring
+WARM_SHADOW_TOLERANCE = 1e-9
+
+#: "caller did not choose" marker for EpochSolver's structure_cache param
+#: (None is a real value there: it disables structure reuse)
+_DEFAULT = object()
+
+
+def warm_solve(model, previous_solution: np.ndarray,
+               ) -> np.ndarray | None:
+    """Re-solve an LP restricted to the previous solution's support.
+
+    Returns the full-length solution vector when optimality of the
+    restriction is certified by pricing, else ``None`` (caller solves
+    cold). Only valid for pure LPs.
+    """
+    if model.is_mip:
+        return None
+    n = model.n_variables
+    n_routes = len(model.route_columns)
+    if len(previous_solution) != n:
+        return None
+    support = np.flatnonzero(previous_solution > SUPPORT_EPSILON)
+    # epigraph/pool columns are always kept: they are few, always basic,
+    # and keeping them preserves feasibility of every pin/epigraph row
+    keep = np.union1d(support, np.arange(n_routes, n, dtype=np.intp))
+    if len(keep) >= n:
+        return None   # nothing restricted, a "warm" solve would be cold
+
+    c = model.objective
+    a_ub = model.a_ub.tocsc()
+    a_eq = model.a_eq.tocsc()
+    upper = model.upper_bounds
+    tolerance = PRICING_TOLERANCE * (1.0 + float(np.abs(c).max(initial=0.0)))
+
+    for _ in range(MAX_WARM_ROUNDS):
+        outcome = optimize.linprog(
+            c=c[keep],
+            A_ub=a_ub[:, keep], b_ub=model.b_ub,
+            A_eq=a_eq[:, keep], b_eq=model.b_eq,
+            bounds=[(0.0, ub if np.isfinite(ub) else None)
+                    for ub in upper[keep]],
+            method="highs",
+        )
+        if not outcome.success:
+            return None
+        y_ub = outcome.ineqlin.marginals
+        y_eq = outcome.eqlin.marginals
+        if y_ub is None or y_eq is None:
+            return None
+        # price the full column set with the restricted duals
+        reduced = c - model.a_ub.T @ y_ub - model.a_eq.T @ y_eq
+        excluded = np.setdiff1d(np.arange(n, dtype=np.intp), keep,
+                                assume_unique=False)
+        violated = excluded[reduced[excluded] < -tolerance]
+        if not violated.size:
+            x = np.zeros(n)
+            x[keep] = outcome.x
+            return x
+        keep = np.union1d(keep, violated)
+        if len(keep) >= n:
+            return None
+    return None
+
+
+class EpochSolver:
+    """Build + solve pipeline with structure reuse and warm starts.
+
+    One instance lives inside each adaptive :class:`GlobalController`; the
+    oracle/one-shot paths keep using :func:`~repro.core.optimizer.solve
+    .solve`. ``profiler`` duck-types the control-plane profiler's
+    ``section(name)`` context manager (kept duck-typed so ``repro.core``
+    never imports ``repro.obs``).
+    """
+
+    def __init__(self, cache: SolverCache | None = None,
+                 structure_cache: StructureCache | None = _DEFAULT,
+                 warm_start: bool = True,
+                 max_splits: int | None = None,
+                 knot_fractions=DEFAULT_KNOT_FRACTIONS,
+                 formulation: str = "arc",
+                 path_k: int = 4,
+                 path_objective: str = "latency",
+                 path_prune_limit: int | None = None,
+                 profiler=None) -> None:
+        if formulation not in ("arc", "path"):
+            raise ValueError(f"unknown formulation {formulation!r}")
+        self.cache = cache
+        #: None disables structure reuse (every build is cold)
+        self.structure_cache = (StructureCache()
+                                if structure_cache is _DEFAULT
+                                else structure_cache)
+        self.warm_start = warm_start
+        self.max_splits = max_splits
+        self.knot_fractions = knot_fractions
+        self.formulation = formulation
+        self.path_k = path_k
+        self.path_objective = path_objective
+        self.path_prune_limit = path_prune_limit
+        self.profiler = profiler
+        self._previous: tuple[int, np.ndarray] | None = None
+        # counters surfaced through stats() → repro.obs collectors
+        self.builds = 0
+        self.warm_builds = 0
+        self.build_seconds = 0.0
+        self.solves = 0
+        self.warm_solves = 0
+        self.warm_rejects = 0
+        self.replays = 0
+        self.solve_seconds = 0.0
+
+    # ------------------------------------------------------------- helpers
+
+    def _section(self, name: str):
+        profiler = self.profiler
+        if profiler is None:
+            return nullcontext()
+        return profiler.section(name)
+
+    def _build(self, problem: TEProblem):
+        if self.formulation == "path":
+            from .paths import build_path_model
+            return build_path_model(
+                problem, k=self.path_k, objective=self.path_objective,
+                prune_limit=self.path_prune_limit,
+                knot_fractions=self.knot_fractions,
+                structure_cache=self.structure_cache)
+        return build_model(problem, max_splits=self.max_splits,
+                           knot_fractions=self.knot_fractions,
+                           structure_cache=self.structure_cache)
+
+    def _extract(self, model, solution, status, elapsed):
+        if self.formulation == "path":
+            from .paths import extract_path_result
+            return extract_path_result(model, solution, status, elapsed)
+        return extract_result(model, solution, status, elapsed)
+
+    # --------------------------------------------------------------- solve
+
+    def solve(self, problem: TEProblem) -> OptimizationResult:
+        """Solve one epoch's instance through the reuse ladder."""
+        # solver wall time is diagnostic output, never simulation input
+        started = time.perf_counter()   # lint: ignore[D02]
+        structure_hits = (self.structure_cache.hits
+                          if self.structure_cache is not None else 0)
+        with self._section("optimizer-build"):
+            model = self._build(problem)
+        build_elapsed = time.perf_counter() - started   # lint: ignore[D02]
+        self.builds += 1
+        self.build_seconds += build_elapsed
+        warm_build = (self.structure_cache is not None
+                      and self.structure_cache.hits > structure_hits)
+        if warm_build:
+            self.warm_builds += 1
+
+        fingerprint = None
+        if self.cache is not None:
+            fingerprint = model_fingerprint(model)
+            entry = self.cache.lookup(fingerprint)
+            if entry is not None:
+                solution, status = entry
+                self.replays += 1
+                result = self._extract(
+                    model, solution, status,
+                    time.perf_counter() - started)   # lint: ignore[D02]
+                result.cache_hit = True
+                return self._decorate(result, fingerprint, build_elapsed,
+                                      warm_build, warm_start=False)
+
+        solve_started = time.perf_counter()   # lint: ignore[D02]
+        solution = None
+        warm = False
+        if self.warm_start and self._previous is not None:
+            prev_structure, prev_x = self._previous
+            # object identity of the constraint matrix ⇔ same structure
+            # snapshot ⇔ only b_eq/bounds may differ from last epoch
+            if prev_structure == id(model.a_eq) and not model.is_mip:
+                with self._section("optimizer-warm-solve"):
+                    solution = warm_solve(model, prev_x)
+                if solution is not None:
+                    warm = True
+                    self.warm_solves += 1
+                    status = "optimal"
+                    self._check_warm_invariant(model, solution)
+                else:
+                    self.warm_rejects += 1
+        if solution is None:
+            with self._section("optimizer-solve"):
+                if model.is_mip:
+                    solution, status = _solve_milp(model)
+                else:
+                    solution, status = _solve_lp(model)
+        elapsed = time.perf_counter() - solve_started  # lint: ignore[D02]
+        self.solves += 1
+        self.solve_seconds += elapsed
+        if status != "optimal":
+            self._previous = None
+            raise SolverError(f"optimization failed: {status}")
+        if not model.is_mip:
+            self._previous = (id(model.a_eq), solution)
+        if self.cache is not None:
+            self.cache.store(fingerprint, solution, status)
+        result = self._extract(model, solution, status, elapsed)
+        return self._decorate(result, fingerprint, build_elapsed,
+                              warm_build, warm)
+
+    def _decorate(self, result: OptimizationResult, fingerprint,
+                  build_elapsed: float, warm_build: bool,
+                  warm_start: bool) -> OptimizationResult:
+        result.build_time = build_elapsed
+        result.warm_build = warm_build
+        result.warm_start = warm_start
+        if self.cache is not None:
+            result.cache_hits = self.cache.hits
+            result.cache_misses = self.cache.misses
+            result.fingerprint = fingerprint
+        return result
+
+    @staticmethod
+    def _check_warm_invariant(model, warm_x: np.ndarray) -> None:
+        """Debug mode: shadow every warm solve with a cold one.
+
+        The warm solution must land on the cold solve's optimal vertex —
+        bitwise when the vertex is exactly representable (all seed
+        scenarios), and always within the scaled
+        ``WARM_SHADOW_TOLERANCE`` (module docstring explains why bitwise
+        is not a structural guarantee).
+        """
+        if not invariants_enabled():
+            return
+        cold_x, status = _solve_lp(model)
+        if status != "optimal":
+            raise InvariantViolation(
+                f"warm solve succeeded but cold solve failed: {status}")
+        if np.array_equal(warm_x, cold_x):
+            return
+        delta = np.abs(warm_x - cold_x)
+        tolerance = WARM_SHADOW_TOLERANCE * (
+            1.0 + float(np.abs(cold_x).max(initial=0.0)))
+        if float(delta.max()) <= tolerance:
+            return
+        worst = int(np.argmax(delta))
+        raise InvariantViolation(
+            "warm-started solution diverges from cold solve: "
+            f"max |Δ|={delta.max():.3e} at column {worst} "
+            f"(warm={warm_x[worst]!r}, cold={cold_x[worst]!r})")
+
+    # --------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        """Counters in a JSON-friendly shape (collectors, BENCH exports)."""
+        return {
+            "builds": self.builds,
+            "warm_builds": self.warm_builds,
+            "build_seconds": self.build_seconds,
+            "solves": self.solves,
+            "warm_solves": self.warm_solves,
+            "warm_rejects": self.warm_rejects,
+            "replays": self.replays,
+            "solve_seconds": self.solve_seconds,
+            "structure_cache": (self.structure_cache.stats()
+                                if self.structure_cache is not None else None),
+            "solver_cache": (self.cache.stats()
+                             if self.cache is not None else None),
+        }

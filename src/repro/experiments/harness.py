@@ -89,6 +89,11 @@ def run_policy(scenario: Scenario, policy: RoutingPolicy,
     controllers = {name: ClusterController(name)
                    for name in scenario.deployment.cluster_names}
 
+    # route optimizer build/solve timings into the profiler (policies that
+    # don't expose the hook — baselines — simply aren't profiled per-phase)
+    if profiler is not None and hasattr(policy, "attach_profiler"):
+        policy.attach_profiler(profiler)
+
     if profiler is not None:
         with profiler.section("initial-plan"):
             rules = policy.compute_rules(ctx)

@@ -9,15 +9,20 @@ where behaviour changes — are reproduced.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..baselines.locality import LocalityFailoverPolicy
 from ..baselines.waterfall import WaterfallConfig, WaterfallPolicy
 from ..core.controller.global_controller import GlobalControllerConfig
 from ..core.controller.policy import SlatePolicy
-from ..sim.apps import (AppSpec, anomaly_detection_app, linear_chain_app,
+from ..core.optimizer.problem import TEProblem
+from ..sim.apps import (AppSpec, CallEdge, TrafficClassSpec,
+                        anomaly_detection_app, linear_chain_app,
                         two_class_app)
-from ..sim.network import EgressPricing
+from ..sim.network import EgressPricing, LatencyMatrix
+from ..sim.request import RequestAttributes
+from ..sim.rng import RngRegistry
 from ..sim.topology import (ClusterSpec, DeploymentSpec,
                             gcp_four_region_latency, two_region_latency)
 from ..sim.traces import DemandTimeline, diurnal_timeline
@@ -31,7 +36,9 @@ __all__ = ["ChaosOutageSetup", "DiurnalControlSetup", "FigureSetup",
            "fig6a_how_much", "fig6b_which_cluster",
            "fig6c_multihop", "fig6d_traffic_classes",
            "fig4_offload_threshold_problem", "fig3_threshold_scenario",
-           "locality_failover_policy", "waterfall_with_absolute_threshold"]
+           "locality_failover_policy", "waterfall_with_absolute_threshold",
+           "planet_scale_problem", "synthetic_te_problem",
+           "synthetic_topology"]
 
 
 @dataclass
@@ -423,3 +430,144 @@ def waterfall_with_absolute_threshold(app: AppSpec,
         for service, count in cluster.replicas.items() if count > 0
     }
     return WaterfallPolicy(WaterfallConfig(capacities))
+
+
+# --------------------------------------------------------------- synthetic
+# Planet-scale synthetic instances for the scalability benchmarks. All
+# randomness flows through RngRegistry streams (D01), so a given
+# (dimensions, seed) pair names exactly one problem on every machine.
+
+def synthetic_topology(n_clusters: int, seed: int = 0,
+                       base_delay_ms: float = 5.0,
+                       spread_delay_ms: float = 60.0) -> LatencyMatrix:
+    """Deterministic n-cluster WAN: seeded points on a unit square.
+
+    Each cluster gets a 2-D coordinate from the ``synthetic-topology``
+    RNG stream; one-way delay between two clusters is ``base_delay_ms``
+    plus ``spread_delay_ms`` scaled by their Euclidean distance, which
+    yields the triangle-inequality-respecting spread (a few ms regional,
+    tens of ms cross-ocean) the contraction heuristics expect. Cluster
+    names are zero-padded (``c000`` ...) so lexical order is index order.
+    """
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    rng = RngRegistry(seed=seed).stream(f"synthetic-topology/{n_clusters}")
+    width = max(3, len(str(n_clusters - 1)))
+    names = [f"c{index:0{width}d}" for index in range(n_clusters)]
+    coords = [(float(rng.random()), float(rng.random()))
+              for _ in range(n_clusters)]
+    delays = {}
+    for i in range(n_clusters):
+        for j in range(i + 1, n_clusters):
+            dx = coords[i][0] - coords[j][0]
+            dy = coords[i][1] - coords[j][1]
+            distance = math.hypot(dx, dy)
+            delays[(names[i], names[j])] = (
+                base_delay_ms + spread_delay_ms * distance) / 1000.0
+    return LatencyMatrix(names, delays)
+
+
+def synthetic_te_problem(n_clusters: int, n_services: int, n_classes: int,
+                         rps_per_class: float = 50.0,
+                         exec_time: float = 0.005,
+                         replication: float = 1.0,
+                         ingresses_per_class: int | None = None,
+                         replicas: int | None = None,
+                         seed: int = 0,
+                         headroom: float = 2.0,
+                         **problem_kwargs) -> TEProblem:
+    """Seeded synthetic TE instance for scaling sweeps.
+
+    Every traffic class is a linear chain over the same ``n_services``
+    fleet (the worst case for model size: all classes touch all
+    services). Two knobs make planet scale tractable:
+
+    ``replication``
+        Fraction of clusters each service is deployed in (1.0 = deployed
+        everywhere). Partial placements pick a seeded subset per service,
+        rotated so load spreads across the fleet.
+    ``ingresses_per_class``
+        When set, each class receives demand at only this many seeded
+        ingress clusters instead of all of them — the sparse-demand
+        regime where the path formulation's variable count stops scaling
+        with cluster count.
+
+    ``replicas`` defaults to a per-deployed-cluster count sized so fleet
+    capacity is ``headroom`` times the offered load — large instances
+    stay feasible without hand-tuning.
+    """
+    if replication <= 0 or replication > 1:
+        raise ValueError(f"replication must be in (0, 1], got {replication}")
+    latency = synthetic_topology(n_clusters, seed=seed)
+    clusters = list(latency.clusters)
+    services = [f"svc{index}" for index in range(n_services)]
+    registry = RngRegistry(seed=seed)
+
+    classes = {}
+    for index in range(n_classes):
+        name = f"class{index}"
+        classes[name] = TrafficClassSpec(
+            name=name,
+            attributes=RequestAttributes.make(services[0], "GET", f"/{name}"),
+            root_service=services[0],
+            edges=[CallEdge(services[i], services[i + 1])
+                   for i in range(n_services - 1)],
+            exec_time={service: exec_time for service in services},
+        )
+    app = AppSpec(name="synthetic", classes=classes)
+
+    if ingresses_per_class is None:
+        demand = {(cls, cluster): rps_per_class
+                  for cls in classes for cluster in clusters}
+    else:
+        if not 1 <= ingresses_per_class <= n_clusters:
+            raise ValueError(
+                f"ingresses_per_class must be in [1, {n_clusters}], "
+                f"got {ingresses_per_class}")
+        ingress_rng = registry.stream("synthetic-demand/ingresses")
+        demand = {}
+        for cls in sorted(classes):
+            chosen = ingress_rng.choice(len(clusters),
+                                        size=ingresses_per_class,
+                                        replace=False)
+            for slot in sorted(int(i) for i in chosen):
+                demand[(cls, clusters[slot])] = rps_per_class
+
+    deployed_per_service = max(1, round(replication * n_clusters))
+    if replicas is None:
+        offered = rps_per_class * n_classes * (
+            n_clusters if ingresses_per_class is None else ingresses_per_class)
+        replicas = max(2, math.ceil(
+            headroom * offered * exec_time / deployed_per_service))
+    placement_rng = registry.stream("synthetic-deployment/placement")
+    placements: dict[str, dict[str, int]] = {c: {} for c in clusters}
+    for service in services:
+        if deployed_per_service >= n_clusters:
+            chosen = range(n_clusters)
+        else:
+            chosen = sorted(int(i) for i in placement_rng.choice(
+                n_clusters, size=deployed_per_service, replace=False))
+        for slot in chosen:
+            placements[clusters[slot]][service] = replicas
+    deployment = DeploymentSpec(
+        [ClusterSpec(name, placements[name]) for name in clusters],
+        latency)
+
+    return TEProblem.from_specs(app, deployment,
+                                DemandMatrix(demand), **problem_kwargs)
+
+
+def planet_scale_problem(n_clusters: int = 100, n_services: int = 5,
+                         n_classes: int = 1000,
+                         seed: int = 0, **kwargs) -> TEProblem:
+    """The ISSUE 7 planet-scale target: 100 clusters x 1000 classes.
+
+    Sparse by construction — each class enters at 2 seeded ingress
+    clusters and each service is deployed in 20% of the fleet — because
+    that is the regime the path formulation (`formulation="path"`) is
+    built for: path-variable count tracks demand entries, not clusters.
+    """
+    kwargs.setdefault("ingresses_per_class", 2)
+    kwargs.setdefault("replication", 0.2)
+    return synthetic_te_problem(n_clusters, n_services, n_classes,
+                                seed=seed, **kwargs)

@@ -132,6 +132,53 @@ def collect_controller_metrics(registry: MetricsRegistry,
         registry.gauge(
             "solver_cache_hit_rate",
             "hits / lookups over the run").set(cache.hit_rate)
+    epoch_solver = getattr(controller, "epoch_solver", None)
+    if epoch_solver is not None:
+        registry.counter(
+            "optimizer_builds_total",
+            "model assemblies over the run").inc(epoch_solver.builds)
+        registry.counter(
+            "optimizer_warm_builds_total",
+            "assemblies served by a structure-cache rescatter").inc(
+                epoch_solver.warm_builds)
+        registry.counter(
+            "optimizer_build_seconds_total",
+            "wall-clock seconds spent assembling models").inc(
+                epoch_solver.build_seconds)
+        registry.counter(
+            "optimizer_solves_total",
+            "solver invocations (cold or warm; excludes replays)").inc(
+                epoch_solver.solves)
+        registry.counter(
+            "optimizer_warm_solves_total",
+            "solves served by the warm-start restricted path").inc(
+                epoch_solver.warm_solves)
+        registry.counter(
+            "optimizer_warm_rejects_total",
+            "warm-start attempts that fell back to a cold solve").inc(
+                epoch_solver.warm_rejects)
+        registry.counter(
+            "optimizer_replays_total",
+            "epoch plans replayed from the solver cache").inc(
+                epoch_solver.replays)
+        registry.counter(
+            "optimizer_solve_seconds_total",
+            "wall-clock seconds spent in the solver").inc(
+                epoch_solver.solve_seconds)
+        structure_cache = epoch_solver.structure_cache
+        if structure_cache is not None:
+            registry.counter(
+                "structure_cache_hits_total",
+                "builds that reused a cached model structure").inc(
+                    structure_cache.hits)
+            registry.counter(
+                "structure_cache_misses_total",
+                "builds that assembled structure from scratch").inc(
+                    structure_cache.misses)
+            registry.gauge(
+                "structure_cache_hit_rate",
+                "structure-cache hits / lookups over the run").set(
+                    structure_cache.hit_rate)
     result = controller.last_result
     if result is not None:
         registry.gauge(
@@ -151,6 +198,18 @@ def collect_controller_metrics(registry: MetricsRegistry,
         registry.gauge(
             "solver_total_demand_rps",
             "demand the most recent plan routed").set(result.total_demand)
+        registry.gauge(
+            "solver_build_time_seconds",
+            "model assembly time of the most recent plan").set(
+                result.build_time)
+        registry.gauge(
+            "solver_warm_start",
+            "1 when the most recent solve was warm-started").set(
+                float(result.warm_start))
+        registry.gauge(
+            "solver_warm_build",
+            "1 when the most recent build reused cached structure").set(
+                float(result.warm_build))
 
 
 def collect_profiler_metrics(registry: MetricsRegistry,

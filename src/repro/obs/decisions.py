@@ -54,6 +54,13 @@ class EpochDecision:
     #: and the moment this plan was applied — ~0 for healthy runs, > 0 when
     #: chaos delayed/dropped reports, None before the first observe
     telemetry_age: float | None = None
+    #: a "solved" epoch that went through the warm-start restricted solve
+    #: (additive refinement of ``outcome``, which stays "solved")
+    warm: bool = False
+    #: the model assembly reused cached structure (demand rescatter)
+    warm_build: bool = False
+    #: wall-clock cost of model assembly for this epoch
+    build_time: float | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -72,6 +79,9 @@ class EpochDecision:
             "rules_changed": self.rules_changed,
             "weight_churn": self.weight_churn,
             "telemetry_age": self.telemetry_age,
+            "warm": self.warm,
+            "warm_build": self.warm_build,
+            "build_time": self.build_time,
         }
 
 
@@ -155,6 +165,9 @@ class DecisionLog:
             telemetry_age=(
                 None if getattr(controller, "last_observe_time", None) is None
                 else max(0.0, sim_time - controller.last_observe_time)),
+            warm=bool(getattr(result, "warm_start", False)),
+            warm_build=bool(getattr(result, "warm_build", False)),
+            build_time=getattr(result, "build_time", None),
         )
         self._prev_demand = demand
         self.decisions.append(decision)

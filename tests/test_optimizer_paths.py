@@ -1,0 +1,144 @@
+"""Path-based formulation: candidates, objectives, pruning, caching."""
+
+import pytest
+
+from repro.core.optimizer import (EpochSolver, StructureCache, build_model,
+                                  build_path_model, candidate_paths, solve)
+from repro.core.optimizer.cache import model_fingerprint
+from repro.core.optimizer.contraction import candidate_clusters
+from repro.core.optimizer.paths import PATH_OBJECTIVES, extract_path_result
+from repro.core.optimizer.solve import _solve_lp
+from repro.experiments.scenarios import synthetic_te_problem
+from tests.test_optimizer import chain_problem
+
+
+def path_solve(problem, **kwargs):
+    model = build_path_model(problem, **kwargs)
+    solution, status = _solve_lp(model)
+    return extract_path_result(model, solution, status, 0.0)
+
+
+class TestCandidates:
+    def test_deterministic(self):
+        problem = synthetic_te_problem(8, 3, 2, seed=3)
+        first = candidate_paths(problem, "class0", "c000", k=4)
+        second = candidate_paths(problem, "class0", "c000", k=4)
+        assert first == second
+
+    def test_best_candidate_leads(self):
+        problem = chain_problem()
+        cands = candidate_paths(problem, "default", "west", k=4)
+        assert cands[0].score == min(c.score for c in cands)
+
+    def test_candidates_are_distinct_and_diverse(self):
+        problem = synthetic_te_problem(10, 3, 2, seed=3)
+        cands = candidate_paths(problem, "class0", "c000", k=4)
+        assert len({c.assignment for c in cands}) == len(cands)
+        root_clusters = {dict(c.assignment)["svc0"] for c in cands}
+        # penalized walks must spread the root service across clusters
+        assert len(root_clusters) >= 3
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            candidate_paths(chain_problem(), "default", "west", k=0)
+
+    def test_prune_limit_caps_candidate_clusters(self):
+        problem = synthetic_te_problem(10, 3, 2, seed=3)
+        ranked = candidate_clusters(problem.latency,
+                                    problem.deployed_in("svc0"),
+                                    "c000", 3)
+        assert len(ranked) == 3
+        assert ranked == sorted(
+            ranked, key=lambda c: (problem.latency.one_way("c000", c), c))
+        everyone = candidate_clusters(problem.latency,
+                                      problem.deployed_in("svc0"),
+                                      "c000", None)
+        assert set(ranked) <= set(everyone)
+        with pytest.raises(ValueError, match="limit"):
+            candidate_clusters(problem.latency, everyone, "c000", 0)
+
+
+class TestObjectives:
+    def test_latency_objective_matches_arc(self):
+        problem = chain_problem()
+        arc = solve(problem)
+        path = path_solve(problem, k=4)
+        assert abs(arc.objective - path.objective) <= 1e-9
+
+    def test_min_mlu_bounded_when_feasible(self):
+        result = path_solve(chain_problem(west_rps=300.0), k=4,
+                            objective="min_mlu")
+        assert result.ok
+        assert 0.0 < result.objective <= 1.0
+
+    def test_max_throughput_routes_everything_with_headroom(self):
+        problem = chain_problem(west_rps=300.0, east_rps=100.0)
+        result = path_solve(problem, k=4, objective="max_throughput")
+        assert result.ok
+        assert abs(result.objective - (-400.0)) <= 1e-6
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError, match="unknown path objective"):
+            build_path_model(chain_problem(), objective="fastest")
+        assert set(PATH_OBJECTIVES) == {"latency", "min_mlu",
+                                        "max_throughput"}
+
+
+class TestStructureReuse:
+    def test_cache_hit_shares_arrays(self):
+        problem = synthetic_te_problem(6, 3, 2, seed=5)
+        cache = StructureCache()
+        first = build_path_model(problem, structure_cache=cache)
+        for workload in problem.workloads.values():
+            for cluster in workload.demand:
+                workload.demand[cluster] *= 1.2
+        second = build_path_model(problem, structure_cache=cache)
+        assert cache.hits == 1
+        # shared structure is what the warm-start identity gate keys on
+        assert second.a_eq is first.a_eq
+
+    def test_cache_key_separates_k_and_objective(self):
+        problem = synthetic_te_problem(6, 3, 2, seed=5)
+        cache = StructureCache()
+        build_path_model(problem, k=2, structure_cache=cache)
+        build_path_model(problem, k=3, structure_cache=cache)
+        build_path_model(problem, k=2, objective="min_mlu",
+                         structure_cache=cache)
+        assert cache.hits == 0 and cache.misses == 3
+
+    def test_fingerprint_stable_across_builds(self):
+        problem = chain_problem()
+        assert (model_fingerprint(build_path_model(problem))
+                == model_fingerprint(build_path_model(problem)))
+
+
+class TestEpochSolverPath:
+    def test_path_epoch_solver_warm_epoch(self):
+        solver = EpochSolver(formulation="path", path_k=4)
+        problem = chain_problem()
+        first = solver.solve(problem)
+        assert first.ok and not first.warm_start
+        problem.workloads["default"].demand["west"] = 620.0
+        second = solver.solve(problem)
+        assert second.ok and second.warm_build and second.warm_start
+
+    def test_rules_weights_normalized(self):
+        result = path_solve(chain_problem(), k=4)
+        for rule in result.rules().rules:
+            assert abs(sum(w for _, w in rule.weights) - 1.0) <= 1e-9
+
+    def test_pruned_solve_stays_feasible(self):
+        problem = synthetic_te_problem(10, 3, 2, seed=3)
+        pruned = path_solve(problem, k=4, prune_limit=4)
+        full = path_solve(problem, k=4)
+        assert pruned.ok and full.ok
+        # pruning shrinks the candidate pool, never below feasibility
+        assert pruned.objective >= full.objective - 1e-9
+
+
+def test_arc_model_unaffected_by_path_import():
+    """Arc builds stay byte-stable regardless of path machinery."""
+    problem = chain_problem()
+    before = model_fingerprint(build_model(problem))
+    build_path_model(problem)
+    assert model_fingerprint(build_model(problem)) == before

@@ -1,0 +1,130 @@
+"""Warm-started epoch solves: exactness, the reuse ladder, fallbacks.
+
+The warm path must be invisible in the output: on the seed scenarios
+(round demand, exactly representable vertices) a warm-started epoch's
+solution is *byte-identical* to a cold solve of the same model, and the
+``REPRO_DEBUG_INVARIANTS`` shadow check enforces at least tolerance-level
+agreement on every instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import (EpochSolver, SolverCache, StructureCache,
+                                  build_model, warm_solve)
+from repro.core.optimizer.solve import _solve_lp
+from repro.core.optimizer.warm import EpochSolver as _EpochSolver
+from repro.devtools.invariants import InvariantViolation
+from repro.experiments.scenarios import synthetic_te_problem
+from tests.test_optimizer import chain_problem
+
+
+def test_warm_solve_matches_cold_bitwise_on_seed_scenario():
+    problem = chain_problem(west_rps=700.0, east_rps=100.0)
+    model = build_model(problem)
+    cold_x, status = _solve_lp(model)
+    assert status == "optimal"
+    # demand moves, structure does not: rescatter through a cache
+    cache = StructureCache()
+    build_model(problem, structure_cache=cache)
+    problem.workloads["default"].demand["west"] = 650.0
+    moved = build_model(problem, structure_cache=cache)
+    warm_x = warm_solve(moved, cold_x)
+    assert warm_x is not None
+    cold_moved_x, _ = _solve_lp(moved)
+    assert np.array_equal(warm_x, cold_moved_x)
+
+
+def test_epoch_solver_warm_epoch_byte_identical_rules(monkeypatch):
+    monkeypatch.setenv("REPRO_DEBUG_INVARIANTS", "1")
+    warm_solver = EpochSolver()
+    cold_solver = EpochSolver(warm_start=False, structure_cache=None)
+
+    problem = chain_problem(west_rps=700.0)
+    warm_solver.solve(problem)
+    # demand moves in place: same structure snapshot, new values
+    problem.workloads["default"].demand["west"] = 650.0
+    warm_result = warm_solver.solve(problem)
+    assert warm_result.warm_build and warm_result.warm_start
+
+    cold_result = cold_solver.solve(chain_problem(west_rps=650.0))
+    assert warm_result.objective == cold_result.objective
+    assert warm_result.rules().rules == cold_result.rules().rules
+
+
+def test_reuse_ladder_counters():
+    """replay < warm rebuild+resolve < cold, each observable in stats."""
+    solver = EpochSolver(cache=SolverCache())
+    problem = chain_problem(west_rps=700.0)
+    r1 = solver.solve(problem)
+    assert not r1.cache_hit and not r1.warm_start
+
+    r2 = solver.solve(problem)        # identical fingerprint: replay
+    assert r2.cache_hit
+
+    problem.workloads["default"].demand["west"] = 620.0
+    r3 = solver.solve(problem)        # values moved: warm build + solve
+    assert r3.warm_build and r3.warm_start and not r3.cache_hit
+
+    stats = solver.stats()
+    assert stats["builds"] == 3
+    assert stats["replays"] == 1
+    assert stats["warm_solves"] == 1
+    assert stats["warm_rejects"] == 0
+    assert stats["solves"] == 2
+
+
+def test_warm_start_disabled_by_structure_cache_none():
+    solver = EpochSolver(structure_cache=None)
+    problem = chain_problem()
+    solver.solve(problem)
+    problem.workloads["default"].demand["west"] = 620.0
+    result = solver.solve(problem)
+    # fresh arrays every build: the structure-identity gate never opens
+    assert not result.warm_build and not result.warm_start
+    assert solver.stats()["warm_solves"] == 0
+
+
+def test_warm_reject_falls_back_to_cold(monkeypatch):
+    monkeypatch.setattr("repro.core.optimizer.warm.warm_solve",
+                        lambda model, prev: None)
+    solver = EpochSolver()
+    problem = chain_problem()
+    solver.solve(problem)
+    problem.workloads["default"].demand["west"] = 620.0
+    result = solver.solve(problem)
+    assert result.ok and not result.warm_start
+    assert solver.stats()["warm_rejects"] == 1
+
+
+def test_warm_solve_rejects_mip_and_shape_mismatch():
+    problem = chain_problem()
+    model = build_model(problem)
+    x, _ = _solve_lp(model)
+    assert warm_solve(model, x[:-1]) is None     # stale shape
+    milp = build_model(problem, max_splits=1)
+    assert warm_solve(milp, np.zeros(milp.n_variables)) is None
+
+
+def test_shadow_invariant_catches_divergence(monkeypatch):
+    monkeypatch.setenv("REPRO_DEBUG_INVARIANTS", "1")
+    problem = chain_problem()
+    model = build_model(problem)
+    x, _ = _solve_lp(model)
+    corrupted = x.copy()
+    corrupted[0] += 1.0
+    with pytest.raises(InvariantViolation):
+        _EpochSolver._check_warm_invariant(model, corrupted)
+
+
+def test_warm_epoch_on_randomized_instance(monkeypatch):
+    """Shadow-checked warm solve on a non-round synthetic instance."""
+    monkeypatch.setenv("REPRO_DEBUG_INVARIANTS", "1")
+    solver = EpochSolver()
+    problem = synthetic_te_problem(6, 4, 3, seed=9)
+    solver.solve(problem)
+    for workload in problem.workloads.values():
+        for cluster in workload.demand:
+            workload.demand[cluster] *= 1.07
+    result = solver.solve(problem)
+    assert result.ok and result.warm_build

@@ -1,0 +1,96 @@
+"""Synthetic planet-scale instance generators (D01: registry-seeded)."""
+
+import pytest
+
+from repro.experiments.scenarios import (planet_scale_problem,
+                                         synthetic_te_problem,
+                                         synthetic_topology)
+
+
+class TestSyntheticTopology:
+    def test_deterministic_across_calls(self):
+        first = synthetic_topology(12, seed=3)
+        second = synthetic_topology(12, seed=3)
+        assert list(first.clusters) == list(second.clusters)
+        for a in first.clusters:
+            for b in first.clusters:
+                assert first.one_way(a, b) == second.one_way(a, b)
+
+    def test_seed_changes_delays(self):
+        base = synthetic_topology(6, seed=0)
+        other = synthetic_topology(6, seed=1)
+        assert any(
+            base.one_way(a, b) != other.one_way(a, b)
+            for a in base.clusters for b in base.clusters if a != b)
+
+    def test_names_sort_as_indices(self):
+        names = list(synthetic_topology(12).clusters)
+        assert names == sorted(names)
+        assert names[0] == "c000" and names[-1] == "c011"
+
+    def test_delays_respect_base(self):
+        latency = synthetic_topology(5, base_delay_ms=5.0)
+        for a in latency.clusters:
+            for b in latency.clusters:
+                if a != b:
+                    assert latency.one_way(a, b) >= 0.005
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            synthetic_topology(0)
+
+
+class TestSyntheticProblem:
+    def test_deterministic(self):
+        first = synthetic_te_problem(8, 3, 4, seed=2, replication=0.5,
+                                     ingresses_per_class=2)
+        second = synthetic_te_problem(8, 3, 4, seed=2, replication=0.5,
+                                      ingresses_per_class=2)
+        assert first.replicas == second.replicas
+        for name in first.workloads:
+            assert first.workloads[name].demand == \
+                second.workloads[name].demand
+
+    def test_full_replication_and_demand(self):
+        problem = synthetic_te_problem(4, 3, 2)
+        for service in ("svc0", "svc1", "svc2"):
+            assert problem.deployed_in(service) == problem.clusters
+        for workload in problem.workloads.values():
+            assert set(workload.demand) == set(problem.clusters)
+
+    def test_partial_replication_thins_placement(self):
+        problem = synthetic_te_problem(10, 3, 2, replication=0.3)
+        for service in ("svc0", "svc1", "svc2"):
+            assert len(problem.deployed_in(service)) == 3
+
+    def test_sparse_demand(self):
+        problem = synthetic_te_problem(10, 3, 4, ingresses_per_class=2)
+        for workload in problem.workloads.values():
+            assert len(workload.demand) == 2
+
+    def test_auto_replicas_leave_headroom(self):
+        problem = synthetic_te_problem(6, 3, 2, headroom=2.0)
+        # busy replicas required per second, summed over every pool
+        required = sum(
+            w.total_demand * w.spec.exec_time[s]
+            for w in problem.workloads.values()
+            for s in w.spec.services())
+        provisioned = sum(problem.replica_count("svc0", c)
+                          for c in problem.clusters) * 3
+        assert provisioned >= required * 1.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="replication"):
+            synthetic_te_problem(4, 2, 1, replication=0.0)
+        with pytest.raises(ValueError, match="ingresses_per_class"):
+            synthetic_te_problem(4, 2, 1, ingresses_per_class=9)
+
+
+def test_planet_scale_problem_shape():
+    problem = planet_scale_problem(n_clusters=20, n_services=4,
+                                   n_classes=30)
+    assert len(problem.clusters) == 20
+    assert len(problem.workloads) == 30
+    for workload in problem.workloads.values():
+        assert len(workload.demand) == 2
+    assert len(problem.deployed_in("svc0")) == 4   # 20% of the fleet
