@@ -81,3 +81,42 @@ def test_observability_timeseries_and_slo(benchmark, bench_json):
         slo=(default_latency_slo(0.25),)))
     assert events > 0
     _record(benchmark, bench_json, "events_per_sec_timeseries_slo", events)
+
+
+# --------------------------------------------------- provenance overhead
+#
+# Provenance instruments the epoch control loop (digest + rule diff +
+# effect attribution per epoch), so its cost only shows up under an
+# adaptive policy. Bar: the provenance row must stay within 25% of the
+# control-loop baseline (target <=5%); `repro obs diff` enforces the band
+# across PRs via BENCH_obs.json.
+
+def _simulate_control(provenance: bool):
+    from repro import GlobalControllerConfig, SlatePolicy
+    from repro.experiments.harness import Scenario, run_policy
+
+    app, deployment, demand = _scenario()
+    scenario = Scenario("obs-bench-control", app, deployment, demand,
+                        duration=_DURATION, warmup=0.0, epoch=1.0)
+    config = ObservabilityConfig(
+        decisions=True, timeseries=True, scrape_interval=0.25,
+        provenance=provenance)
+    policy = SlatePolicy(GlobalControllerConfig(rho_max=0.95), adaptive=True)
+    outcome = run_policy(scenario, policy,
+                         observability=Observability(config))
+    return len(outcome.latencies)
+
+
+def test_control_loop_baseline(benchmark, bench_json):
+    """Adaptive control loop with decision log + scrape, no provenance."""
+    requests = benchmark(_simulate_control, False)
+    assert requests > 0
+    _record(benchmark, bench_json, "requests_per_sec_control_off", requests)
+
+
+def test_control_loop_provenance(benchmark, bench_json):
+    """Same loop with the flight recorder chaining every epoch."""
+    requests = benchmark(_simulate_control, True)
+    assert requests > 0
+    _record(benchmark, bench_json, "requests_per_sec_control_provenance",
+            requests)

@@ -117,6 +117,7 @@ def run_chaos(scenario: Scenario, policy, plan: FaultPlan | None = None,
     )
     obs = simulation.observability
     decision_log = obs.decisions if obs is not None else None
+    provenance = obs.provenance if obs is not None else None
     chaos = ChaosRuntime(simulation, plan)
     ctx = scenario.context()
     fallback_policy = make_fallback(fallback, scenario)
@@ -129,6 +130,14 @@ def run_chaos(scenario: Scenario, policy, plan: FaultPlan | None = None,
     rules = policy.compute_rules(ctx)
     for controller in controllers.values():
         controller.distribute(rules, simulation.table)
+
+    if provenance is not None:
+        provenance.bind_run(scenario.name,
+                            scenario.seed if seed is None else seed,
+                            policy=policy.name)
+        provenance.seed_rules(simulation.table.rules())
+        if hasattr(policy, "attach_provenance"):
+            policy.attach_provenance(provenance)
 
     def on_epoch(reports, sim) -> None:
         now = sim.sim.now
@@ -149,11 +158,27 @@ def run_chaos(scenario: Scenario, policy, plan: FaultPlan | None = None,
                 global_controller = getattr(policy, "controller", None)
                 if global_controller is not None:
                     decision_log.record(now, global_controller, update)
+            if provenance is not None:
+                provenance.record_epoch(
+                    now, controller=getattr(policy, "controller", None),
+                    update=update, reports=relayed,
+                    rules=sim.table.rules())
         else:
             # reports relayed into a dead controller are lost; clusters
             # notice only through the age of their rules
-            for controller in controllers.values():
-                controller.check_staleness(now, sim.table, ctx)
+            tripped = [name for name, controller in controllers.items()
+                       if controller.check_staleness(now, sim.table, ctx)]
+            if provenance is not None:
+                # outage epochs still chain: the record captures the
+                # fallback installs the dead controller never saw
+                provenance.record_epoch(
+                    now, controller=getattr(policy, "controller", None),
+                    update=None, reports=relayed, rules=sim.table.rules(),
+                    outcome="outage", fallback=tuple(tripped))
+        if provenance is not None:
+            if obs.alerts is not None:
+                provenance.check_alerts(now, obs.alerts)
+            provenance.check_faults(now, chaos.timeline)
 
     if timeline is not None:
         simulation.run_timeline(timeline, epoch=scenario.epoch,
@@ -163,6 +188,9 @@ def run_chaos(scenario: Scenario, policy, plan: FaultPlan | None = None,
                        epoch=scenario.epoch,
                        on_epoch=on_epoch if scenario.epoch else None)
 
+    if provenance is not None:
+        provenance.check_faults(simulation.sim.now, chaos.timeline)
+        provenance.finalize(simulation.sim.now)
     if obs is not None:
         obs.collect(simulation, getattr(policy, "controller", None))
 

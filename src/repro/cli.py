@@ -164,7 +164,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
 def cmd_obs(args: argparse.Namespace) -> int:
     handlers = {"trace": _obs_trace, "metrics": _obs_metrics,
                 "decisions": _obs_decisions, "timeseries": _obs_timeseries,
-                "slo": _obs_slo, "diff": _obs_diff}
+                "slo": _obs_slo, "diff": _obs_diff, "explain": _obs_explain}
     return handlers[args.obs_command](args)
 
 
@@ -258,6 +258,42 @@ def _obs_decisions(args: argparse.Namespace) -> int:
         print(f"wrote {count} decisions to {out}")
         return 0
     print(log.render())
+    return 0
+
+
+def _obs_explain(args: argparse.Namespace) -> int:
+    from .obs import (Observability, ObservabilityConfig,
+                      write_flight_dump, write_provenance_jsonl)
+    obs = Observability(ObservabilityConfig(provenance=True, decisions=True,
+                                            timeseries=True))
+    if args.scenario == "chaos":
+        from .chaos import run_chaos
+        duration = args.duration if args.duration is not None else 40.0
+        setup = sc.chaos_outage_setup(duration=duration, seed=args.seed)
+        run_chaos(setup.scenario, setup.policy, setup.plan,
+                  fallback=setup.fallback, max_rule_age=setup.max_rule_age,
+                  observability=obs)
+    else:
+        from .experiments.harness import run_policy
+        duration = args.duration if args.duration is not None else 240.0
+        # replicas=2 keeps peak diurnal demand above one cluster's
+        # capacity, so the optimizer actually shifts weight cross-cluster
+        # (the default 5 replicas never offload — nothing to explain)
+        setup = sc.diurnal_control_setup(duration=duration, seed=args.seed,
+                                         replicas=args.replicas)
+        run_policy(setup.scenario, setup.policy, observability=obs,
+                   timeline=setup.timeline)
+    provenance = obs.provenance
+    print(provenance.explain(args.traffic_class, at=args.at))
+    if args.table:
+        print()
+        print(provenance.render())
+    if args.output:
+        count = write_provenance_jsonl(provenance, args.output)
+        print(f"wrote {count} provenance records to {args.output}")
+    if args.dump:
+        count = write_flight_dump(provenance, args.dump)
+        print(f"wrote {count} flight-recorder snapshots to {args.dump}")
     return 0
 
 
@@ -519,6 +555,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also write the time-series snapshot here")
     slo.add_argument("--decisions-out", default=None,
                      help="also write the decision log here")
+
+    explain = obs_sub.add_parser(
+        "explain", help="why did traffic for a class shift? walk the "
+                        "provenance chain for one epoch")
+    explain.add_argument("traffic_class", nargs="?", default="default",
+                         help="traffic class to explain (default: default)")
+    explain.add_argument("--at", type=float, default=None,
+                         help="explain the newest epoch at or before this "
+                              "sim time (default: largest shift)")
+    explain.add_argument("--scenario", choices=("diurnal", "chaos"),
+                         default="diurnal")
+    explain.add_argument("--duration", type=float, default=None,
+                         help="simulated seconds (default: 240 diurnal, "
+                              "40 chaos)")
+    explain.add_argument("--seed", type=int, default=42)
+    explain.add_argument("--replicas", type=int, default=2,
+                         help="diurnal scenario replicas per pool; 2 makes "
+                              "peak demand spill cross-cluster")
+    explain.add_argument("--table", action="store_true",
+                         help="also print the flight-recorder ring table")
+    explain.add_argument("-o", "--output", default=None,
+                         help="write provenance records JSONL here")
+    explain.add_argument("--dump", default=None,
+                         help="write anomaly flight-recorder snapshots "
+                              "JSONL here")
 
     diff = obs_sub.add_parser(
         "diff", help="compare two runs' exported artifacts; exit 1 on "

@@ -35,6 +35,7 @@ class SlatePolicy:
         self.rollout = rollout
         self._controller: GlobalController | None = None
         self._profiler = None
+        self._provenance = None
 
     def attach_profiler(self, profiler) -> None:
         """Route optimizer timings into a control-plane profiler.
@@ -46,6 +47,16 @@ class SlatePolicy:
         self._profiler = profiler
         if self._controller is not None:
             self._controller.attach_profiler(profiler)
+
+    def attach_provenance(self, recorder) -> None:
+        """Route per-epoch solver decisions into a provenance recorder.
+
+        Duck-typed (``record_solve(info)``) like :meth:`attach_profiler`,
+        and with the same lazy-creation semantics.
+        """
+        self._provenance = recorder
+        if self._controller is not None:
+            self._controller.attach_provenance(recorder)
 
     @property
     def controller(self) -> GlobalController | None:
@@ -78,6 +89,8 @@ class SlatePolicy:
                                                 self.config)
             if self._profiler is not None:
                 self._controller.attach_profiler(self._profiler)
+            if self._provenance is not None:
+                self._controller.attach_provenance(self._provenance)
         self._controller.observe(reports)
         result = self._controller.plan()
         if result is None:

@@ -63,6 +63,22 @@ class OptimizationResult:
     def ok(self) -> bool:
         return self.status == "optimal"
 
+    @property
+    def solver_path(self) -> str:
+        """Which rung of the reuse ladder produced this result.
+
+        ``"replay"`` (solver-cache hit, no solver run), ``"warm"``
+        (restricted solve certified optimal by pricing), or ``"cold"``
+        (full solve). The single derivation point for consumers that
+        previously re-derived it from the ``cache_hit``/``warm_start``
+        boolean pair.
+        """
+        if self.cache_hit:
+            return "replay"
+        if self.warm_start:
+            return "warm"
+        return "cold"
+
     # ---------------------------------------------------------------- rules
 
     def rules(self) -> RuleSet:

@@ -78,15 +78,21 @@ _DEFAULT = object()
 
 
 def warm_solve(model, previous_solution: np.ndarray,
-               ) -> np.ndarray | None:
+               profiler=None) -> np.ndarray | None:
     """Re-solve an LP restricted to the previous solution's support.
 
     Returns the full-length solution vector when optimality of the
     restriction is certified by pricing, else ``None`` (caller solves
-    cold). Only valid for pure LPs.
+    cold). Only valid for pure LPs. ``profiler`` duck-types the
+    control-plane profiler: the restricted solves are timed under
+    ``warm_solve`` and the reduced-cost pricing under
+    ``pricing_certificate``.
     """
     if model.is_mip:
         return None
+
+    def _section(name):
+        return nullcontext() if profiler is None else profiler.section(name)
     n = model.n_variables
     n_routes = len(model.route_columns)
     if len(previous_solution) != n:
@@ -105,14 +111,15 @@ def warm_solve(model, previous_solution: np.ndarray,
     tolerance = PRICING_TOLERANCE * (1.0 + float(np.abs(c).max(initial=0.0)))
 
     for _ in range(MAX_WARM_ROUNDS):
-        outcome = optimize.linprog(
-            c=c[keep],
-            A_ub=a_ub[:, keep], b_ub=model.b_ub,
-            A_eq=a_eq[:, keep], b_eq=model.b_eq,
-            bounds=[(0.0, ub if np.isfinite(ub) else None)
-                    for ub in upper[keep]],
-            method="highs",
-        )
+        with _section("warm_solve"):
+            outcome = optimize.linprog(
+                c=c[keep],
+                A_ub=a_ub[:, keep], b_ub=model.b_ub,
+                A_eq=a_eq[:, keep], b_eq=model.b_eq,
+                bounds=[(0.0, ub if np.isfinite(ub) else None)
+                        for ub in upper[keep]],
+                method="highs",
+            )
         if not outcome.success:
             return None
         y_ub = outcome.ineqlin.marginals
@@ -120,10 +127,11 @@ def warm_solve(model, previous_solution: np.ndarray,
         if y_ub is None or y_eq is None:
             return None
         # price the full column set with the restricted duals
-        reduced = c - model.a_ub.T @ y_ub - model.a_eq.T @ y_eq
-        excluded = np.setdiff1d(np.arange(n, dtype=np.intp), keep,
-                                assume_unique=False)
-        violated = excluded[reduced[excluded] < -tolerance]
+        with _section("pricing_certificate"):
+            reduced = c - model.a_ub.T @ y_ub - model.a_eq.T @ y_eq
+            excluded = np.setdiff1d(np.arange(n, dtype=np.intp), keep,
+                                    assume_unique=False)
+            violated = excluded[reduced[excluded] < -tolerance]
         if not violated.size:
             x = np.zeros(n)
             x[keep] = outcome.x
@@ -140,8 +148,10 @@ class EpochSolver:
     One instance lives inside each adaptive :class:`GlobalController`; the
     oracle/one-shot paths keep using :func:`~repro.core.optimizer.solve
     .solve`. ``profiler`` duck-types the control-plane profiler's
-    ``section(name)`` context manager (kept duck-typed so ``repro.core``
-    never imports ``repro.obs``).
+    ``section(name)`` context manager, and ``recorder`` duck-types the
+    provenance log's ``record_solve(info)`` hook (both kept duck-typed so
+    ``repro.core`` never imports ``repro.obs``; both None by default, so
+    the instrumented path costs one attribute check per epoch).
     """
 
     def __init__(self, cache: SolverCache | None = None,
@@ -169,6 +179,12 @@ class EpochSolver:
         self.path_objective = path_objective
         self.path_prune_limit = path_prune_limit
         self.profiler = profiler
+        #: duck-typed provenance sink: ``record_solve(info: dict)`` is
+        #: called once per solve() with the reuse-ladder outcome
+        self.recorder = None
+        #: path-formulation candidate stats of the most recent build
+        #: (None for the arc formulation) — surfaced via stats()/collect
+        self.last_candidate_stats: dict | None = None
         self._previous: tuple[int, np.ndarray] | None = None
         # counters surfaced through stats() → repro.obs collectors
         self.builds = 0
@@ -189,16 +205,56 @@ class EpochSolver:
         return profiler.section(name)
 
     def _build(self, problem: TEProblem):
+        # "vectorized_build" nests inside the legacy "optimizer-build"
+        # section so existing dashboards keep their totals while the PR 7
+        # phase gets its own row
         if self.formulation == "path":
             from .paths import build_path_model
-            return build_path_model(
-                problem, k=self.path_k, objective=self.path_objective,
-                prune_limit=self.path_prune_limit,
-                knot_fractions=self.knot_fractions,
-                structure_cache=self.structure_cache)
-        return build_model(problem, max_splits=self.max_splits,
-                           knot_fractions=self.knot_fractions,
-                           structure_cache=self.structure_cache)
+            with self._section("vectorized_build"):
+                return build_path_model(
+                    problem, k=self.path_k, objective=self.path_objective,
+                    prune_limit=self.path_prune_limit,
+                    knot_fractions=self.knot_fractions,
+                    structure_cache=self.structure_cache)
+        with self._section("vectorized_build"):
+            return build_model(problem, max_splits=self.max_splits,
+                               knot_fractions=self.knot_fractions,
+                               structure_cache=self.structure_cache)
+
+    def _candidate_stats(self, model) -> dict | None:
+        """Candidate-set sizes for a path-formulation model.
+
+        Groups are (traffic_class, ingress) pairs — the unit the k-best
+        enumeration ran per. None for the arc formulation.
+        """
+        path_vars = getattr(model, "path_vars", None)
+        if path_vars is None:
+            return None
+        groups: dict[tuple[str, str], int] = {}
+        for var in path_vars:
+            key = (var.traffic_class, var.ingress)
+            groups[key] = groups.get(key, 0) + 1
+        return {
+            "paths": len(path_vars),
+            "groups": len(groups),
+            "k": self.path_k,
+            "max_group": max(groups.values(), default=0),
+        }
+
+    def _notify(self, solver_path: str, warm_build: bool,
+                pricing: str | None, model) -> None:
+        """Feed the reuse-ladder outcome to the provenance recorder."""
+        recorder = self.recorder
+        if recorder is None:
+            return
+        recorder.record_solve({
+            "solver_path": solver_path,
+            "warm_build": warm_build,
+            "pricing": pricing,
+            "formulation": self.formulation,
+            "n_variables": model.n_variables,
+            "candidates": self.last_candidate_stats,
+        })
 
     def _extract(self, model, solution, status, elapsed):
         if self.formulation == "path":
@@ -223,6 +279,7 @@ class EpochSolver:
                       and self.structure_cache.hits > structure_hits)
         if warm_build:
             self.warm_builds += 1
+        self.last_candidate_stats = self._candidate_stats(model)
 
         fingerprint = None
         if self.cache is not None:
@@ -235,25 +292,30 @@ class EpochSolver:
                     model, solution, status,
                     time.perf_counter() - started)   # lint: ignore[D02]
                 result.cache_hit = True
+                self._notify("replay", warm_build, None, model)
                 return self._decorate(result, fingerprint, build_elapsed,
                                       warm_build, warm_start=False)
 
         solve_started = time.perf_counter()   # lint: ignore[D02]
         solution = None
         warm = False
+        pricing = None
         if self.warm_start and self._previous is not None:
             prev_structure, prev_x = self._previous
             # object identity of the constraint matrix ⇔ same structure
             # snapshot ⇔ only b_eq/bounds may differ from last epoch
             if prev_structure == id(model.a_eq) and not model.is_mip:
                 with self._section("optimizer-warm-solve"):
-                    solution = warm_solve(model, prev_x)
+                    solution = warm_solve(model, prev_x,
+                                          profiler=self.profiler)
                 if solution is not None:
                     warm = True
+                    pricing = "certified"
                     self.warm_solves += 1
                     status = "optimal"
                     self._check_warm_invariant(model, solution)
                 else:
+                    pricing = "rejected"
                     self.warm_rejects += 1
         if solution is None:
             with self._section("optimizer-solve"):
@@ -272,6 +334,7 @@ class EpochSolver:
         if self.cache is not None:
             self.cache.store(fingerprint, solution, status)
         result = self._extract(model, solution, status, elapsed)
+        self._notify("warm" if warm else "cold", warm_build, pricing, model)
         return self._decorate(result, fingerprint, build_elapsed,
                               warm_build, warm)
 
@@ -329,6 +392,7 @@ class EpochSolver:
             "warm_rejects": self.warm_rejects,
             "replays": self.replays,
             "solve_seconds": self.solve_seconds,
+            "candidates": self.last_candidate_stats,
             "structure_cache": (self.structure_cache.stats()
                                 if self.structure_cache is not None else None),
             "solver_cache": (self.cache.stats()

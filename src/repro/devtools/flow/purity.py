@@ -73,7 +73,8 @@ DEFAULT_PURITY_CONTRACTS: tuple[PurityContract, ...] = (
         rule="A01",
         entry_modules=("repro.obs.collect", "repro.obs.timeseries",
                        "repro.obs.slo", "repro.obs.alerts",
-                       "repro.obs.diff", "repro.obs.analyzer"),
+                       "repro.obs.diff", "repro.obs.analyzer",
+                       "repro.obs.provenance"),
         forbidden=("repro.sim", "repro.mesh", "repro.core",
                    "repro.baselines", "repro.experiments", "repro.chaos"),
         description=("observability collection/scrape/SLO/diff code must "

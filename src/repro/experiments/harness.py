@@ -20,6 +20,7 @@ from ..analysis.fluid import FluidPrediction, evaluate_rules
 from ..baselines.base import PolicyContext, RoutingPolicy
 from ..core.classes.classifier import AppSpecClassifier
 from ..core.controller.cluster_controller import ClusterController
+from ..devtools.invariants import InvariantViolation
 from ..sim.apps import AppSpec
 from ..sim.runner import MeshSimulation
 from ..sim.topology import DeploymentSpec
@@ -85,6 +86,7 @@ def run_policy(scenario: Scenario, policy: RoutingPolicy,
     obs = simulation.observability   # post-coercion runtime (or None)
     profiler = obs.profiler if obs is not None else None
     decision_log = obs.decisions if obs is not None else None
+    provenance = obs.provenance if obs is not None else None
     ctx = scenario.context()
     controllers = {name: ClusterController(name)
                    for name in scenario.deployment.cluster_names}
@@ -93,6 +95,12 @@ def run_policy(scenario: Scenario, policy: RoutingPolicy,
     # don't expose the hook — baselines — simply aren't profiled per-phase)
     if profiler is not None and hasattr(policy, "attach_profiler"):
         policy.attach_profiler(profiler)
+    if provenance is not None:
+        provenance.bind_run(scenario.name,
+                            scenario.seed if seed is None else seed,
+                            policy=policy.name)
+        if hasattr(policy, "attach_provenance"):
+            policy.attach_provenance(provenance)
 
     if profiler is not None:
         with profiler.section("initial-plan"):
@@ -101,6 +109,8 @@ def run_policy(scenario: Scenario, policy: RoutingPolicy,
         rules = policy.compute_rules(ctx)
     for controller in controllers.values():
         controller.distribute(rules, simulation.table)
+    if provenance is not None:
+        provenance.seed_rules(simulation.table.rules())
 
     def epoch_body(reports, sim) -> None:
         relayed = []
@@ -121,6 +131,12 @@ def run_policy(scenario: Scenario, policy: RoutingPolicy,
             global_controller = getattr(policy, "controller", None)
             if global_controller is not None:
                 decision_log.record(sim.sim.now, global_controller, update)
+        if provenance is not None:
+            provenance.record_epoch(
+                now, controller=getattr(policy, "controller", None),
+                update=update, reports=relayed, rules=sim.table.rules())
+            if obs.alerts is not None:
+                provenance.check_alerts(now, obs.alerts)
 
     def on_epoch(reports, sim) -> None:
         if profiler is not None:
@@ -129,14 +145,25 @@ def run_policy(scenario: Scenario, policy: RoutingPolicy,
         else:
             epoch_body(reports, sim)
 
-    if timeline is not None:
-        simulation.run_timeline(timeline, epoch=scenario.epoch,
-                                on_epoch=on_epoch if scenario.epoch else None)
-    else:
-        simulation.run(scenario.demand, scenario.duration,
-                       epoch=scenario.epoch,
-                       on_epoch=on_epoch if scenario.epoch else None)
+    try:
+        if timeline is not None:
+            simulation.run_timeline(
+                timeline, epoch=scenario.epoch,
+                on_epoch=on_epoch if scenario.epoch else None)
+        else:
+            simulation.run(scenario.demand, scenario.duration,
+                           epoch=scenario.epoch,
+                           on_epoch=on_epoch if scenario.epoch else None)
+    except InvariantViolation as error:
+        # a runtime-invariant failure is an anomaly trigger: freeze the
+        # flight recorder before the exception unwinds the run
+        if provenance is not None:
+            provenance.record_anomaly(simulation.sim.now, "invariant",
+                                      {"error": str(error)})
+        raise
 
+    if provenance is not None:
+        provenance.finalize(simulation.sim.now)
     if obs is not None:
         obs.collect(simulation, getattr(policy, "controller", None))
 

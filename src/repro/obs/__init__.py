@@ -16,6 +16,10 @@ network layer cannot; this package applies the same idea to the simulator:
   with multi-window burn-rate alerting over the scraped series;
 * :mod:`repro.obs.decisions` — an append-only log of every Global
   Controller epoch (demand delta, solve-vs-replay, routing diff);
+* :mod:`repro.obs.provenance` — per-epoch causal chains (telemetry digest
+  → solver reuse-ladder rung → rule delta → observed data-plane shift)
+  in a bounded flight-recorder ring with anomaly-triggered dumps and the
+  ``repro obs explain`` narrative;
 * :mod:`repro.obs.diff` — a run-diff regression engine comparing two runs'
   exported artifacts under tolerance bands (``repro obs diff A B``);
 * :mod:`repro.obs.profiler` — wall-clock profiling of the control plane
@@ -35,12 +39,15 @@ from .diff import (DiffConfig, DiffReport, SeriesDelta, diff_files,
                    diff_runs, flatten_artifact, load_artifact)
 from .export import (load_trace_jsonl, write_alerts_jsonl,
                      write_chrome_trace, write_decisions_jsonl,
-                     write_metrics_json, write_metrics_prometheus,
+                     write_flight_dump, write_metrics_json,
+                     write_metrics_prometheus, write_provenance_jsonl,
                      write_timeseries_json, write_trace_jsonl)
 from .metrics import (Counter, DEFAULT_LATENCY_BUCKETS,
                       DEFAULT_MAX_LABEL_SETS, Gauge, Histogram,
                       MetricsRegistry)
 from .profiler import ControlPlaneProfiler
+from .provenance import (DEFAULT_FLIGHT_RING, EpochEffect, FlightRecorder,
+                         ProvenanceLog, ProvenanceRecord, telemetry_digest)
 from .slo import SloEngine, SloRule, default_latency_slo
 from .timeseries import (DEFAULT_MAX_POINTS, ScrapeLoop, TimeSeries,
                          TimeSeriesStore, percentile)
@@ -51,6 +58,7 @@ __all__ = [
     "AlertLog",
     "ControlPlaneProfiler",
     "Counter",
+    "DEFAULT_FLIGHT_RING",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_MAX_LABEL_SETS",
     "DEFAULT_MAX_POINTS",
@@ -58,12 +66,16 @@ __all__ = [
     "DiffConfig",
     "DiffReport",
     "EpochDecision",
+    "EpochEffect",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HopBreakdown",
     "MetricsRegistry",
     "Observability",
     "ObservabilityConfig",
+    "ProvenanceLog",
+    "ProvenanceRecord",
     "ScrapeLoop",
     "SeriesDelta",
     "SloEngine",
@@ -84,12 +96,15 @@ __all__ = [
     "load_artifact",
     "load_trace_jsonl",
     "percentile",
+    "telemetry_digest",
     "trace_summary",
     "write_alerts_jsonl",
     "write_chrome_trace",
     "write_decisions_jsonl",
+    "write_flight_dump",
     "write_metrics_json",
     "write_metrics_prometheus",
+    "write_provenance_jsonl",
     "write_timeseries_json",
     "write_trace_jsonl",
 ]

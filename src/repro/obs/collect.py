@@ -158,6 +158,18 @@ def collect_controller_metrics(registry: MetricsRegistry,
             "warm-start attempts that fell back to a cold solve").inc(
                 epoch_solver.warm_rejects)
         registry.counter(
+            "optimizer_cold_solves_total",
+            "solves that assembled and solved the full model").inc(
+                epoch_solver.solves - epoch_solver.warm_solves)
+        registry.counter(
+            "optimizer_certificate_accepted_total",
+            "pricing certificates that proved the restricted solve "
+            "optimal").inc(epoch_solver.warm_solves)
+        registry.counter(
+            "optimizer_certificate_rejected_total",
+            "pricing certificates that forced a cold re-solve").inc(
+                epoch_solver.warm_rejects)
+        registry.counter(
             "optimizer_replays_total",
             "epoch plans replayed from the solver cache").inc(
                 epoch_solver.replays)
@@ -165,6 +177,16 @@ def collect_controller_metrics(registry: MetricsRegistry,
             "optimizer_solve_seconds_total",
             "wall-clock seconds spent in the solver").inc(
                 epoch_solver.solve_seconds)
+        candidates = getattr(epoch_solver, "last_candidate_stats", None)
+        if candidates is not None:
+            registry.gauge(
+                "optimizer_path_candidates",
+                "path variables in the most recent model").set(
+                    candidates["paths"])
+            registry.gauge(
+                "optimizer_path_candidate_groups",
+                "(class, ingress) groups in the most recent model").set(
+                    candidates["groups"])
         structure_cache = epoch_solver.structure_cache
         if structure_cache is not None:
             registry.counter(

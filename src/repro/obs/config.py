@@ -19,6 +19,7 @@ from .alerts import AlertLog
 from .decisions import DecisionLog
 from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from .profiler import ControlPlaneProfiler
+from .provenance import DEFAULT_FLIGHT_RING, ProvenanceLog
 from .slo import SloEngine, SloRule
 from .timeseries import DEFAULT_MAX_POINTS, ScrapeLoop, TimeSeriesStore
 from .tracing import Tracer
@@ -44,6 +45,12 @@ class ObservabilityConfig:
     #: SLO rules to evaluate each scrape (non-empty implies the
     #: time-series pillar — burn rates window over the scraped series)
     slo: tuple[SloRule, ...] = ()
+    #: record one causal :class:`ProvenanceRecord` per control epoch into
+    #: the flight recorder (implies the time-series pillar — the observed
+    #: data-plane effect is attributed from the scraped series)
+    provenance: bool = False
+    #: flight-recorder ring capacity, in epochs
+    flight_ring: int = DEFAULT_FLIGHT_RING
     #: sim-seconds between scrape samples
     scrape_interval: float = 1.0
     #: per-series ring-buffer capacity
@@ -60,7 +67,8 @@ class ObservabilityConfig:
     def enabled(self) -> bool:
         """True when any pillar is on."""
         return (self.tracing or self.metrics or self.decisions
-                or self.profiling or self.timeseries or bool(self.slo))
+                or self.profiling or self.timeseries or bool(self.slo)
+                or self.provenance)
 
     @classmethod
     def off(cls) -> "ObservabilityConfig":
@@ -71,7 +79,7 @@ class ObservabilityConfig:
     def full(cls) -> "ObservabilityConfig":
         """Every pillar enabled (SLO rules still need explicit opt-in)."""
         return cls(tracing=True, metrics=True, decisions=True,
-                   profiling=True, timeseries=True)
+                   profiling=True, timeseries=True, provenance=True)
 
 
 class Observability:
@@ -87,7 +95,8 @@ class Observability:
             DecisionLog() if self.config.decisions else None)
         self.profiler: ControlPlaneProfiler | None = (
             ControlPlaneProfiler() if self.config.profiling else None)
-        timeseries_on = self.config.timeseries or bool(self.config.slo)
+        timeseries_on = (self.config.timeseries or bool(self.config.slo)
+                         or self.config.provenance)
         self.timeseries: TimeSeriesStore | None = (
             TimeSeriesStore(max_points=self.config.timeseries_max_points)
             if timeseries_on else None)
@@ -96,6 +105,10 @@ class Observability:
         self.slo: SloEngine | None = (
             SloEngine(self.config.slo, self.timeseries, self.alerts)
             if self.config.slo else None)
+        self.provenance: ProvenanceLog | None = (
+            ProvenanceLog(store=self.timeseries,
+                          ring=self.config.flight_ring)
+            if self.config.provenance else None)
         #: scrape loop, bound to one simulation by :meth:`attach`
         self.scrape: ScrapeLoop | None = None
 
@@ -150,7 +163,7 @@ class Observability:
 
     def __repr__(self) -> str:
         on = [name for name in ("tracing", "metrics", "decisions",
-                                "profiling", "timeseries")
+                                "profiling", "timeseries", "provenance")
               if getattr(self.config, name)]
         if self.config.slo:
             on.append(f"slo[{len(self.config.slo)}]")

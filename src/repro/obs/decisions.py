@@ -61,6 +61,10 @@ class EpochDecision:
     warm_build: bool = False
     #: wall-clock cost of model assembly for this epoch
     build_time: float | None = None
+    #: reuse-ladder rung: "replay" / "warm" / "cold" (None on "no-demand"
+    #: epochs) — :attr:`OptimizationResult.solver_path`, derived in one
+    #: place instead of re-deriving from the warm/cache_hit boolean pair
+    solver_path: str | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -82,6 +86,7 @@ class EpochDecision:
             "warm": self.warm,
             "warm_build": self.warm_build,
             "build_time": self.build_time,
+            "solver_path": self.solver_path,
         }
 
 
@@ -168,6 +173,8 @@ class DecisionLog:
             warm=bool(getattr(result, "warm_start", False)),
             warm_build=bool(getattr(result, "warm_build", False)),
             build_time=getattr(result, "build_time", None),
+            solver_path=(getattr(result, "solver_path", None)
+                         if outcome != "no-demand" else None),
         )
         self._prev_demand = demand
         self.decisions.append(decision)

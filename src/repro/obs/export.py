@@ -15,12 +15,14 @@ from pathlib import Path
 from .alerts import AlertLog
 from .decisions import DecisionLog
 from .metrics import MetricsRegistry
+from .provenance import ProvenanceLog
 from .timeseries import TimeSeriesStore
 from .tracing import Tracer, chrome_trace
 
 __all__ = ["load_trace_jsonl", "write_alerts_jsonl", "write_chrome_trace",
-           "write_decisions_jsonl", "write_metrics_json",
-           "write_metrics_prometheus", "write_timeseries_json",
+           "write_decisions_jsonl", "write_flight_dump",
+           "write_metrics_json", "write_metrics_prometheus",
+           "write_provenance_jsonl", "write_timeseries_json",
            "write_trace_jsonl"]
 
 
@@ -97,6 +99,33 @@ def write_alerts_jsonl(log: AlertLog, path: str | Path) -> int:
 def write_decisions_jsonl(log: DecisionLog, path: str | Path) -> int:
     """One decision per line; returns the decision count."""
     lines = log.to_jsonl_lines()
+    # exporter module: artifact writes are its declared purpose
+    with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def write_provenance_jsonl(log: ProvenanceLog, path: str | Path) -> int:
+    """One provenance record per line; returns the record count."""
+    lines = log.to_jsonl_lines()
+    # exporter module: artifact writes are its declared purpose
+    with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def write_flight_dump(log: ProvenanceLog, path: str | Path) -> int:
+    """Anomaly-triggered flight-recorder snapshots, one JSON per line.
+
+    Every snapshot carries the run's scenario + seed (``run``) so the
+    simulation that produced it can be replayed deterministically, the
+    frozen provenance ring (``records``), and the surrounding time-series
+    window (``timeseries``). Returns the snapshot count.
+    """
+    lines = [json.dumps(snapshot, sort_keys=True)
+             for snapshot in log.snapshots]
     # exporter module: artifact writes are its declared purpose
     with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
         for line in lines:

@@ -99,6 +99,28 @@ def test_chaos_report_writes_json(capsys, tmp_path):
     assert "controller-outage" in text and "episodes" in text
 
 
+def test_obs_explain_renders_causal_chain(capsys, tmp_path):
+    records = tmp_path / "prov.jsonl"
+    assert main(["obs", "explain", "default", "--duration", "60",
+                 "--table", "-o", str(records)]) == 0
+    out = capsys.readouterr().out
+    assert "why did traffic for class 'default' shift" in out
+    assert "observed:" in out and "decided:" in out and "shipped:" in out
+    assert "records=" in out                    # --table printed the ring
+    assert records.read_text().strip()
+
+
+def test_obs_explain_chaos_writes_flight_dump(capsys, tmp_path):
+    dump = tmp_path / "flight.jsonl"
+    assert main(["obs", "explain", "default", "--scenario", "chaos",
+                 "--duration", "30", "--dump", str(dump)]) == 0
+    out = capsys.readouterr().out
+    assert "flight-recorder snapshots" in out
+    text = dump.read_text()
+    assert '"reason": "fault"' in text
+    assert "chaos-outage" in text               # run stamp for replay
+
+
 def test_obs_slo_renders_alerts_and_join(capsys):
     # 60 simulated seconds: the surge starts at t=40, so the alert fires
     # but stays active at the end of the run

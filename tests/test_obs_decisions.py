@@ -24,11 +24,17 @@ def fake_controller(demand, result):
     )
 
 
-def fake_result(cache_hit, objective=1.5, fingerprint="fp-1"):
+def fake_result(cache_hit, objective=1.5, fingerprint="fp-1",
+                warm_start=False):
     return SimpleNamespace(cache_hit=cache_hit, objective=objective,
                            solve_time=0.001, cache_hits=1 if cache_hit else 0,
                            cache_misses=0 if cache_hit else 1,
-                           fingerprint=fingerprint)
+                           fingerprint=fingerprint,
+                           warm_start=warm_start, warm_build=False,
+                           build_time=0.0005,
+                           solver_path=("replay" if cache_hit
+                                        else "warm" if warm_start
+                                        else "cold"))
 
 
 def rules(west_share) -> RuleSet:
@@ -89,6 +95,35 @@ def test_jsonl_and_render():
     assert set(parsed) == set(EpochDecision.__dataclass_fields__)
     table = log.render()
     assert "solved" in table and "epochs=1" in table
+
+
+def test_solver_path_reflects_reuse_ladder():
+    log = DecisionLog()
+    demand = {("default", "west"): 100.0}
+    cold = log.record(10.0, fake_controller(
+        demand, fake_result(cache_hit=False)), rules(0.8))
+    assert cold.solver_path == "cold"
+    warm = log.record(20.0, fake_controller(
+        demand, fake_result(cache_hit=False, warm_start=True)), rules(0.7))
+    assert warm.solver_path == "warm" and warm.warm
+    replay = log.record(30.0, fake_controller(
+        demand, fake_result(cache_hit=True)), rules(0.7))
+    assert replay.solver_path == "replay"
+    empty = log.record(40.0, fake_controller({}, None), None)
+    assert empty.solver_path is None
+
+
+def test_as_dict_keeps_legacy_keys_alongside_solver_path():
+    """PR 8 compat bar: consumers keyed on warm/warm_build keep working."""
+    log = DecisionLog()
+    decision = log.record(10.0, fake_controller(
+        {("default", "west"): 100.0},
+        fake_result(cache_hit=False, warm_start=True)), rules(0.8))
+    payload = decision.as_dict()
+    assert payload["warm"] is True            # legacy boolean pair intact
+    assert payload["warm_build"] is False
+    assert payload["solver_path"] == "warm"   # the new derived field
+    json.dumps(payload)
 
 
 # ----------------------------------------- end-to-end diurnal acceptance

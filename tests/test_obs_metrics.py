@@ -106,6 +106,73 @@ def test_prometheus_matches_golden_file():
     assert build_small_registry().to_prometheus() == golden.read_text()
 
 
+def build_optimizer_registry() -> MetricsRegistry:
+    """Collect controller metrics from a stub with fixed counters.
+
+    Wall-clock totals are hand-picked constants, so the exposition bytes
+    are stable enough to pin in a golden file.
+    """
+    from types import SimpleNamespace
+
+    from repro.obs.collect import collect_controller_metrics
+
+    epoch_solver = SimpleNamespace(
+        builds=6, warm_builds=4, build_seconds=0.25,
+        solves=4, warm_solves=3, warm_rejects=1, replays=2,
+        solve_seconds=0.5,
+        structure_cache=SimpleNamespace(hits=4, misses=2, hit_rate=2 / 3),
+        last_candidate_stats={"paths": 12, "groups": 4,
+                              "k": 3, "max_group": 3},
+    )
+    controller = SimpleNamespace(
+        epochs_observed=6,
+        solver_cache=SimpleNamespace(hits=2, misses=4, hit_rate=1 / 3),
+        epoch_solver=epoch_solver,
+        last_result=None,
+    )
+    registry = MetricsRegistry()
+    collect_controller_metrics(registry, controller)
+    return registry
+
+
+def test_optimizer_counters_cover_reuse_ladder():
+    registry = build_optimizer_registry()
+    # replay / warm / cold tiers are all exported, and cold is derived
+    # (solves - warm solves) in exactly one place
+    assert registry.counter("optimizer_replays_total").value() == 2.0
+    assert registry.counter("optimizer_warm_solves_total").value() == 3.0
+    assert registry.counter("optimizer_cold_solves_total").value() == 1.0
+    assert registry.counter(
+        "optimizer_certificate_accepted_total").value() == 3.0
+    assert registry.counter(
+        "optimizer_certificate_rejected_total").value() == 1.0
+    assert registry.gauge("optimizer_path_candidates").value() == 12.0
+    assert registry.gauge("optimizer_path_candidate_groups").value() == 4.0
+
+
+def test_optimizer_metrics_match_golden_file():
+    """Pin the optimizer-counter exposition: names, HELP text, values."""
+    golden = Path(__file__).parent / "golden" / "optimizer_metrics.prom"
+    assert build_optimizer_registry().to_prometheus() == golden.read_text()
+
+
+def test_arc_formulation_skips_candidate_gauges():
+    from types import SimpleNamespace
+
+    from repro.obs.collect import collect_controller_metrics
+
+    controller = SimpleNamespace(
+        epochs_observed=1, solver_cache=None,
+        epoch_solver=SimpleNamespace(
+            builds=1, warm_builds=0, build_seconds=0.0, solves=1,
+            warm_solves=0, warm_rejects=0, replays=0, solve_seconds=0.0,
+            structure_cache=None, last_candidate_stats=None),
+        last_result=None)
+    registry = MetricsRegistry()
+    collect_controller_metrics(registry, controller)
+    assert "optimizer_path_candidates" not in registry.snapshot()
+
+
 def test_prometheus_escapes_label_values():
     registry = MetricsRegistry()
     registry.counter("odd_total").inc(1, path='a\\b"c\nd')

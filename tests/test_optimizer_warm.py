@@ -74,6 +74,42 @@ def test_reuse_ladder_counters():
     assert stats["solves"] == 2
 
 
+def test_solver_path_derived_from_result_flags():
+    """replay/warm/cold is derived in exactly one place (PR 8)."""
+    solver = EpochSolver(cache=SolverCache())
+    problem = chain_problem(west_rps=700.0)
+    assert solver.solve(problem).solver_path == "cold"
+    assert solver.solve(problem).solver_path == "replay"
+    problem.workloads["default"].demand["west"] = 620.0
+    assert solver.solve(problem).solver_path == "warm"
+
+
+def test_recorder_hook_sees_every_ladder_rung():
+    """The duck-typed provenance hook: one record_solve per epoch."""
+    seen = []
+
+    class Recorder:
+        def record_solve(self, info):
+            seen.append(info)
+
+    solver = EpochSolver(cache=SolverCache())
+    solver.recorder = Recorder()
+    problem = chain_problem(west_rps=700.0)
+    solver.solve(problem)
+    solver.solve(problem)
+    problem.workloads["default"].demand["west"] = 620.0
+    solver.solve(problem)
+    assert [info["solver_path"] for info in seen] == ["cold", "replay",
+                                                      "warm"]
+    assert seen[2]["warm_build"] is True
+    assert seen[0]["pricing"] is None         # cold: no certificate ran
+    assert seen[2]["pricing"] == "certified"
+    assert seen[0]["formulation"] == solver.formulation
+    assert seen[0]["n_variables"] > 0
+    # arc formulation has no path-candidate census
+    assert all(info["candidates"] is None for info in seen)
+
+
 def test_warm_start_disabled_by_structure_cache_none():
     solver = EpochSolver(structure_cache=None)
     problem = chain_problem()
@@ -87,7 +123,7 @@ def test_warm_start_disabled_by_structure_cache_none():
 
 def test_warm_reject_falls_back_to_cold(monkeypatch):
     monkeypatch.setattr("repro.core.optimizer.warm.warm_solve",
-                        lambda model, prev: None)
+                        lambda model, prev, profiler=None: None)
     solver = EpochSolver()
     problem = chain_problem()
     solver.solve(problem)
