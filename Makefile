@@ -41,6 +41,8 @@ bench-smoke:
 # the committed baselines (copy benchmarks/results aside before bench-smoke
 # rewrites it, then point BASELINES at the copy). events/sec keys fail on a
 # >25% drop; wall-clock keys get a band wide enough for runner noise.
+# On failure a provenance flight-recorder dump of the chaos scenario is
+# generated into diff-reports/ so CI uploads it next to the diff reports.
 BASELINES ?= /tmp/bench-baselines
 bench-diff:
 	@mkdir -p diff-reports; status=0; \
@@ -53,7 +55,14 @@ bench-diff:
 			--tolerance 'speedup=5.0' \
 			--report "diff-reports/$${name%.json}.diff.json" \
 			|| status=1; \
-	done; exit $$status
+	done; \
+	if [ $$status -ne 0 ]; then \
+		PYTHONPATH=src $(PYTHON) -m repro obs explain default \
+			--scenario chaos --duration 30 \
+			--dump diff-reports/flight-dump.jsonl \
+			-o diff-reports/provenance.jsonl \
+			> diff-reports/explain.txt || true; \
+	fi; exit $$status
 
 examples:
 	@for ex in examples/*.py; do \

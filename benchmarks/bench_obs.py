@@ -83,6 +83,47 @@ def test_observability_timeseries_and_slo(benchmark, bench_json):
     _record(benchmark, bench_json, "events_per_sec_timeseries_slo", events)
 
 
+def test_observability_forecast_anomaly(benchmark, bench_json):
+    """The predictive pillar riding the scrape loop: forecast models,
+    anomaly detectors, and the breach predictor all enabled. Bar: within
+    25% of the bare simulation, like every other enabled pillar."""
+    events = benchmark(_simulate, ObservabilityConfig(
+        metrics=True, timeseries=True, scrape_interval=0.25,
+        slo=(default_latency_slo(0.25),), forecast=True, anomaly=True))
+    assert events > 0
+    _record(benchmark, bench_json, "events_per_sec_forecast_anomaly",
+            events)
+
+
+def test_breach_prediction_quality(benchmark, bench_json):
+    """Predictive-alert quality on the SLO burn-rate scenario.
+
+    Deterministic same-seed run, so the lead-time and precision/recall
+    rows diff exactly across PRs; `*_seconds=5.0` in bench-diff gives the
+    lead row headroom if the scenario itself is retuned.
+    """
+    from repro.experiments import scenarios as sc
+    from repro.experiments.harness import run_policy
+
+    def run():
+        setup = sc.slo_burnrate_setup(duration=80.0, seed=42)
+        obs = Observability(setup.observability(forecast=True,
+                                                anomaly=True))
+        run_policy(setup.scenario, setup.policy, observability=obs,
+                   timeline=setup.timeline)
+        return obs.breach.score(), obs.anomaly.summary()
+
+    score, anomalies = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert score.hits >= 1, "the surge must be predicted before it fires"
+    assert score.mean_lead_seconds > 0
+    bench_json("obs", {
+        "predicted_breach_lead_seconds": score.mean_lead_seconds,
+        "prediction_precision": score.precision,
+        "prediction_recall": score.recall,
+        "anomaly_events": anomalies["events"],
+    })
+
+
 # --------------------------------------------------- provenance overhead
 #
 # Provenance instruments the epoch control loop (digest + rule diff +

@@ -67,6 +67,8 @@ class ChaosRunResult:
     egress_cost: float = 0.0
     #: requests still open at quiesce (e.g. blackholed by a partition)
     hung_requests: int = 0
+    #: the run's AnomalyLog when ObservabilityConfig(anomaly=True)
+    anomalies: object = None
 
     @property
     def fallback_trips(self) -> list[float]:
@@ -82,6 +84,12 @@ class ChaosRunResult:
                            if d.outcome == "solved")
         return sorted(signals)
 
+    def anomaly_signals(self) -> list[float]:
+        """Anomaly-detector firings, ascending (empty when pillar off)."""
+        if self.anomalies is None:
+            return []
+        return self.anomalies.times()
+
     def resilience(self, baseline: "ChaosRunResult", *, band: float = 1.5,
                    window: float = 2.0) -> ResilienceReport:
         """Score this run's fault timeline against an unfaulted twin."""
@@ -89,7 +97,8 @@ class ChaosRunResult:
         return compute_resilience(
             timeline, self.samples, baseline.samples,
             self.detection_signals(), self.egress_cost,
-            baseline.egress_cost, band=band, window=window)
+            baseline.egress_cost, band=band, window=window,
+            anomaly_signals=self.anomaly_signals())
 
 
 def run_chaos(scenario: Scenario, policy, plan: FaultPlan | None = None,
@@ -178,6 +187,10 @@ def run_chaos(scenario: Scenario, policy, plan: FaultPlan | None = None,
         if provenance is not None:
             if obs.alerts is not None:
                 provenance.check_alerts(now, obs.alerts)
+            if obs.anomaly is not None:
+                provenance.check_anomalies(now, obs.anomaly.log)
+            if obs.breach is not None:
+                provenance.check_predictions(now, obs.breach)
             provenance.check_faults(now, chaos.timeline)
 
     if timeline is not None:
@@ -222,4 +235,6 @@ def run_chaos(scenario: Scenario, policy, plan: FaultPlan | None = None,
         decisions=decision_log,
         egress_cost=simulation.network.ledger.total_cost,
         hung_requests=hung,
+        anomalies=obs.anomaly.log if obs is not None
+        and obs.anomaly is not None else None,
     )

@@ -56,6 +56,12 @@ class FaultEpisode:
     requests_failed: int
     requests_degraded: int
     requests_total: int
+    #: seconds from injection until the anomaly engine flagged a followed
+    #: series (None when detection is off or nothing fired)
+    anomaly_detection_seconds: float | None = None
+    #: control-plane detection minus anomaly detection: positive means
+    #: the detectors saw the fault before the controller visibly reacted
+    anomaly_lead_seconds: float | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -65,6 +71,8 @@ class FaultEpisode:
             "recovered_at": self.recovered_at,
             "detection_seconds": self.detection_seconds,
             "recovery_seconds": self.recovery_seconds,
+            "anomaly_detection_seconds": self.anomaly_detection_seconds,
+            "anomaly_lead_seconds": self.anomaly_lead_seconds,
             "baseline_p95": self.baseline_p95,
             "requests_failed": self.requests_failed,
             "requests_degraded": self.requests_degraded,
@@ -106,17 +114,22 @@ class ResilienceReport:
     def render(self) -> str:
         """Fixed-width text table (for the CLI)."""
         header = (f"{'fault':<28} {'inject':>8} {'recover':>8} "
-                  f"{'detect(s)':>9} {'ttr(s)':>8} {'fail':>5} "
-                  f"{'degr':>5} {'total':>6}")
+                  f"{'detect(s)':>9} {'anom(s)':>8} {'lead(s)':>8} "
+                  f"{'ttr(s)':>8} {'fail':>5} {'degr':>5} {'total':>6}")
         lines = [header, "-" * len(header)]
         for e in self.episodes:
             detect = ("-" if e.detection_seconds is None
                       else f"{e.detection_seconds:.2f}")
+            anom = ("-" if e.anomaly_detection_seconds is None
+                    else f"{e.anomaly_detection_seconds:.2f}")
+            lead = ("-" if e.anomaly_lead_seconds is None
+                    else f"{e.anomaly_lead_seconds:+.2f}")
             ttr = ("-" if e.recovery_seconds is None
                    else f"{e.recovery_seconds:.2f}")
             lines.append(
                 f"{e.label:<28} {e.injected_at:>8.1f} {e.recovered_at:>8.1f} "
-                f"{detect:>9} {ttr:>8} {e.requests_failed:>5} "
+                f"{detect:>9} {anom:>8} {lead:>8} "
+                f"{ttr:>8} {e.requests_failed:>5} "
                 f"{e.requests_degraded:>5} {e.requests_total:>6}")
         lines.append(
             f"egress cost: faulted={self.faulted_egress_cost:.4f} "
@@ -133,20 +146,26 @@ def compute_resilience(timeline: list[FaultRecord],
                        faulted_egress_cost: float,
                        baseline_egress_cost: float,
                        *, band: float = 1.5, window: float = 2.0,
-                       horizon: float | None = None) -> ResilienceReport:
+                       horizon: float | None = None,
+                       anomaly_signals: list[float] | None = None,
+                       ) -> ResilienceReport:
     """Score every fault on ``timeline``.
 
     ``samples`` / ``baseline_samples`` are ``(arrival_time, latency)``
     pairs with ``latency is None`` marking a failed request.
     ``detection_signals`` are sim times at which the control plane
-    visibly reacted (fallback trips, fresh re-plans). ``horizon`` caps
-    the recovery scan (defaults to the last sample's arrival).
+    visibly reacted (fallback trips, fresh re-plans); ``anomaly_signals``
+    are sim times at which the streaming anomaly detectors fired (when
+    the pillar was enabled) — each episode scores both, plus the lead of
+    one over the other. ``horizon`` caps the recovery scan (defaults to
+    the last sample's arrival).
     """
     if band < 1.0:
         raise ValueError(f"band must be >= 1.0, got {band}")
     if window <= 0:
         raise ValueError(f"window must be > 0, got {window}")
     signals = sorted(detection_signals)
+    anomalies = sorted(anomaly_signals) if anomaly_signals else []
     completed = [(t, lat) for t, lat in samples if lat is not None]
     if horizon is None:
         horizon = max((t for t, _ in samples), default=0.0)
@@ -167,6 +186,14 @@ def compute_resilience(timeline: list[FaultRecord],
             if signal >= record.fired_at:
                 detection = signal - record.fired_at
                 break
+        anomaly_detection = None
+        for signal in anomalies:
+            if signal >= record.fired_at:
+                anomaly_detection = signal - record.fired_at
+                break
+        anomaly_lead = (detection - anomaly_detection
+                        if detection is not None
+                        and anomaly_detection is not None else None)
         recovery = None
         recovered_until = None
         if baseline_p95 is not None:
@@ -197,6 +224,8 @@ def compute_resilience(timeline: list[FaultRecord],
             recovered_at=record.resolved_at,
             detection_seconds=detection,
             recovery_seconds=recovery,
+            anomaly_detection_seconds=anomaly_detection,
+            anomaly_lead_seconds=anomaly_lead,
             baseline_p95=baseline_p95,
             requests_failed=failed,
             requests_degraded=degraded,

@@ -9,6 +9,8 @@ Usage::
     python -m repro obs trace --figure fig6a --format chrome -o trace.json
     python -m repro obs metrics --figure fig6a --format prom
     python -m repro obs decisions --scenario diurnal
+    python -m repro obs forecast --scenario slo --model holt --table
+    python -m repro obs anomalies --scenario chaos --table
 
 ``figure`` regenerates one paper experiment and prints the same series the
 benchmark harness saves; ``solve`` runs a single optimizer pass on a stock
@@ -164,7 +166,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
 def cmd_obs(args: argparse.Namespace) -> int:
     handlers = {"trace": _obs_trace, "metrics": _obs_metrics,
                 "decisions": _obs_decisions, "timeseries": _obs_timeseries,
-                "slo": _obs_slo, "diff": _obs_diff, "explain": _obs_explain}
+                "slo": _obs_slo, "diff": _obs_diff, "explain": _obs_explain,
+                "forecast": _obs_forecast, "anomalies": _obs_anomalies}
     return handlers[args.obs_command](args)
 
 
@@ -332,7 +335,13 @@ def _obs_slo(args: argparse.Namespace) -> int:
     obs = Observability(setup.observability(scrape_interval=args.interval))
     run_policy(setup.scenario, setup.policy, observability=obs,
                timeline=setup.timeline)
-    if args.format == "jsonl":
+    if args.json:
+        document = {"command": "slo", "scenario": "slo_burnrate",
+                    "duration": args.duration, "seed": args.seed,
+                    "interval": args.interval,
+                    "alerts": [alert.as_dict() for alert in obs.alerts]}
+        _emit_json(document, args.output, "alert report")
+    elif args.format == "jsonl":
         out = args.output or "slo_alerts.jsonl"
         count = write_alerts_jsonl(obs.alerts, out)
         print(f"wrote {count} alerts to {out}")
@@ -355,6 +364,153 @@ def _obs_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+#: per-scenario default simulated duration for the predictive subcommands
+_PREDICTIVE_DURATIONS = {"slo": 180.0, "chaos": 40.0, "diurnal": 240.0}
+
+
+def _predictive_season(args: argparse.Namespace,
+                       default_period: float | None) -> float:
+    """Resolve the holt-winters seasonal period (simulated seconds)."""
+    if getattr(args, "model", "holt") != "holt-winters":
+        return args.season if getattr(args, "season", None) is not None else 0.0
+    if args.season is not None:
+        return args.season
+    if default_period is not None:
+        return default_period
+    raise SystemExit("--model holt-winters needs --season SECONDS on the "
+                     "slo scenario (diurnal defaults to its period)")
+
+
+def _run_predictive(args: argparse.Namespace, *, forecast: bool,
+                    anomaly: bool):
+    """Run the chosen scenario with the predictive pillar on; return obs."""
+    from .experiments.harness import run_policy
+    from .obs import Observability, ObservabilityConfig
+    if args.duration is None:
+        args.duration = _PREDICTIVE_DURATIONS[args.scenario]
+    model = getattr(args, "model", "holt")
+    horizon = getattr(args, "horizon", 5)
+    if args.scenario == "slo":
+        season = _predictive_season(args, None)
+        setup = sc.slo_burnrate_setup(duration=args.duration, seed=args.seed)
+        obs = Observability(setup.observability(
+            scrape_interval=args.interval, forecast=forecast,
+            anomaly=anomaly, forecast_model=model, season_length=season,
+            forecast_horizon=horizon))
+        run_policy(setup.scenario, setup.policy, observability=obs,
+                   timeline=setup.timeline)
+        return obs
+    if args.scenario == "chaos":
+        from .chaos import run_chaos
+        setup = sc.chaos_outage_setup(duration=args.duration, seed=args.seed)
+        obs = Observability(setup.observability(
+            timeseries=True, scrape_interval=args.interval,
+            forecast=forecast, anomaly=anomaly, forecast_model=model,
+            forecast_horizon=horizon))
+        run_chaos(setup.scenario, setup.policy, setup.plan,
+                  fallback=setup.fallback, max_rule_age=setup.max_rule_age,
+                  observability=obs)
+        return obs
+    period = args.period if getattr(args, "period", None) is not None \
+        else args.duration
+    season = _predictive_season(args, period)
+    setup = sc.diurnal_control_setup(duration=args.duration, seed=args.seed,
+                                     period=period)
+    obs = Observability(ObservabilityConfig(
+        decisions=True, timeseries=True, forecast=forecast, anomaly=anomaly,
+        scrape_interval=args.interval, forecast_model=model,
+        season_length=season, forecast_horizon=horizon))
+    run_policy(setup.scenario, setup.policy, observability=obs,
+               timeline=setup.timeline)
+    return obs
+
+
+def _emit_json(document: dict, output: str | None, what: str) -> None:
+    import json as json_module
+    from pathlib import Path
+    text = json_module.dumps(document, indent=2, sort_keys=True)
+    if output:
+        Path(output).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {what} to {output}")
+    else:
+        print(text)
+
+
+def _obs_forecast(args: argparse.Namespace) -> int:
+    from .obs import write_signals_jsonl
+    obs = _run_predictive(args, forecast=True, anomaly=False)
+    engine = obs.forecast
+    document = {"command": "forecast", "scenario": args.scenario,
+                "duration": args.duration, "seed": args.seed,
+                "interval": args.interval, "forecast": engine.summary()}
+    if obs.breach is not None:
+        document["predictions"] = [p.as_dict()
+                                   for p in obs.breach.predictions]
+        document["prediction_score"] = obs.breach.score().as_dict()
+    if args.json or args.output:
+        _emit_json(document, args.output, "forecast report")
+    else:
+        backtests = engine.backtests()
+        print(f"{args.scenario} ({args.duration:g}s sim, interval "
+              f"{args.interval:g}s): model={engine.model_name} "
+              f"horizon={engine.horizon} ticks, {engine.samples} ticks "
+              f"sampled, {len(backtests)} series backtested")
+        header = f"{'evals':>6} {'MASE':>8} {'sMAPE':>8} {'MAE':>11} series"
+        print(header)
+        print("-" * len(header))
+        for sid, score in sorted(backtests.items()):
+            print(f"{score.evaluations:>6} {score.mase:>8.3f} "
+                  f"{score.smape:>8.3f} {score.mae:>11.4g} {sid}")
+        if obs.breach is not None:
+            score = obs.breach.score()
+            print(f"\npredicted breaches: {score.predictions} "
+                  f"(hits {score.hits}, misses {score.misses}, "
+                  f"open {score.open}); precision {score.precision:.2f} "
+                  f"recall {score.recall:.2f}, mean lead "
+                  f"{score.mean_lead_seconds:.1f}s")
+            if args.table:
+                for p in obs.breach.predictions:
+                    lead = ("-" if p.actual_lead is None
+                            else f"{p.actual_lead:.1f}s")
+                    print(f"  t={p.fired_at:.1f} {p.rule} "
+                          f"eta={p.breach_eta:.1f} "
+                          f"lead_est={p.lead_estimate:.1f}s "
+                          f"outcome={p.outcome} actual_lead={lead}")
+    if args.signals_out:
+        count = write_signals_jsonl(obs.signals, args.signals_out)
+        print(f"wrote {count} signals to {args.signals_out}")
+    return 0
+
+
+def _obs_anomalies(args: argparse.Namespace) -> int:
+    from .obs import write_anomalies_jsonl, write_signals_jsonl
+    obs = _run_predictive(args, forecast=False, anomaly=True)
+    engine = obs.anomaly
+    summary = engine.summary()
+    if args.json:
+        document = {"command": "anomalies", "scenario": args.scenario,
+                    "duration": args.duration, "seed": args.seed,
+                    "interval": args.interval, "summary": summary,
+                    "events": [event.as_dict() for event in engine.log]}
+        _emit_json(document, None, "anomaly report")
+    else:
+        detectors = ", ".join(f"{name}={count}" for name, count
+                              in summary["by_detector"].items()) or "none"
+        print(f"{args.scenario} ({args.duration:g}s sim, interval "
+              f"{args.interval:g}s): {summary['events']} anomaly events "
+              f"over {summary['followed_series']} series ({detectors})")
+        if args.table:
+            print()
+            print(engine.log.render())
+    if args.output:
+        count = write_anomalies_jsonl(engine.log, args.output)
+        print(f"wrote {count} anomaly events to {args.output}")
+    if args.signals_out:
+        count = write_signals_jsonl(obs.signals, args.signals_out)
+        print(f"wrote {count} signals to {args.signals_out}")
+    return 0
+
+
 def _obs_diff(args: argparse.Namespace) -> int:
     import json as json_module
     from .obs.diff import DiffConfig, diff_files
@@ -368,7 +524,14 @@ def _obs_diff(args: argparse.Namespace) -> int:
     config = DiffConfig(rel_tolerance=args.rel_tolerance,
                         key_tolerances=tuple(key_tolerances),
                         fail_on_missing=not args.allow_missing)
-    report = diff_files(args.baseline, args.candidate, config)
+    try:
+        report = diff_files(args.baseline, args.candidate, config)
+    except OSError as error:
+        print(f"obs diff: cannot read artifact: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:   # bad JSON or unrecognized artifact shape
+        print(f"obs diff: invalid artifact: {error}", file=sys.stderr)
+        return 2
     print(report.render(all_keys=args.all))
     if args.report:
         from pathlib import Path
@@ -555,6 +718,60 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also write the time-series snapshot here")
     slo.add_argument("--decisions-out", default=None,
                      help="also write the decision log here")
+    slo.add_argument("--json", action="store_true",
+                     help="print one JSON document instead of text")
+
+    forecast = obs_sub.add_parser(
+        "forecast", help="fit online forecast models to a scenario's "
+                         "scraped series; backtests + predicted breaches")
+    forecast.add_argument("--scenario", choices=("slo", "diurnal"),
+                          default="slo")
+    forecast.add_argument("--model",
+                          choices=("ewma", "holt", "holt-winters"),
+                          default="holt")
+    forecast.add_argument("--horizon", type=int, default=5,
+                          help="forecast horizon (scrape ticks)")
+    forecast.add_argument("--season", type=float, default=None,
+                          help="holt-winters seasonal period (simulated "
+                               "seconds; diurnal defaults to its period)")
+    forecast.add_argument("--period", type=float, default=None,
+                          help="diurnal scenario: demand period (simulated "
+                               "seconds; default: the full duration, i.e. "
+                               "one cycle)")
+    forecast.add_argument("--interval", type=float, default=1.0,
+                          help="scrape interval (simulated seconds)")
+    forecast.add_argument("--duration", type=float, default=None,
+                          help="simulated seconds (default: 180 slo, "
+                               "240 diurnal)")
+    forecast.add_argument("--seed", type=int, default=42)
+    forecast.add_argument("--table", action="store_true",
+                          help="also print the predicted-breach table")
+    forecast.add_argument("--json", action="store_true",
+                          help="print one JSON document instead of text")
+    forecast.add_argument("-o", "--output", default=None,
+                          help="write the JSON report here")
+    forecast.add_argument("--signals-out", default=None,
+                          help="write the signal-bus JSONL here")
+
+    anomalies = obs_sub.add_parser(
+        "anomalies", help="streaming anomaly detection (z-score spikes + "
+                          "CUSUM changepoints) over a scenario's series")
+    anomalies.add_argument("--scenario", choices=("slo", "chaos", "diurnal"),
+                           default="chaos")
+    anomalies.add_argument("--interval", type=float, default=0.5,
+                           help="scrape interval (simulated seconds)")
+    anomalies.add_argument("--duration", type=float, default=None,
+                           help="simulated seconds (default: 180 slo, "
+                                "40 chaos, 240 diurnal)")
+    anomalies.add_argument("--seed", type=int, default=42)
+    anomalies.add_argument("--table", action="store_true",
+                           help="also print the full event table")
+    anomalies.add_argument("--json", action="store_true",
+                           help="print one JSON document instead of text")
+    anomalies.add_argument("-o", "--output", default=None,
+                           help="write the anomaly-event JSONL here")
+    anomalies.add_argument("--signals-out", default=None,
+                           help="write the signal-bus JSONL here")
 
     explain = obs_sub.add_parser(
         "explain", help="why did traffic for a class shift? walk the "

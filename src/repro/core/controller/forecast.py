@@ -6,65 +6,18 @@ plans one epoch behind; during a ramp it persistently under-provisions the
 offload. :class:`HoltForecaster` implements Holt's linear exponential
 smoothing — level + trend — so the Global Controller can optimize for the
 *next* epoch's demand. The reaction benchmark compares the two modes.
+
+The implementation lives in :mod:`repro.forecasting`, the shared model
+library the predictive observability pillar (:mod:`repro.obs.forecast`)
+also fits and backtests — one Holt, not two. This module re-exports it so
+controller code keeps its historical import path; at the default
+``phi=1.0`` (undamped) the arithmetic is bit-identical to the original
+in-controller implementation, which the equivalence test in
+``tests/test_forecast.py`` pins.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ...forecasting import HoltForecaster
 
 __all__ = ["HoltForecaster"]
-
-
-@dataclass
-class _SeriesState:
-    level: float
-    trend: float = 0.0
-    observations: int = 1
-
-
-class HoltForecaster:
-    """Holt's linear (double exponential) smoothing per keyed series.
-
-    ``alpha`` smooths the level, ``beta`` the trend. Forecasts are clamped
-    at zero (demand cannot be negative). One forecaster tracks many series
-    (one per (class, cluster) here), keyed by hashable keys.
-    """
-
-    def __init__(self, alpha: float = 0.6, beta: float = 0.3) -> None:
-        if not 0 < alpha <= 1:
-            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
-        if not 0 <= beta <= 1:
-            raise ValueError(f"beta must be in [0, 1], got {beta}")
-        self.alpha = alpha
-        self.beta = beta
-        self._series: dict = {}
-
-    def observe(self, key, value: float) -> None:
-        """Fold one observation into the keyed series."""
-        if value < 0:
-            raise ValueError(f"negative observation {value} for {key!r}")
-        state = self._series.get(key)
-        if state is None:
-            self._series[key] = _SeriesState(level=value)
-            return
-        previous_level = state.level
-        state.level = (self.alpha * value
-                       + (1 - self.alpha) * (state.level + state.trend))
-        state.trend = (self.beta * (state.level - previous_level)
-                       + (1 - self.beta) * state.trend)
-        state.observations += 1
-
-    def forecast(self, key, steps_ahead: int = 1) -> float:
-        """Forecast ``steps_ahead`` epochs out; 0.0 for unseen keys."""
-        if steps_ahead < 0:
-            raise ValueError("steps_ahead must be >= 0")
-        state = self._series.get(key)
-        if state is None:
-            return 0.0
-        return max(0.0, state.level + steps_ahead * state.trend)
-
-    def known(self, key) -> bool:
-        return key in self._series
-
-    def __len__(self) -> int:
-        return len(self._series)

@@ -137,6 +137,10 @@ def run_policy(scenario: Scenario, policy: RoutingPolicy,
                 update=update, reports=relayed, rules=sim.table.rules())
             if obs.alerts is not None:
                 provenance.check_alerts(now, obs.alerts)
+            if obs.anomaly is not None:
+                provenance.check_anomalies(now, obs.anomaly.log)
+            if obs.breach is not None:
+                provenance.check_predictions(now, obs.breach)
 
     def on_epoch(reports, sim) -> None:
         if profiler is not None:

@@ -197,11 +197,16 @@ def diurnal_control_setup(base_rps: float = 150.0,
                           epoch: float = 10.0,
                           demand_quantum: float = 25.0,
                           replicas: int = 5,
-                          seed: int = 42) -> DiurnalControlSetup:
+                          seed: int = 42,
+                          period: float | None = None
+                          ) -> DiurnalControlSetup:
     """Adaptive SLATE under follow-the-sun diurnal demand (§2, §5).
 
     Two clusters carry opposite-phase sinusoidal demand over one full
-    period, with the adaptive Global Controller re-planning every epoch.
+    period (``period`` defaults to ``duration``; pass a divisor of the
+    duration to fit several cycles — what the Holt–Winters forecaster's
+    seasonal component wants to see), with the adaptive Global Controller
+    re-planning every epoch.
     With ``demand_quantum`` hysteresis, epochs near the sinusoid's flat
     peaks quantize to the same demand estimate and **replay** the cached
     solve, while the steep flanks shift the estimate past a quantum and
@@ -217,7 +222,8 @@ def diurnal_control_setup(base_rps: float = 150.0,
     base = DemandMatrix({("default", "west"): base_rps,
                          ("default", "east"): base_rps})
     timeline = diurnal_timeline(
-        base, duration, period=duration, amplitude=amplitude,
+        base, duration, period=period if period is not None else duration,
+        amplitude=amplitude,
         phase_by_cluster={"west": 0.0, "east": math.pi},
         steps_per_period=12)
     scenario = Scenario(name="diurnal-control", app=app,

@@ -14,6 +14,12 @@ network layer cannot; this package applies the same idea to the simulator:
   every ``scrape_interval`` virtual seconds into ring-buffered series;
 * :mod:`repro.obs.slo` / :mod:`repro.obs.alerts` — declarative SLO rules
   with multi-window burn-rate alerting over the scraped series;
+* :mod:`repro.obs.forecast` / :mod:`repro.obs.anomaly` /
+  :mod:`repro.obs.signals` — the predictive pillar: online forecast
+  models (EWMA / Holt / Holt–Winters, backtested with MASE/sMAPE),
+  residual z-score + CUSUM anomaly detection, projected
+  ``PredictedBreach`` alerts scored against the real alert log, all
+  published on a bounded deterministic :class:`SignalBus`;
 * :mod:`repro.obs.decisions` — an append-only log of every Global
   Controller epoch (demand delta, solve-vs-replay, routing diff);
 * :mod:`repro.obs.provenance` — per-epoch causal chains (telemetry digest
@@ -33,21 +39,29 @@ and pass it to ``MeshSimulation``/``run_policy`` to opt in. See
 from .alerts import Alert, AlertLog, join_alerts_decisions
 from .analyzer import (HopBreakdown, critical_path, hop_breakdown,
                        trace_summary)
+from .anomaly import (DEFAULT_ANOMALY_TARGETS, AnomalyEngine, AnomalyEvent,
+                      AnomalyLog)
 from .config import Observability, ObservabilityConfig
 from .decisions import DecisionLog, EpochDecision
 from .diff import (DiffConfig, DiffReport, SeriesDelta, diff_files,
                    diff_runs, flatten_artifact, load_artifact)
 from .export import (load_trace_jsonl, write_alerts_jsonl,
-                     write_chrome_trace, write_decisions_jsonl,
-                     write_flight_dump, write_metrics_json,
-                     write_metrics_prometheus, write_provenance_jsonl,
+                     write_anomalies_jsonl, write_chrome_trace,
+                     write_decisions_jsonl, write_flight_dump,
+                     write_metrics_json, write_metrics_prometheus,
+                     write_provenance_jsonl, write_signals_jsonl,
                      write_timeseries_json, write_trace_jsonl)
+from .forecast import (DEFAULT_FORECAST_TARGETS, FORECAST_MODELS,
+                       BreachPredictor, ForecastEngine, PredictedBreach,
+                       PredictionScore, make_model, score_predictions)
 from .metrics import (Counter, DEFAULT_LATENCY_BUCKETS,
                       DEFAULT_MAX_LABEL_SETS, Gauge, Histogram,
                       MetricsRegistry)
 from .profiler import ControlPlaneProfiler
 from .provenance import (DEFAULT_FLIGHT_RING, EpochEffect, FlightRecorder,
                          ProvenanceLog, ProvenanceRecord, telemetry_digest)
+from .signals import (DEFAULT_SIGNAL_CAPACITY, Signal, SignalBus,
+                      TOPIC_ANOMALY, TOPIC_FORECAST, TOPIC_PREDICTED_BREACH)
 from .slo import SloEngine, SloRule, default_latency_slo
 from .timeseries import (DEFAULT_MAX_POINTS, ScrapeLoop, TimeSeries,
                          TimeSeriesStore, percentile)
@@ -56,30 +70,46 @@ from .tracing import TraceNode, Tracer, build_trace_tree, chrome_trace
 __all__ = [
     "Alert",
     "AlertLog",
+    "AnomalyEngine",
+    "AnomalyEvent",
+    "AnomalyLog",
+    "BreachPredictor",
     "ControlPlaneProfiler",
     "Counter",
+    "DEFAULT_ANOMALY_TARGETS",
     "DEFAULT_FLIGHT_RING",
+    "DEFAULT_FORECAST_TARGETS",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_MAX_LABEL_SETS",
     "DEFAULT_MAX_POINTS",
+    "DEFAULT_SIGNAL_CAPACITY",
     "DecisionLog",
     "DiffConfig",
     "DiffReport",
     "EpochDecision",
     "EpochEffect",
+    "FORECAST_MODELS",
     "FlightRecorder",
+    "ForecastEngine",
     "Gauge",
     "Histogram",
     "HopBreakdown",
     "MetricsRegistry",
     "Observability",
     "ObservabilityConfig",
+    "PredictedBreach",
+    "PredictionScore",
     "ProvenanceLog",
     "ProvenanceRecord",
     "ScrapeLoop",
     "SeriesDelta",
+    "Signal",
+    "SignalBus",
     "SloEngine",
     "SloRule",
+    "TOPIC_ANOMALY",
+    "TOPIC_FORECAST",
+    "TOPIC_PREDICTED_BREACH",
     "TimeSeries",
     "TimeSeriesStore",
     "TraceNode",
@@ -95,16 +125,20 @@ __all__ = [
     "join_alerts_decisions",
     "load_artifact",
     "load_trace_jsonl",
+    "make_model",
     "percentile",
+    "score_predictions",
     "telemetry_digest",
     "trace_summary",
     "write_alerts_jsonl",
+    "write_anomalies_jsonl",
     "write_chrome_trace",
     "write_decisions_jsonl",
     "write_flight_dump",
     "write_metrics_json",
     "write_metrics_prometheus",
     "write_provenance_jsonl",
+    "write_signals_jsonl",
     "write_timeseries_json",
     "write_trace_jsonl",
 ]

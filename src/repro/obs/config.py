@@ -16,10 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .alerts import AlertLog
+from .anomaly import AnomalyEngine
 from .decisions import DecisionLog
+from .forecast import FORECAST_MODELS, BreachPredictor, ForecastEngine
 from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from .profiler import ControlPlaneProfiler
 from .provenance import DEFAULT_FLIGHT_RING, ProvenanceLog
+from .signals import DEFAULT_SIGNAL_CAPACITY, SignalBus
 from .slo import SloEngine, SloRule
 from .timeseries import DEFAULT_MAX_POINTS, ScrapeLoop, TimeSeriesStore
 from .tracing import Tracer
@@ -51,6 +54,23 @@ class ObservabilityConfig:
     provenance: bool = False
     #: flight-recorder ring capacity, in epochs
     flight_ring: int = DEFAULT_FLIGHT_RING
+    #: fit online forecast models over scraped series each tick (implies
+    #: the time-series pillar; with SLO rules, also predicts breaches)
+    forecast: bool = False
+    #: residual-based anomaly detection (z-score spikes + CUSUM
+    #: changepoints) over scraped series (implies the time-series pillar)
+    anomaly: bool = False
+    #: forecast model: "ewma", "holt", or "holt-winters"
+    forecast_model: str = "holt"
+    #: seasonal period in sim-seconds for "holt-winters" (rounded to
+    #: scrape ticks); 0 disables seasonality
+    season_length: float = 0.0
+    #: scrape steps ahead the forecast engine records/publishes
+    forecast_horizon: int = 5
+    #: scrape steps ahead the breach predictor projects burn rates
+    breach_horizon: int = 30
+    #: per-topic SignalBus ring capacity
+    signal_capacity: int = DEFAULT_SIGNAL_CAPACITY
     #: sim-seconds between scrape samples
     scrape_interval: float = 1.0
     #: per-series ring-buffer capacity
@@ -62,13 +82,33 @@ class ObservabilityConfig:
         if self.scrape_interval <= 0:
             raise ValueError(
                 f"scrape_interval must be > 0, got {self.scrape_interval}")
+        if self.forecast_model not in FORECAST_MODELS:
+            raise ValueError(
+                f"forecast_model must be one of {FORECAST_MODELS}, "
+                f"got {self.forecast_model!r}")
+        if self.season_length < 0:
+            raise ValueError(
+                f"season_length must be >= 0, got {self.season_length}")
+        if self.forecast_horizon < 1 or self.breach_horizon < 1:
+            raise ValueError("forecast/breach horizons must be >= 1")
+        if (self.forecast and self.forecast_model == "holt-winters"
+                and self.season_length <= 0):
+            raise ValueError(
+                "forecast_model='holt-winters' needs season_length > 0")
 
     @property
     def enabled(self) -> bool:
         """True when any pillar is on."""
         return (self.tracing or self.metrics or self.decisions
                 or self.profiling or self.timeseries or bool(self.slo)
-                or self.provenance)
+                or self.provenance or self.forecast or self.anomaly)
+
+    @property
+    def season_ticks(self) -> int:
+        """``season_length`` expressed in scrape ticks (0 = no season)."""
+        if self.season_length <= 0:
+            return 0
+        return max(2, round(self.season_length / self.scrape_interval))
 
     @classmethod
     def off(cls) -> "ObservabilityConfig":
@@ -79,7 +119,8 @@ class ObservabilityConfig:
     def full(cls) -> "ObservabilityConfig":
         """Every pillar enabled (SLO rules still need explicit opt-in)."""
         return cls(tracing=True, metrics=True, decisions=True,
-                   profiling=True, timeseries=True, provenance=True)
+                   profiling=True, timeseries=True, provenance=True,
+                   forecast=True, anomaly=True)
 
 
 class Observability:
@@ -96,7 +137,8 @@ class Observability:
         self.profiler: ControlPlaneProfiler | None = (
             ControlPlaneProfiler() if self.config.profiling else None)
         timeseries_on = (self.config.timeseries or bool(self.config.slo)
-                         or self.config.provenance)
+                         or self.config.provenance or self.config.forecast
+                         or self.config.anomaly)
         self.timeseries: TimeSeriesStore | None = (
             TimeSeriesStore(max_points=self.config.timeseries_max_points)
             if timeseries_on else None)
@@ -109,6 +151,24 @@ class Observability:
             ProvenanceLog(store=self.timeseries,
                           ring=self.config.flight_ring)
             if self.config.provenance else None)
+        self.signals: SignalBus | None = (
+            SignalBus(capacity=self.config.signal_capacity)
+            if self.config.forecast or self.config.anomaly else None)
+        self.forecast: ForecastEngine | None = (
+            ForecastEngine(self.timeseries, bus=self.signals,
+                           model=self.config.forecast_model,
+                           season_length=self.config.season_ticks,
+                           horizon=self.config.forecast_horizon)
+            if self.config.forecast else None)
+        self.anomaly: AnomalyEngine | None = (
+            AnomalyEngine(self.timeseries, bus=self.signals)
+            if self.config.anomaly else None)
+        self.breach: BreachPredictor | None = (
+            BreachPredictor(self.slo, self.timeseries, self.alerts,
+                            bus=self.signals,
+                            interval=self.config.scrape_interval,
+                            horizon=self.config.breach_horizon)
+            if self.config.forecast and self.slo is not None else None)
         #: scrape loop, bound to one simulation by :meth:`attach`
         self.scrape: ScrapeLoop | None = None
 
@@ -138,7 +198,10 @@ class Observability:
         if self.timeseries is not None:
             self.scrape = ScrapeLoop(self.timeseries, simulation,
                                      self.config.scrape_interval,
-                                     slo_engine=self.slo)
+                                     slo_engine=self.slo,
+                                     forecast_engine=self.forecast,
+                                     anomaly_engine=self.anomaly,
+                                     breach_predictor=self.breach)
 
     def install_scrape(self, duration: float) -> None:
         """Schedule the scrape ticks for one run (runner hook)."""
@@ -163,7 +226,8 @@ class Observability:
 
     def __repr__(self) -> str:
         on = [name for name in ("tracing", "metrics", "decisions",
-                                "profiling", "timeseries", "provenance")
+                                "profiling", "timeseries", "provenance",
+                                "forecast", "anomaly")
               if getattr(self.config, name)]
         if self.config.slo:
             on.append(f"slo[{len(self.config.slo)}]")

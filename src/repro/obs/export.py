@@ -13,16 +13,19 @@ import json
 from pathlib import Path
 
 from .alerts import AlertLog
+from .anomaly import AnomalyLog
 from .decisions import DecisionLog
 from .metrics import MetricsRegistry
 from .provenance import ProvenanceLog
+from .signals import SignalBus
 from .timeseries import TimeSeriesStore
 from .tracing import Tracer, chrome_trace
 
-__all__ = ["load_trace_jsonl", "write_alerts_jsonl", "write_chrome_trace",
-           "write_decisions_jsonl", "write_flight_dump",
-           "write_metrics_json", "write_metrics_prometheus",
-           "write_provenance_jsonl", "write_timeseries_json",
+__all__ = ["load_trace_jsonl", "write_alerts_jsonl", "write_anomalies_jsonl",
+           "write_chrome_trace", "write_decisions_jsonl",
+           "write_flight_dump", "write_metrics_json",
+           "write_metrics_prometheus", "write_provenance_jsonl",
+           "write_signals_jsonl", "write_timeseries_json",
            "write_trace_jsonl"]
 
 
@@ -89,6 +92,26 @@ def write_timeseries_json(store: TimeSeriesStore, path: str | Path) -> int:
 def write_alerts_jsonl(log: AlertLog, path: str | Path) -> int:
     """One alert per line; returns the alert count."""
     lines = log.to_jsonl_lines()
+    # exporter module: artifact writes are its declared purpose
+    with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def write_anomalies_jsonl(log: AnomalyLog, path: str | Path) -> int:
+    """One anomaly event per line; returns the event count."""
+    lines = log.to_jsonl_lines()
+    # exporter module: artifact writes are its declared purpose
+    with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def write_signals_jsonl(bus: SignalBus, path: str | Path) -> int:
+    """Every retained bus signal, one JSON per line, in publish order."""
+    lines = bus.to_jsonl_lines()
     # exporter module: artifact writes are its declared purpose
     with open(path, "w", encoding="utf-8") as handle:   # lint: ignore[D08]
         for line in lines:

@@ -36,6 +36,11 @@ _LabelKey = tuple[tuple[str, str], ...]
 #: series key absorbing samples rejected by the cardinality guard
 _OVERFLOW_KEY: _LabelKey = (("overflow", "true"),)
 
+#: help strings for the guard's self-monitoring metrics
+_GUARD_TOTAL_HELP = ("label-sets folded into overflow by the cardinality "
+                     "guard, across all metrics")
+_GUARD_GAUGE_HELP = ("label-sets folded into overflow, per tripped metric")
+
 
 def _label_key(labels: dict[str, str]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -231,6 +236,16 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    def guard_health(self) -> dict[str, int]:
+        """Per-metric dropped-label-set counts: the guard's own health.
+
+        Only metrics that actually tripped the cardinality cap appear;
+        an empty dict means every metric is within bounds.
+        """
+        return {name: self._metrics[name].dropped_label_sets
+                for name in self.names()
+                if self._metrics[name].dropped_label_sets}
+
     # ------------------------------------------------------------- exports
 
     def snapshot(self) -> dict:
@@ -255,6 +270,24 @@ class MetricsRegistry:
                          "series": series}
             if metric.dropped_label_sets:
                 out[name]["dropped_label_sets"] = metric.dropped_label_sets
+        # the guard's own health rides along as first-class metrics (not
+        # just the one-shot warning): an aggregate counter that is always
+        # present (0 = healthy) plus a per-tripped-metric gauge
+        tripped = self.guard_health()
+        out["obs_dropped_label_sets"] = {
+            "kind": "counter",
+            "help": _GUARD_TOTAL_HELP,
+            "series": [{"labels": {},
+                        "value": float(sum(tripped.values()))}],
+        }
+        if tripped:
+            out["obs_metric_overflow"] = {
+                "kind": "gauge",
+                "help": _GUARD_GAUGE_HELP,
+                "series": [{"labels": {"metric": name},
+                            "value": float(count)}
+                           for name, count in sorted(tripped.items())],
+            }
         return out
 
     def to_prometheus(self) -> str:
@@ -277,6 +310,16 @@ class MetricsRegistry:
                     lines.append(f"{name}_count{labels} {value.count}")
                 else:
                     lines.append(f"{name}{_render_labels(key)} {value}")
+        tripped = self.guard_health()
+        lines.append(f"# HELP obs_dropped_label_sets {_GUARD_TOTAL_HELP}")
+        lines.append("# TYPE obs_dropped_label_sets counter")
+        lines.append(f"obs_dropped_label_sets {sum(tripped.values())}")
+        if tripped:
+            lines.append(f"# HELP obs_metric_overflow {_GUARD_GAUGE_HELP}")
+            lines.append("# TYPE obs_metric_overflow gauge")
+            for name, count in sorted(tripped.items()):
+                labels = _render_labels(((("metric", name),)))
+                lines.append(f"obs_metric_overflow{labels} {count}")
         return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:

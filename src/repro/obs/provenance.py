@@ -251,6 +251,8 @@ class ProvenanceLog:
         self._last_solve: dict | None = None
         self._seen_alerts = 0
         self._seen_faults: set = set()
+        self._seen_anomalies = 0
+        self._seen_predictions = 0
 
     # -------------------------------------------------------------- wiring
 
@@ -363,6 +365,29 @@ class ProvenanceLog:
             alert = alert_log.alerts[self._seen_alerts]
             self._seen_alerts += 1
             self.record_anomaly(now, "slo_alert", alert.as_dict())
+
+    def check_anomalies(self, now: float, anomaly_log) -> None:
+        """Snapshot the ring for every anomaly detected since last check."""
+        events = anomaly_log.events
+        while self._seen_anomalies < len(events):
+            event = events[self._seen_anomalies]
+            self._seen_anomalies += 1
+            self.record_anomaly(now, "anomaly", event.as_dict())
+
+    def check_predictions(self, now: float, predictor) -> None:
+        """Snapshot the ring for every new predicted SLO breach.
+
+        Predictions are frozen when *emitted* (not when settled): the
+        interesting ring is the one that led the projection to cross the
+        thresholds — the controller state you would want to inspect while
+        there is still lead time to act.
+        """
+        predictions = predictor.predictions
+        while self._seen_predictions < len(predictions):
+            prediction = predictions[self._seen_predictions]
+            self._seen_predictions += 1
+            self.record_anomaly(now, "predicted_breach",
+                                prediction.as_dict())
 
     def check_faults(self, now: float, timeline) -> None:
         """Snapshot the ring at chaos fault edges (duck-typed records).

@@ -1,0 +1,123 @@
+"""A deterministic, bounded, in-sim signal bus for predictive telemetry.
+
+The predictive pillar (:mod:`repro.obs.forecast`, :mod:`repro.obs.anomaly`)
+produces *events* — forecasts, anomalies, predicted SLO breaches — that
+more than one consumer cares about: harnesses score them, the provenance
+flight recorder freezes on them, and ROADMAP item 4's event-driven
+controller will subscribe to them. :class:`SignalBus` is the seam between
+producer and consumers: a bounded, sim-timestamped, topic-keyed ring.
+
+Determinism is the design constraint. Signals carry the simulated clock
+(never a wall clock), sequence numbers are assigned in publish order,
+subscribers are invoked synchronously in registration order, and the ring
+bound evicts oldest-first with an explicit drop counter — never silently.
+Publishing is pure bookkeeping: the bus never touches mesh or engine
+state, so an enabled bus cannot perturb a run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["DEFAULT_SIGNAL_CAPACITY", "Signal", "SignalBus",
+           "TOPIC_ANOMALY", "TOPIC_FORECAST", "TOPIC_PREDICTED_BREACH"]
+
+#: per-topic ring capacity default
+DEFAULT_SIGNAL_CAPACITY = 4096
+
+#: one per-series forecast snapshot per scrape tick
+TOPIC_FORECAST = "forecast"
+#: residual z-score / CUSUM firings over scraped series
+TOPIC_ANOMALY = "anomaly"
+#: projected SLO burn-rate breaches with lead-time estimates
+TOPIC_PREDICTED_BREACH = "predicted_breach"
+
+
+@dataclass(frozen=True)
+class Signal:
+    """One sim-timestamped event on a topic."""
+
+    #: topic the signal was published to
+    topic: str
+    #: simulated clock at publish time
+    sim_time: float
+    #: bus-wide publish sequence number (total order across topics)
+    seq: int
+    #: producer-defined payload (JSON-serializable dict by convention)
+    payload: dict = field(default_factory=dict)
+    #: producing component, e.g. ``"forecast"``, ``"anomaly"``, ``"slo"``
+    source: str = ""
+
+    def as_dict(self) -> dict:
+        return {"topic": self.topic, "sim_time": self.sim_time,
+                "seq": self.seq, "source": self.source,
+                "payload": self.payload}
+
+
+class SignalBus:
+    """Bounded publish/subscribe fan-out keyed by topic string."""
+
+    def __init__(self, capacity: int = DEFAULT_SIGNAL_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rings: dict[str, deque] = {}
+        self._subscribers: dict[str, list] = {}
+        self._seq = 0
+        #: signals evicted from a full ring, per topic (never silent)
+        self.dropped: dict[str, int] = {}
+
+    # ---------------------------------------------------------- publish
+
+    def publish(self, topic: str, sim_time: float, payload: dict,
+                source: str = "") -> Signal:
+        """Append a signal and synchronously notify topic subscribers."""
+        signal = Signal(topic=topic, sim_time=sim_time, seq=self._seq,
+                        payload=payload, source=source)
+        self._seq += 1
+        ring = self._rings.get(topic)
+        if ring is None:
+            ring = deque()
+            self._rings[topic] = ring
+        if len(ring) >= self.capacity:
+            ring.popleft()
+            self.dropped[topic] = self.dropped.get(topic, 0) + 1
+        ring.append(signal)
+        for callback in self._subscribers.get(topic, ()):
+            callback(signal)
+        return signal
+
+    def subscribe(self, topic: str, callback) -> None:
+        """Invoke ``callback(signal)`` on every future publish to ``topic``.
+
+        Callbacks run synchronously, in registration order, on the
+        publisher's (sim-time) call stack — there is no hidden queue, so
+        subscriber effects land at a deterministic point in the run.
+        """
+        self._subscribers.setdefault(topic, []).append(callback)
+
+    # ------------------------------------------------------------- reads
+
+    def history(self, topic: str) -> list:
+        """Retained signals for one topic, oldest first."""
+        return list(self._rings.get(topic, ()))
+
+    def topics(self) -> list:
+        """Topics that have seen at least one publish, sorted."""
+        return sorted(self._rings)
+
+    def latest(self, topic: str) -> Signal | None:
+        ring = self._rings.get(topic)
+        return ring[-1] if ring else None
+
+    def __len__(self) -> int:
+        return sum(len(ring) for ring in self._rings.values())
+
+    def to_jsonl_lines(self) -> list:
+        """All retained signals as JSON lines, in publish order."""
+        signals = sorted(
+            (s for ring in self._rings.values() for s in ring),
+            key=lambda s: s.seq)
+        return [json.dumps(s.as_dict(), sort_keys=True) for s in signals]

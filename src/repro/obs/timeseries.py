@@ -27,6 +27,8 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imports for annotations only — obs stays decoupled
     from ..sim.runner import MeshSimulation
+    from .anomaly import AnomalyEngine
+    from .forecast import BreachPredictor, ForecastEngine
     from .slo import SloEngine
 
 __all__ = ["DEFAULT_MAX_POINTS", "ScrapeLoop", "TimeSeries",
@@ -287,13 +289,19 @@ class ScrapeLoop:
 
     def __init__(self, store: TimeSeriesStore, simulation: "MeshSimulation",
                  interval: float,
-                 slo_engine: "SloEngine | None" = None) -> None:
+                 slo_engine: "SloEngine | None" = None,
+                 forecast_engine: "ForecastEngine | None" = None,
+                 anomaly_engine: "AnomalyEngine | None" = None,
+                 breach_predictor: "BreachPredictor | None" = None) -> None:
         if interval <= 0:
             raise ValueError(f"scrape_interval must be > 0, got {interval}")
         self.store = store
         self.simulation = simulation
         self.interval = interval
         self.slo_engine = slo_engine
+        self.forecast_engine = forecast_engine
+        self.anomaly_engine = anomaly_engine
+        self.breach_predictor = breach_predictor
         #: cursor into the run telemetry's per-request retention
         self._completed_cursor = 0
         self._last_sample_time: float | None = None
@@ -379,6 +387,15 @@ class ScrapeLoop:
 
         if self.slo_engine is not None:
             self.slo_engine.observe(now, new_latencies, simulation)
+        # predictive pillar: each engine consumes only the points already
+        # recorded above (pure reads of the store, never the mesh), so
+        # ordering is scrape -> SLO -> anomaly -> forecast -> breach
+        if self.anomaly_engine is not None:
+            self.anomaly_engine.sample(now)
+        if self.forecast_engine is not None:
+            self.forecast_engine.sample(now)
+        if self.breach_predictor is not None:
+            self.breach_predictor.sample(now)
         self._last_sample_time = now
         store.scrape_count += 1
 

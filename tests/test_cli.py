@@ -128,3 +128,75 @@ def test_obs_slo_renders_alerts_and_join(capsys):
     out = capsys.readouterr().out
     assert "rule" in out and "latency-250ms" in out
     assert "re-plans" in out
+
+
+def test_obs_slo_json_document(capsys):
+    import json
+    assert main(["obs", "slo", "--duration", "60", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["command"] == "slo"
+    assert isinstance(document["alerts"], list) and document["alerts"]
+    assert document["alerts"][0]["rule"] == "latency-250ms"
+
+
+def test_obs_forecast_text_and_breach_table(capsys):
+    assert main(["obs", "forecast", "--scenario", "slo",
+                 "--duration", "60", "--table"]) == 0
+    out = capsys.readouterr().out
+    assert "series backtested" in out and "MASE" in out
+    assert "predicted breaches:" in out
+
+
+def test_obs_forecast_json_report(capsys, tmp_path):
+    import json
+    report = tmp_path / "forecast.json"
+    assert main(["obs", "forecast", "--scenario", "slo", "--duration", "50",
+                 "-o", str(report)]) == 0
+    document = json.loads(report.read_text())
+    assert document["command"] == "forecast"
+    assert document["forecast"]["model"] == "holt"
+    assert document["forecast"]["series"]
+    assert "prediction_score" in document
+
+
+def test_obs_forecast_holt_winters_needs_season_on_slo():
+    with pytest.raises(SystemExit):
+        main(["obs", "forecast", "--scenario", "slo",
+              "--model", "holt-winters", "--duration", "20"])
+
+
+def test_obs_anomalies_json_document(capsys):
+    import json
+    assert main(["obs", "anomalies", "--scenario", "chaos",
+                 "--duration", "30", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["command"] == "anomalies"
+    assert document["summary"]["events"] == len(document["events"])
+    assert document["events"], "the outage must register anomalies"
+
+
+def test_obs_anomalies_table_and_exports(capsys, tmp_path):
+    events = tmp_path / "anomalies.jsonl"
+    signals = tmp_path / "signals.jsonl"
+    assert main(["obs", "anomalies", "--scenario", "chaos",
+                 "--duration", "30", "--table", "-o", str(events),
+                 "--signals-out", str(signals)]) == 0
+    out = capsys.readouterr().out
+    assert "anomaly events" in out and "detector" in out
+    assert events.read_text().strip()
+    assert '"topic": "anomaly"' in signals.read_text()
+
+
+def test_obs_diff_missing_artifact_exits_2(capsys, tmp_path):
+    assert main(["obs", "diff", str(tmp_path / "nope.json"),
+                 str(tmp_path / "nope2.json")]) == 2
+    assert "cannot read artifact" in capsys.readouterr().err
+
+
+def test_obs_diff_invalid_artifact_exits_2(capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("definitely not json{{", encoding="utf-8")
+    ok = tmp_path / "ok.json"
+    ok.write_text("{}", encoding="utf-8")
+    assert main(["obs", "diff", str(bad), str(ok)]) == 2
+    assert "invalid artifact" in capsys.readouterr().err

@@ -1,0 +1,72 @@
+"""Tests for the deterministic in-sim signal bus."""
+
+import json
+
+import pytest
+
+from repro.obs import (DEFAULT_SIGNAL_CAPACITY, Signal, SignalBus,
+                       TOPIC_ANOMALY, TOPIC_FORECAST)
+
+
+def test_publish_assigns_global_sequence_numbers():
+    bus = SignalBus()
+    first = bus.publish(TOPIC_FORECAST, 1.0, {"a": 1})
+    second = bus.publish(TOPIC_ANOMALY, 1.0, {"b": 2})
+    third = bus.publish(TOPIC_FORECAST, 2.0, {"c": 3})
+    assert (first.seq, second.seq, third.seq) == (0, 1, 2)
+    assert bus.topics() == [TOPIC_ANOMALY, TOPIC_FORECAST]
+    assert len(bus) == 3
+
+
+def test_history_per_topic_oldest_first():
+    bus = SignalBus()
+    bus.publish("t", 1.0, {"n": 1})
+    bus.publish("t", 2.0, {"n": 2})
+    history = bus.history("t")
+    assert [s.payload["n"] for s in history] == [1, 2]
+    assert bus.latest("t").payload == {"n": 2}
+    assert bus.history("unused") == [] and bus.latest("unused") is None
+
+
+def test_capacity_evicts_oldest_and_counts_drops():
+    bus = SignalBus(capacity=3)
+    for n in range(5):
+        bus.publish("t", float(n), {"n": n})
+    assert [s.payload["n"] for s in bus.history("t")] == [2, 3, 4]
+    assert bus.dropped == {"t": 2}
+    # other topics are unaffected by one topic's overflow
+    bus.publish("u", 9.0, {})
+    assert "u" not in bus.dropped
+
+
+def test_subscribers_run_synchronously_in_registration_order():
+    bus = SignalBus()
+    calls = []
+    bus.subscribe("t", lambda s: calls.append(("first", s.seq)))
+    bus.subscribe("t", lambda s: calls.append(("second", s.seq)))
+    bus.subscribe("other", lambda s: calls.append(("other", s.seq)))
+    bus.publish("t", 1.0, {})
+    assert calls == [("first", 0), ("second", 0)]
+
+
+def test_jsonl_lines_in_publish_order_across_topics():
+    bus = SignalBus()
+    bus.publish("b", 1.0, {"n": 0}, source="x")
+    bus.publish("a", 2.0, {"n": 1}, source="y")
+    bus.publish("b", 3.0, {"n": 2}, source="x")
+    rows = [json.loads(line) for line in bus.to_jsonl_lines()]
+    assert [row["seq"] for row in rows] == [0, 1, 2]
+    assert rows[1]["topic"] == "a" and rows[1]["source"] == "y"
+
+
+def test_signal_as_dict_shape():
+    signal = Signal(topic="t", sim_time=4.5, seq=7, payload={"x": 1},
+                    source="forecast")
+    assert signal.as_dict() == {"topic": "t", "sim_time": 4.5, "seq": 7,
+                                "source": "forecast", "payload": {"x": 1}}
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SignalBus(capacity=0)
+    assert SignalBus().capacity == DEFAULT_SIGNAL_CAPACITY

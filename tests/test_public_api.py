@@ -70,7 +70,9 @@ def test_metrics_writer_exports(tmp_path):
     registry.counter("reqs_total", "requests").inc(7, cluster="west")
     json_path = tmp_path / "metrics.json"
     prom_path = tmp_path / "metrics.prom"
-    assert write_metrics_json(registry, json_path) == 1
+    # 2 = the counter plus the always-present cardinality-guard health
+    # gauge (obs_dropped_label_sets)
+    assert write_metrics_json(registry, json_path) == 2
     assert write_metrics_prometheus(registry, prom_path) > 0
     assert json.loads(json_path.read_text())
     assert "reqs_total" in prom_path.read_text()
