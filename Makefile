@@ -34,7 +34,7 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_engine.py \
 		benchmarks/bench_sweep.py benchmarks/bench_obs.py \
 		benchmarks/bench_chaos.py benchmarks/bench_devtools.py \
-		benchmarks/bench_optimizer.py \
+		benchmarks/bench_optimizer.py benchmarks/bench_fluid.py \
 		--benchmark-only -q
 
 # regression-gate freshly regenerated BENCH_*.json against a snapshot of
@@ -52,7 +52,8 @@ bench-diff:
 			"$(BASELINES)/$$name" "$$bench" \
 			--rel-tolerance 0.25 \
 			--tolerance '*_seconds=5.0' \
-			--tolerance 'speedup=5.0' \
+			--tolerance '*speedup*=5.0' \
+			--tolerance '*_rel_error=1.0' \
 			--report "diff-reports/$${name%.json}.diff.json" \
 			|| status=1; \
 	done; \

@@ -3,8 +3,9 @@
 Two headline numbers, both exported to ``BENCH_sweep.json``:
 
 * parallel vs serial wall-clock for a multi-seed figure sweep (the
-  speedup *assertion* lives in ``tests/test_parallel.py`` and is gated on
-  a 4+-core machine; this bench records whatever the current host does);
+  speedup *assertion* lives in ``tests/test_parallel.py`` with a floor
+  scaled to the host's core count; this bench records what the current
+  host does, including the per-effective-core normalization);
 * solver-cache hit rate for a steady-demand adaptive scenario — repeated
   epochs assemble identical LP instances, which the
   :class:`~repro.core.optimizer.cache.SolverCache` replays instead of
@@ -70,13 +71,20 @@ def test_sweep_parallel_vs_serial(benchmark, report_sink, bench_json):
         ["mode", "workers", "wall-clock (s)"], rows,
         title=f"Sweep executor: {len(units)} units, speedup {speedup:.2f}x")
     report_sink("sweep_executor", text)
+    # per-core scaling: a 4x speedup on 4 cores and a 1x "speedup" on a
+    # 1-core host are both perfect scaling — recording the normalized row
+    # keeps bench-diff meaningful when hosts change core counts
+    effective_cores = min(parallel_workers, os.cpu_count() or 1)
     bench_json("sweep", {
         "sweep_units": len(units),
         "workers": parallel_workers,
         "cpu_count": os.cpu_count(),
+        "effective_cores": effective_cores,
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
         "speedup": speedup,
+        "speedup_per_effective_core": (speedup / effective_cores
+                                       if effective_cores else 0.0),
     })
 
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro figure fig6a [--duration 40] [--seed 42]
     python -m repro figure fig4
     python -m repro solve --app chain --west 650 --east 100 [--cost-weight W]
+    python -m repro run --scenario diurnal --fidelity hybrid --rps 500000
     python -m repro obs trace --figure fig6a --format chrome -o trace.json
     python -m repro obs metrics --figure fig6a --format prom
     python -m repro obs decisions --scenario diurnal
@@ -25,7 +26,8 @@ import argparse
 import sys
 
 __all__ = ["APPS", "FIGURES", "build_parser", "cmd_chaos", "cmd_figure",
-           "cmd_list", "cmd_obs", "cmd_solve", "cmd_survey", "main"]
+           "cmd_list", "cmd_obs", "cmd_run", "cmd_solve", "cmd_survey",
+           "main"]
 
 from .analysis.report import format_cdf_series, format_comparison, format_table
 from .core.controller.global_controller import GlobalController
@@ -128,6 +130,81 @@ def _run_fig4() -> int:
     print(format_table(
         ["west load (rps)", "local @ 5ms", "local @ 25ms", "local @ 50ms"],
         rows, title="Fig. 4: locally served RPS at West"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    import math as math_module
+    import time
+    from .core.controller.policy import SlatePolicy
+    from .experiments.harness import Scenario, run_policy
+    from .obs.timeseries import percentile
+
+    rps = args.rps if args.rps is not None else 150.0
+    # size pools for the diurnal peak (base * (1 + amplitude)) at ~70%
+    # utilization so every fidelity runs the same stable deployment
+    replicas = args.replicas if args.replicas is not None else max(
+        5, math_module.ceil(rps * 0.010 * 1.5 / 0.7))
+    timeline = None
+    if args.scenario == "diurnal":
+        setup = sc.diurnal_control_setup(
+            base_rps=rps, duration=args.duration, epoch=args.epoch,
+            replicas=replicas, seed=args.seed)
+        scenario, policy, timeline = setup.scenario, setup.policy, \
+            setup.timeline
+    else:
+        app = linear_chain_app(n_services=3, exec_time=0.010)
+        deployment = DeploymentSpec.uniform(
+            app.services(), ["west", "east"], replicas=replicas,
+            latency=two_region_latency(25.0))
+        demand = DemandMatrix()
+        demand.set("default", "west", rps)
+        demand.set("default", "east", rps)
+        scenario = Scenario("constant", app, deployment, demand,
+                            duration=args.duration, warmup=0.0,
+                            seed=args.seed, epoch=args.epoch)
+        policy = SlatePolicy()
+    started = time.perf_counter()
+    outcome = run_policy(scenario, policy, timeline=timeline,
+                         fidelity=args.fidelity,
+                         sample_rate=args.sample_rate,
+                         fluid_tick=args.tick)
+    wall = time.perf_counter() - started
+    offered = rps * 2 * args.duration
+    latencies = outcome.latencies
+    document = {
+        "command": "run", "scenario": args.scenario,
+        "fidelity": args.fidelity, "duration": args.duration,
+        "seed": args.seed, "rps_per_cluster": rps, "replicas": replicas,
+        "sample_rate": args.sample_rate, "fluid_tick": args.tick,
+        "offered_requests": offered,
+        "wall_seconds": round(wall, 4),
+        "sampled_latency": {
+            "count": len(latencies),
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "p99": percentile(latencies, 0.99),
+        },
+        "egress": {"bytes": outcome.egress_bytes,
+                   "cost": outcome.egress_cost},
+    }
+    if args.json or args.output:
+        _emit_json(document, args.output, "run report")
+    else:
+        stats = document["sampled_latency"]
+        print(f"{args.scenario} @ {args.fidelity}: {rps:g} rps/cluster x "
+              f"{args.duration:g}s sim ({offered:g} requests offered) in "
+              f"{wall:.2f}s wall")
+        if stats["count"]:
+            print(f"sampled latency (n={stats['count']}): "
+                  f"p50={stats['p50'] * 1000:.1f}ms "
+                  f"p95={stats['p95'] * 1000:.1f}ms "
+                  f"p99={stats['p99'] * 1000:.1f}ms")
+        else:
+            print("sampled latency: none (fluid fidelity tracks bulk "
+                  "flows only; use hybrid for percentiles)")
+        print(f"egress: {outcome.egress_bytes} bytes "
+              f"(${outcome.egress_cost:.4f})")
     return 0
 
 
@@ -646,6 +723,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit Istio VirtualService/DestinationRule "
                             "manifests for the plan")
 
+    run = sub.add_parser(
+        "run", help="run one scenario at a chosen simulation fidelity "
+                    "(event | fluid | hybrid; docs/substrate.md)")
+    run.add_argument("--scenario", choices=("constant", "diurnal"),
+                     default="diurnal")
+    run.add_argument("--fidelity", choices=("event", "fluid", "hybrid"),
+                     default="hybrid")
+    run.add_argument("--rps", type=float, default=None,
+                     help="ingress RPS per cluster (default 150)")
+    run.add_argument("--duration", type=float, default=60.0,
+                     help="simulated seconds")
+    run.add_argument("--epoch", type=float, default=10.0,
+                     help="adaptive re-plan period (simulated seconds)")
+    run.add_argument("--sample-rate", type=float, default=None,
+                     help="hybrid: fraction of demand run event-level "
+                          "(default 0.05)")
+    run.add_argument("--tick", type=float, default=None,
+                     help="fluid substrate tick (simulated seconds, "
+                          "default 0.1)")
+    run.add_argument("--replicas", type=int, default=None,
+                     help="replicas per (service, cluster); default sized "
+                          "for ~70%% peak utilization")
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--json", action="store_true",
+                     help="print the run report as JSON")
+    run.add_argument("-o", "--output", default=None,
+                     help="write the run report JSON here")
+
     obs = sub.add_parser(
         "obs", help="run with observability on; export traces/metrics/"
                     "decisions (docs/observability.md)")
@@ -859,7 +964,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": cmd_list, "figure": cmd_figure,
                 "solve": cmd_solve, "survey": cmd_survey, "obs": cmd_obs,
-                "chaos": cmd_chaos}
+                "chaos": cmd_chaos, "run": cmd_run}
     return handlers[args.command](args)
 
 

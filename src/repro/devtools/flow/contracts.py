@@ -56,6 +56,11 @@ class LayerSpec:
                    "repro.experiments", "repro.obs", "repro.chaos")
         return cls(rules=(
             LayerRule("repro.sim", ("repro.obs", "repro.chaos")),
+            # the fluid substrate gets its own (longest-prefix) entry so
+            # the constraint survives any future relaxation of repro.sim:
+            # bulk flows feed scrape/chaos through the same pool/gateway
+            # interfaces the event path uses, never by importing upward
+            LayerRule("repro.sim.fluid", ("repro.obs", "repro.chaos")),
             LayerRule("repro.mesh", ("repro.obs", "repro.chaos")),
             LayerRule("repro.core", ("repro.obs", "repro.chaos")),
             LayerRule("repro.baselines", ("repro.obs", "repro.chaos")),

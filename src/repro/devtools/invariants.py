@@ -13,7 +13,12 @@ call in at the natural checkpoints:
 * **routing-matrix stochasticity** — every installed rule's weights are
   non-negative and sum to 1 ± 1e-9 per (service, class, source cluster);
 * **non-negative queue depths** — a pool never records negative busy
-  replicas or queue length.
+  replicas or queue length;
+* **fluid tick monotonicity** — the fluid substrate's tick loop never
+  observes virtual time moving backwards between ticks;
+* **fluid flow sanity** — bulk flow rates are finite and non-negative,
+  and every routing matrix row applied as a matrix product sums to
+  1 ± 1e-9 (the same stochasticity bound as installed rules).
 
 Violations raise :class:`InvariantViolation` with a message naming the
 offending stream/service/cluster so the report is actionable.
@@ -25,9 +30,10 @@ import math
 import os
 
 __all__ = ["INVARIANTS_ENV", "InvariantViolation", "ROW_SUM_TOLERANCE",
-           "check_event_monotonic", "check_pool_depths",
-           "check_request_conservation", "check_routing_table",
-           "invariants_enabled"]
+           "check_event_monotonic", "check_fluid_rates",
+           "check_fluid_tick", "check_pool_depths",
+           "check_request_conservation", "check_routing_matrix",
+           "check_routing_table", "invariants_enabled"]
 
 INVARIANTS_ENV = "REPRO_DEBUG_INVARIANTS"
 
@@ -105,6 +111,51 @@ def check_request_conservation(gateways) -> None:
                 f"admitted={admitted}, completed={completed}, "
                 f"failed={failed} imply {in_flight} in flight, but "
                 f"{gateway.open_requests} are tracked open")
+
+
+def check_fluid_tick(last_tick: float, now: float) -> None:
+    """The fluid tick loop must see monotone non-decreasing virtual time."""
+    if now < last_tick:
+        raise InvariantViolation(
+            f"fluid tick monotonicity violated: tick fired at t={now!r} "
+            f"after a tick at t={last_tick!r}")
+
+
+def check_routing_matrix(service, traffic_class, matrix) -> None:
+    """Each row of a fluid routing matrix must be a probability row.
+
+    ``matrix`` is the n x n numpy split matrix the fluid substrate applies
+    as ``demand @ matrix``; rows index source clusters. Same tolerance as
+    :func:`check_routing_table` — the matrix is the vectorized form of the
+    same rules.
+    """
+    for i, row in enumerate(matrix):
+        total = 0.0
+        for weight in row:
+            value = float(weight)
+            if not math.isfinite(value) or value < 0:
+                raise InvariantViolation(
+                    f"fluid routing matrix for service={service!r} "
+                    f"class={traffic_class!r} has invalid weight {value!r} "
+                    f"in row {i}")
+            total += value
+        if abs(total - 1.0) > ROW_SUM_TOLERANCE:
+            raise InvariantViolation(
+                f"fluid routing matrix for service={service!r} "
+                f"class={traffic_class!r} row {i} sums to {total!r}, "
+                f"expected 1 ± {ROW_SUM_TOLERANCE}")
+
+
+def check_fluid_rates(traffic_class, rates) -> None:
+    """Bulk flow rates must be finite and non-negative."""
+    values = rates.flat if hasattr(rates, "flat") else rates
+    for rate in values:
+        value = float(rate)
+        if not math.isfinite(value) or value < 0:
+            raise InvariantViolation(
+                f"fluid flow conservation violated for "
+                f"class={traffic_class!r}: rate {value!r} is negative or "
+                f"non-finite")
 
 
 def check_pool_depths(pool) -> None:

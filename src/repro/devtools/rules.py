@@ -167,7 +167,10 @@ class WallClockInSimulatedCode(Rule):
 
     A wall-clock read in ``sim/``, ``core/``, ``mesh/``, or ``baselines/``
     couples results to host speed and makes reruns diverge. Benchmarks and
-    offline analysis may time themselves.
+    offline analysis may time themselves. The fluid substrate
+    (``sim/fluid``) is covered by the same directory match: its tick loop
+    advances virtual time only, and the runtime invariant checker
+    (``check_fluid_tick``) enforces monotonicity when debug mode is on.
     """
 
     rule_id = "D02"

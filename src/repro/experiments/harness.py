@@ -60,7 +60,10 @@ def run_policy(scenario: Scenario, policy: RoutingPolicy,
                seed: int | None = None,
                classifier: AppSpecClassifier | None = None,
                observability=None,
-               timeline=None) -> PolicyOutcome:
+               timeline=None,
+               fidelity: str = "event",
+               sample_rate: float | None = None,
+               fluid_tick: float | None = None) -> PolicyOutcome:
     """Simulate one scenario under one policy.
 
     ``classifier`` lets sweep callers build the (stateless)
@@ -74,14 +77,29 @@ def run_policy(scenario: Scenario, policy: RoutingPolicy,
     :class:`~repro.sim.traces.DemandTimeline`) replaces the scenario's
     constant demand matrix with time-varying sources — the controller
     dynamics the decision log exists to show.
+
+    ``fidelity`` selects how demand is realised: ``"event"`` (per-request
+    simulation, the default), ``"fluid"`` (bulk flow rates only — scales
+    to millions of simulated RPS but yields no per-request latencies), or
+    ``"hybrid"`` (bulk flow plus a ``sample_rate`` slice of real requests
+    whose latencies populate the outcome). ``sample_rate`` and
+    ``fluid_tick`` override the simulator defaults when given.
     """
     from ..obs.config import Observability
     obs = Observability.coerce(observability)
+    fidelity_kwargs = {}
+    if fidelity != "event":
+        fidelity_kwargs["fidelity"] = fidelity
+        if sample_rate is not None:
+            fidelity_kwargs["sample_rate"] = sample_rate
+        if fluid_tick is not None:
+            fidelity_kwargs["fluid_tick"] = fluid_tick
     simulation = MeshSimulation(
         scenario.app, scenario.deployment,
         seed=scenario.seed if seed is None else seed,
         classifier=classifier or AppSpecClassifier(scenario.app),
         observability=obs,
+        **fidelity_kwargs,
     )
     obs = simulation.observability   # post-coercion runtime (or None)
     profiler = obs.profiler if obs is not None else None

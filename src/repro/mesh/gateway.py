@@ -76,6 +76,32 @@ class IngressGateway:
         self._telemetry.record_ingress(request)
         self._dispatch(request)
 
+    def admit_bulk(self, traffic_class: str, count: int) -> None:
+        """Admit ``count`` fluid-mode requests as counters, no dispatch.
+
+        The fluid substrate's bulk counterpart of :meth:`accept`: demand
+        arrives pre-classified (bulk flow is per traffic class by
+        construction) and no per-request call tree is started — the
+        substrate settles the cohort later via :meth:`settle_bulk`, keeping
+        the conservation identity ``admitted == completed + failed + open``
+        intact at every instant.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.admitted_count += count
+        self.open_requests += count
+        self._telemetry.record_ingress_bulk(traffic_class, count)
+
+    def settle_bulk(self, traffic_class: str, completed: int,
+                    failed: int) -> None:
+        """Settle a bulk cohort admitted earlier via :meth:`admit_bulk`."""
+        if completed < 0 or failed < 0:
+            raise ValueError("bulk counts must be >= 0")
+        self.completed_count += completed
+        self.failed_count += failed
+        self.open_requests -= completed + failed
+        self._run_telemetry.record_bulk(traffic_class, completed, failed)
+
     def complete(self, request: Request, now: float) -> None:
         """Record the response leaving the gateway."""
         request.completion_time = now

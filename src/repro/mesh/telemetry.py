@@ -136,6 +136,42 @@ class ProxyTelemetry:
         cls = request.traffic_class
         self._ingress[cls] = self._ingress.get(cls, 0) + 1
 
+    def record_ingress_bulk(self, traffic_class: str, count: int) -> None:
+        """Meter ``count`` fluid-mode admissions without Request objects.
+
+        Keeps :meth:`ClusterEpochReport.ingress_rps` — the signal adaptive
+        policies re-plan on — meaningful when demand arrives as bulk flow.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._ingress[traffic_class] = (
+            self._ingress.get(traffic_class, 0) + count)
+
+    def observe_bulk(self, service: str, traffic_class: str,
+                     completions: int, latency_sum: float = 0.0,
+                     exec_sum: float = 0.0, queue_wait_sum: float = 0.0,
+                     remote_arrivals: int = 0) -> None:
+        """Fold a tick's bulk flow through one (service, class) window.
+
+        The fluid substrate's counterpart of :meth:`record_span`: the
+        aggregate sums come from the M/M/c solution (wait + compute per
+        request) rather than individual spans, so
+        :meth:`ClusterEpochReport.service_rps` and the window means read
+        the same under either fidelity. Bulk windows never contribute span
+        samples — structure learning sees only the sampled event slice.
+        """
+        if completions < 0 or remote_arrivals < 0:
+            raise ValueError("bulk window counts must be >= 0")
+        key = (service, traffic_class)
+        window = self._windows.get(key)
+        if window is None:
+            window = self._windows[key] = ServiceClassWindow()
+        window.completions += completions
+        window.latency_sum += latency_sum
+        window.exec_sum += exec_sum
+        window.queue_wait_sum += queue_wait_sum
+        window.remote_arrivals += remote_arrivals
+
     def record_completion(self, request: Request) -> None:
         self._latencies.append(request.latency)
 
@@ -232,6 +268,27 @@ class RunTelemetry:
         self.failed_by_class[cls] = self.failed_by_class.get(cls, 0) + 1
         if self._reservoir_size is None:
             self.failed_requests.append(request)
+
+    def record_bulk(self, traffic_class: str, completed: int,
+                    failed: int = 0) -> None:
+        """Account a batch of fluid-mode outcomes (counters only).
+
+        Bulk traffic never materialises :class:`Request` objects, so the
+        retained-request lists and reservoirs are untouched —
+        :meth:`latencies` keeps returning only the sampled event-level
+        slice, while the lifetime counters (what the scrape loop and SLO
+        error-rate rules read) cover the full simulated load.
+        """
+        if completed < 0 or failed < 0:
+            raise ValueError("bulk counts must be >= 0")
+        if completed:
+            self.completed_count += completed
+            self.completed_by_class[traffic_class] = (
+                self.completed_by_class.get(traffic_class, 0) + completed)
+        if failed:
+            self.failed_count += failed
+            self.failed_by_class[traffic_class] = (
+                self.failed_by_class.get(traffic_class, 0) + failed)
 
     def record_span(self, span: Span) -> None:
         if self._keep_spans:

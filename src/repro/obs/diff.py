@@ -30,7 +30,7 @@ DEFAULT_HIGHER_IS_BETTER = (
 #: key patterns where smaller is better (an increase is the regression)
 DEFAULT_LOWER_IS_BETTER = (
     "*latency*", "*cost*", "*failed*", "*dropped*", "*timed_out*",
-    "*queue_depth*", "*_seconds*", "*burn_rate*", "*churn*",
+    "*queue_depth*", "*_seconds*", "*burn_rate*", "*churn*", "*_error*",
 )
 
 

@@ -1,0 +1,34 @@
+"""Hybrid-fidelity simulation: a fluid-flow substrate for bulk traffic.
+
+Per-request discrete-event simulation tops out around 10^4 simulated
+requests/second; the paper's setting ("heavy traffic from millions of
+users") is two orders of magnitude beyond that. This package adds a
+mean-field *fluid* mode in the spirit of WAN traffic engineering systems,
+which reason about demand as aggregate flow rates rather than packets:
+
+* :mod:`~repro.sim.fluid.flows` — per (service, class, cluster) bulk
+  traffic as vectorized numpy rates; routing splits applied as matrix
+  products, M/M/c queueing over pool capacity, WAN propagation and egress
+  from the deployment's latency/pricing matrices;
+* :mod:`~repro.sim.fluid.substrate` — the periodic tick loop that applies
+  each solution to gateways, telemetry, pools, and the egress ledger with
+  exact (carry-accumulator) conservation;
+* :mod:`~repro.sim.fluid.pool` — a pool whose occupancy *is* the fluid
+  state, and which serves the hybrid mode's sampled event-level requests
+  with M/M/c-consistent wait draws from a named registry stream.
+
+Select the mode with ``MeshSimulation(..., fidelity="fluid")`` (bulk only)
+or ``fidelity="hybrid"`` (bulk plus a deterministic sampled slice through
+the full event path for p50/p95/p99, tracing, and SLO alerting).
+
+This package must stay importable by the core simulator: it may not
+import ``repro.obs`` or ``repro.chaos`` eagerly (enforced as an A04
+layering contract).
+"""
+
+from .flows import ClassFlowState, FlowModel, FluidTickSolution
+from .pool import FluidPool
+from .substrate import FluidSubstrate
+
+__all__ = ["ClassFlowState", "FlowModel", "FluidPool", "FluidSubstrate",
+           "FluidTickSolution"]

@@ -1,0 +1,380 @@
+"""Vectorized fluid-flow propagation over the live routing table.
+
+The fluid substrate treats traffic as *rates*, not requests: per traffic
+class, ingress demand is a vector over clusters, each routing decision is
+an n x n column-stochastic split matrix built from the same precedence
+chain :class:`~repro.mesh.proxy.SlateProxy` applies per request (installed
+rule restricted to deployed clusters, else local, else nearest deployed),
+and one tick of propagation is a handful of ``vector @ matrix`` products
+down the class's call tree. The cost of a tick is therefore independent
+of RPS — the property that lets a laptop drive millions of simulated
+users per second (ROADMAP item 1).
+
+Queueing behaviour comes from the same M/M/c relations the Global
+Controller assumes (:mod:`repro.core.latency.mm1`): per (service, cluster)
+pool the tick computes offered erlangs, the Erlang-C wait, and — beyond
+``UTILIZATION_CAP`` — the excess work that a saturated pool sheds as
+failures. WAN propagation and egress billing reuse
+:class:`~repro.sim.network.LatencyMatrix` / ``EgressPricing`` verbatim, so
+chaos latency overrides and partitions take effect on the next tick.
+
+Approximations (documented, and bounded by the parity tests in
+``tests/test_hybrid_fidelity.py``): downstream demand of requests that
+later fail is still propagated (their upstream work really ran), and
+failures are attributed to ingress clusters proportionally per class.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...core.latency.mm1 import erlang_c
+from ...devtools import invariants
+
+__all__ = ["UTILIZATION_CAP", "ClassFlowState", "FluidTickSolution",
+           "FlowModel", "fast_erlang_c"]
+
+#: fraction of pool capacity the fluid model lets bulk traffic occupy; the
+#: remainder of an overloaded pool's offered work is shed as failures so
+#: waits (and completion-credit delays) stay finite
+UTILIZATION_CAP = 0.999
+
+#: below this many servers the exact O(c) scalar recurrence is used; above
+#: it the numpy series form (same quantity, vectorized) takes over
+_VECTOR_ERLANG_THRESHOLD = 512
+
+
+def fast_erlang_c(servers: int, offered: float) -> float:
+    """Erlang-C that stays cheap for planet-scale pools.
+
+    Identical contract to :func:`~repro.core.latency.mm1.erlang_c`; for
+    pools past ``_VECTOR_ERLANG_THRESHOLD`` replicas the O(c) Python
+    recurrence is replaced by a numpy cumulative-product evaluation of the
+    inverse-Erlang-B series ``1/B = sum_j c!/((c-j)! a^j)``. Intermediate
+    overflow to ``inf`` only happens when the pool is so underloaded that
+    C is indistinguishable from 0, which is what is returned.
+    """
+    if servers <= _VECTOR_ERLANG_THRESHOLD:
+        return erlang_c(servers, offered)
+    if offered < 0:
+        raise ValueError(f"offered load must be >= 0, got {offered}")
+    if offered == 0:
+        return 0.0
+    if offered >= servers:
+        return 1.0
+    factors = (servers - np.arange(servers, dtype=np.float64)) / offered
+    with np.errstate(over="ignore"):
+        inverse_b = 1.0 + float(np.cumprod(factors).sum())
+    if not math.isfinite(inverse_b):
+        return 0.0
+    blocking = 1.0 / inverse_b
+    rho = offered / servers
+    return blocking / (1.0 - rho + rho * blocking)
+
+
+@dataclass
+class ClassFlowState:
+    """One traffic class's flows for one tick, as numpy rates."""
+
+    traffic_class: str
+    #: ingress demand per cluster (requests/second), cluster order of the
+    #: owning :class:`FlowModel`
+    demand: np.ndarray
+    #: service -> execution rate per cluster (requests/second)
+    exec_rates: dict[str, np.ndarray] = field(default_factory=dict)
+    #: service -> arrivals from *other* clusters per cluster
+    remote_rates: dict[str, np.ndarray] = field(default_factory=dict)
+    #: sum over flows of rate x rtt (latency-seconds per second on the WAN)
+    network_delay_rate: float = 0.0
+    #: requests/second lost to partitions and saturated pools
+    failed_rate: float = 0.0
+    #: predicted mean end-to-end latency of completing requests, seconds
+    mean_latency: float = 0.0
+
+    @property
+    def total_demand(self) -> float:
+        return float(self.demand.sum())
+
+    @property
+    def failure_fraction(self) -> float:
+        """Fraction of this class's demand that will fail, clamped to 1."""
+        total = self.total_demand
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.failed_rate / total)
+
+
+@dataclass
+class FluidTickSolution:
+    """Everything one tick of propagation derived from the routing state."""
+
+    clusters: tuple[str, ...]
+    per_class: dict[str, ClassFlowState]
+    #: (service, cluster) -> arrival rate, requests/second (all classes)
+    pool_arrival: dict[tuple[str, str], float]
+    #: (service, cluster) -> offered work, erlangs (slowdown included)
+    pool_offered: dict[tuple[str, str], float]
+    #: (service, cluster) -> mean M/M/c queueing wait, seconds (finite)
+    pool_wait: dict[tuple[str, str], float]
+    #: bytes/second leaving row cluster toward column cluster
+    egress_bytes: np.ndarray
+    #: dollars/second of egress across all pairs
+    egress_cost_rate: float
+
+
+class FlowModel:
+    """Builds routing matrices and propagates demand down call trees.
+
+    Matrices are cached per (service, class) and invalidated whenever the
+    routing table version, the latency revision (chaos overrides), or the
+    deployment fingerprint (failovers, autoscaling) moves — the same
+    signals that change per-request proxy decisions.
+    """
+
+    def __init__(self, app, deployment, table, latency, pricing) -> None:
+        self._app = app
+        self._deployment = deployment
+        self._table = table
+        self._latency = latency
+        self._pricing = pricing
+        self.clusters: tuple[str, ...] = tuple(sorted(deployment.cluster_names))
+        self._index = {name: i for i, name in enumerate(self.clusters)}
+        n = len(self.clusters)
+        self._price = np.array(
+            [[pricing.per_byte(a, b) for b in self.clusters]
+             for a in self.clusters])
+        self._rtt = np.zeros((n, n))
+        self._matrices: dict[tuple[str, str], np.ndarray] = {}
+        self._cache_signature: tuple | None = None
+        self._debug_invariants = invariants.invariants_enabled()
+
+    # ------------------------------------------------------- cache plumbing
+
+    def _deployment_signature(self) -> tuple:
+        return tuple(
+            (spec.name, tuple(sorted(spec.replicas.items())))
+            for spec in self._deployment.clusters)
+
+    def _refresh_caches(self) -> None:
+        signature = (self._table.version, self._latency.revision,
+                     self._deployment_signature())
+        if signature == self._cache_signature:
+            return
+        self._cache_signature = signature
+        self._matrices.clear()
+        self._rtt = np.array(
+            [[self._latency.rtt(a, b) for b in self.clusters]
+             for a in self.clusters])
+
+    def routing_matrix(self, service: str, traffic_class: str) -> np.ndarray:
+        """The n x n split matrix for one (service, class); row = source.
+
+        Row ``i`` is the probability split a proxy at cluster ``i`` applies
+        to a call of ``service`` — the exact fallback chain of
+        :meth:`~repro.mesh.proxy.SlateProxy.choose_cluster`. Every row sums
+        to 1 (checked under ``REPRO_DEBUG_INVARIANTS``).
+        """
+        self._refresh_caches()
+        key = (service, traffic_class)
+        matrix = self._matrices.get(key)
+        if matrix is not None:
+            return matrix
+        deployed = self._deployment.clusters_with(service)
+        if not deployed:
+            raise ValueError(f"service {service!r} is not deployed anywhere")
+        deployed_set = set(deployed)
+        n = len(self.clusters)
+        matrix = np.zeros((n, n))
+        for i, src in enumerate(self.clusters):
+            row: list[tuple[str, float]] | None = None
+            weights = self._table.weights_for(service, traffic_class, src)
+            if weights:
+                usable = {c: w for c, w in weights.items()
+                          if c in deployed_set}
+                total = sum(usable.values())
+                if total > 0:
+                    row = [(c, w / total) for c, w in sorted(usable.items())]
+            if row is None:
+                if src in deployed_set:
+                    row = [(src, 1.0)]
+                else:
+                    nearest = min(deployed, key=lambda c: (
+                        self._latency.one_way(src, c), c))
+                    row = [(nearest, 1.0)]
+            for cluster, weight in row:
+                matrix[i, self._index[cluster]] = weight
+        if self._debug_invariants:
+            invariants.check_routing_matrix(service, traffic_class, matrix)
+        self._matrices[key] = matrix
+        return matrix
+
+    # ---------------------------------------------------------- propagation
+
+    def propagate(self, demand,
+                  pool_state: dict[tuple[str, str], tuple[int, float]],
+                  ) -> FluidTickSolution:
+        """One tick's steady-state flows for ``demand``.
+
+        ``pool_state`` maps (service, cluster) to the live (replicas,
+        slowdown) of that pool — read from the mesh each tick so chaos
+        degradation and autoscaler resizes shape the very next solution.
+        """
+        self._refresh_caches()
+        n = len(self.clusters)
+        partition_mask = None
+        if self._latency.has_partitions:
+            partition_mask = np.array(
+                [[1.0 if self._latency.is_partitioned(a, b) else 0.0
+                  for b in self.clusters] for a in self.clusters])
+
+        per_class: dict[str, ClassFlowState] = {}
+        pool_arrival: dict[tuple[str, str], float] = {}
+        pool_offered: dict[tuple[str, str], float] = {}
+        egress_bytes = np.zeros((n, n))
+
+        for cls_name in sorted(self._app.classes):
+            spec = self._app.classes[cls_name]
+            vector = np.array([demand.rps(cls_name, c)
+                               for c in self.clusters])
+            state = ClassFlowState(cls_name, vector)
+            per_class[cls_name] = state
+            if vector.sum() <= 0:
+                continue
+
+            def route(origin: np.ndarray, service: str,
+                      request_bytes: int, response_bytes: int,
+                      state: ClassFlowState = state,
+                      cls_name: str = cls_name) -> np.ndarray:
+                matrix = self.routing_matrix(service, cls_name)
+                flows = origin[:, None] * matrix
+                if partition_mask is not None:
+                    lost = flows * partition_mask
+                    lost_total = float(lost.sum())
+                    if lost_total > 0:
+                        state.failed_rate += lost_total
+                        flows = flows - lost
+                state.network_delay_rate += float((flows * self._rtt).sum())
+                if request_bytes or response_bytes:
+                    off_diagonal = flows.copy()
+                    np.fill_diagonal(off_diagonal, 0.0)
+                    egress_bytes[:] += (off_diagonal * request_bytes
+                                        + off_diagonal.T * response_bytes)
+                return flows
+
+            def absorb(state: ClassFlowState, service: str,
+                       flows: np.ndarray) -> None:
+                arrivals = flows.sum(axis=0)
+                remote = arrivals - np.diag(flows)
+                previous = state.exec_rates.get(service)
+                state.exec_rates[service] = (
+                    arrivals if previous is None else previous + arrivals)
+                previous = state.remote_rates.get(service)
+                state.remote_rates[service] = (
+                    remote if previous is None else previous + remote)
+
+            absorb(state, spec.root_service,
+                   route(vector, spec.root_service,
+                         spec.ingress_request_bytes,
+                         spec.ingress_response_bytes))
+            children = spec.children_map()
+            for service in spec.services():
+                origin = state.exec_rates.get(service)
+                if origin is None:
+                    continue
+                for edge in children.get(service, []):
+                    calls = origin * edge.calls_per_request
+                    if calls.sum() <= 0:
+                        continue
+                    absorb(state, edge.callee,
+                           route(calls, edge.callee, edge.request_bytes,
+                                 edge.response_bytes))
+
+            for service, rates in state.exec_rates.items():
+                service_time = spec.exec_time_of(service)
+                for j, cluster in enumerate(self.clusters):
+                    rate = float(rates[j])
+                    if rate <= 0:
+                        continue
+                    key = (service, cluster)
+                    pool_arrival[key] = pool_arrival.get(key, 0.0) + rate
+                    if service_time > 0:
+                        entry = pool_state.get(key)
+                        slowdown = entry[1] if entry is not None else 1.0
+                        pool_offered[key] = (pool_offered.get(key, 0.0)
+                                             + rate * service_time * slowdown)
+
+        pool_wait = self._solve_pools(per_class, pool_arrival, pool_offered,
+                                      pool_state)
+        self._finish_latencies(per_class, pool_wait, pool_state)
+        egress_cost_rate = float((egress_bytes * self._price).sum())
+        return FluidTickSolution(
+            clusters=self.clusters, per_class=per_class,
+            pool_arrival=pool_arrival, pool_offered=pool_offered,
+            pool_wait=pool_wait, egress_bytes=egress_bytes,
+            egress_cost_rate=egress_cost_rate)
+
+    def _solve_pools(self, per_class, pool_arrival, pool_offered,
+                     pool_state) -> dict[tuple[str, str], float]:
+        """M/M/c waits per pool, shedding over-capacity work as failures."""
+        pool_wait: dict[tuple[str, str], float] = {}
+        for key in sorted(pool_offered):
+            service, cluster = key
+            entry = pool_state.get(key)
+            if entry is None:
+                raise ValueError(
+                    f"flow routed to undeployed pool {service!r}@{cluster!r}")
+            replicas, slowdown = entry
+            offered = pool_offered[key]
+            arrival = pool_arrival[key]
+            cap = UTILIZATION_CAP * replicas
+            effective = min(offered, cap)
+            mean_service = offered / arrival if arrival > 0 else 0.0
+            if effective > 0 and mean_service > 0:
+                wait_probability = fast_erlang_c(replicas, effective)
+                pool_wait[key] = (wait_probability * mean_service
+                                  / (replicas - effective))
+            else:
+                pool_wait[key] = 0.0
+            if offered <= cap:
+                continue
+            excess = offered - cap
+            for cls_name in sorted(per_class):
+                state = per_class[cls_name]
+                rates = state.exec_rates.get(service)
+                if rates is None:
+                    continue
+                service_time = self._app.classes[cls_name].exec_time_of(
+                    service)
+                if service_time <= 0:
+                    continue
+                rate = float(rates[self._index[cluster]])
+                if rate <= 0:
+                    continue
+                share = rate * service_time * slowdown / offered
+                state.failed_rate += excess * share / (service_time * slowdown)
+        return pool_wait
+
+    def _finish_latencies(self, per_class, pool_wait, pool_state) -> None:
+        """Mean e2e latency per class: pool sojourns plus WAN round trips."""
+        for state in per_class.values():
+            total = state.total_demand
+            if total <= 0:
+                continue
+            spec = self._app.classes[state.traffic_class]
+            latency_rate = 0.0
+            for service, rates in state.exec_rates.items():
+                service_time = spec.exec_time_of(service)
+                for j, cluster in enumerate(self.clusters):
+                    rate = float(rates[j])
+                    if rate <= 0:
+                        continue
+                    key = (service, cluster)
+                    entry = pool_state.get(key)
+                    slowdown = entry[1] if entry is not None else 1.0
+                    latency_rate += rate * (pool_wait.get(key, 0.0)
+                                            + service_time * slowdown)
+            state.mean_latency = (
+                (latency_rate + state.network_delay_rate) / total)

@@ -1,0 +1,207 @@
+"""The fluid substrate: bulk traffic as flow rates on a periodic tick.
+
+:class:`FluidSubstrate` replaces per-request arrival events with a tick
+loop: every ``tick`` seconds it reads the live demand timeline, routing
+table, deployment, and pool state, solves the class call trees with
+:class:`~repro.sim.fluid.flows.FlowModel`, and applies the solution as
+*bulk* accounting against the exact same objects the event path mutates —
+gateway conservation counters, :class:`~repro.mesh.telemetry.ProxyTelemetry`
+epoch windows, :class:`~repro.mesh.telemetry.RunTelemetry` lifetime
+counters, the egress ledger, and the pools. Downstream consumers (scrape
+loop, SLO alerts, epoch control loop, decision log) are untouched: they
+keep reading the interfaces they read today.
+
+Conservation is exact, not approximate: every fractional rate is
+integerized through a deterministic carry accumulator, every admitted bulk
+request is settled (completion or failure) by a credit event scheduled at
+``now + predicted mean latency``, so at quiesce each gateway satisfies
+``admitted == completed + failed`` and the drain/conservation invariants
+run unchanged.
+
+Scheduling uses :meth:`~repro.sim.engine.Simulator.schedule_periodic`
+(pre-scheduled ticks, so ``run_until_idle`` can drain) plus one final tick
+at the timeline end to flush the partial interval.
+"""
+
+from __future__ import annotations
+
+from ...devtools import invariants
+from .flows import FlowModel, FluidTickSolution
+
+__all__ = ["FluidSubstrate"]
+
+
+class FluidSubstrate:
+    """Bulk-traffic driver for one :class:`MeshSimulation` run."""
+
+    def __init__(self, simulation, timeline, tick: float = 0.1,
+                 bulk_fraction: float = 1.0) -> None:
+        if tick <= 0:
+            raise ValueError(f"tick must be > 0, got {tick}")
+        if not 0.0 <= bulk_fraction <= 1.0:
+            raise ValueError(
+                f"bulk_fraction must be in [0, 1], got {bulk_fraction}")
+        self._mesh = simulation
+        self._sim = simulation.sim
+        self._timeline = timeline
+        self.tick = tick
+        #: share of demand carried as bulk flow (the rest runs through the
+        #: event path as the hybrid mode's sampled slice)
+        self.bulk_fraction = bulk_fraction
+        self.model = FlowModel(simulation.app, simulation.deployment,
+                               simulation.table, simulation.network.latency,
+                               simulation.network.pricing)
+        #: the most recent tick's solution, for observers and tests
+        self.last_solution: FluidTickSolution | None = None
+        self.ticks = 0
+        self._last_tick = 0.0
+        # deterministic carry accumulators: fractional-rate remainders that
+        # roll into the next tick so integer counts conserve exactly
+        self._carry_admit: dict[tuple[str, str], float] = {}
+        self._carry_fail: dict[tuple[str, str], float] = {}
+        self._carry_pool: dict[tuple[str, str], float] = {}
+        self._carry_window: dict[tuple[str, str, str], float] = {}
+        self._carry_remote: dict[tuple[str, str, str], float] = {}
+        self._carry_bytes: dict[tuple[str, str], float] = {}
+        self._debug_invariants = invariants.invariants_enabled()
+
+    def install(self, duration: float) -> None:
+        """Pre-schedule the tick train plus a final flush at ``duration``."""
+        self._sim.schedule_periodic(self.tick, self._on_tick, duration)
+        self._sim.schedule_at(duration, self._on_tick)
+
+    # ------------------------------------------------------------ tick body
+
+    def _on_tick(self) -> None:
+        now = self._sim.now
+        if self._debug_invariants:
+            invariants.check_fluid_tick(self._last_tick, now)
+        dt = now - self._last_tick
+        if dt <= 0:
+            return
+        demand = self._timeline.demand_at(self._last_tick)
+        pool_state: dict[tuple[str, str], tuple[int, float]] = {}
+        for cluster_name in sorted(self._mesh.clusters):
+            cluster = self._mesh.clusters[cluster_name]
+            for service in sorted(cluster.pools):
+                pool = cluster.pools[service]
+                pool_state[(service, cluster_name)] = (pool.replicas,
+                                                       pool.slowdown)
+        solution = self.model.propagate(demand, pool_state)
+        self.last_solution = solution
+        if self._debug_invariants:
+            for state in solution.per_class.values():
+                invariants.check_fluid_rates(state.traffic_class,
+                                             state.demand)
+                for rates in state.exec_rates.values():
+                    invariants.check_fluid_rates(state.traffic_class, rates)
+        self._apply_pools(solution, pool_state, dt)
+        self._apply_admissions(solution, dt)
+        self._apply_windows(solution, pool_state, dt)
+        self._apply_egress(solution, dt)
+        self._last_tick = now
+        self.ticks += 1
+
+    def _apply_pools(self, solution: FluidTickSolution, pool_state,
+                     dt: float) -> None:
+        for key in sorted(pool_state):
+            service, cluster_name = key
+            pool = self._mesh.clusters[cluster_name].pools[service]
+            arrival = solution.pool_arrival.get(key, 0.0)
+            carry = (self._carry_pool.get(key, 0.0)
+                     + arrival * self.bulk_fraction * dt)
+            jobs = int(carry)
+            self._carry_pool[key] = carry - jobs
+            pool.fluid_update(solution.pool_offered.get(key, 0.0), arrival,
+                              solution.pool_wait.get(key, 0.0), dt, jobs)
+
+    def _apply_admissions(self, solution: FluidTickSolution,
+                          dt: float) -> None:
+        for cls_name in sorted(solution.per_class):
+            state = solution.per_class[cls_name]
+            failure_fraction = state.failure_fraction
+            latency = state.mean_latency
+            for j, cluster_name in enumerate(solution.clusters):
+                rps = float(state.demand[j])
+                if rps <= 0:
+                    continue
+                key = (cls_name, cluster_name)
+                carry = (self._carry_admit.get(key, 0.0)
+                         + rps * self.bulk_fraction * dt)
+                count = int(carry)
+                self._carry_admit[key] = carry - count
+                if count == 0:
+                    continue
+                fail_carry = (self._carry_fail.get(key, 0.0)
+                              + count * failure_fraction)
+                failed = min(count, int(fail_carry))
+                self._carry_fail[key] = fail_carry - failed
+                gateway = self._mesh.gateways[cluster_name]
+                gateway.admit_bulk(cls_name, count)
+                # the credit event settles this tick's cohort after its
+                # predicted latency, so open_requests drains to zero and
+                # request conservation holds exactly at quiesce
+                self._sim.schedule(latency, gateway.settle_bulk, cls_name,
+                                   count - failed, failed)
+
+    def _apply_windows(self, solution: FluidTickSolution, pool_state,
+                       dt: float) -> None:
+        for cls_name in sorted(solution.per_class):
+            state = solution.per_class[cls_name]
+            spec = self._mesh.app.traffic_class(cls_name)
+            for service in sorted(state.exec_rates):
+                rates = state.exec_rates[service]
+                remote = state.remote_rates[service]
+                service_time = spec.exec_time_of(service)
+                for j, cluster_name in enumerate(solution.clusters):
+                    rate = float(rates[j])
+                    if rate <= 0:
+                        continue
+                    key = (cluster_name, service, cls_name)
+                    carry = (self._carry_window.get(key, 0.0)
+                             + rate * self.bulk_fraction * dt)
+                    count = int(carry)
+                    self._carry_window[key] = carry - count
+                    remote_carry = (self._carry_remote.get(key, 0.0)
+                                    + float(remote[j])
+                                    * self.bulk_fraction * dt)
+                    remote_count = int(remote_carry)
+                    self._carry_remote[key] = remote_carry - remote_count
+                    if count == 0 and remote_count == 0:
+                        continue
+                    pool_key = (service, cluster_name)
+                    wait = solution.pool_wait.get(pool_key, 0.0)
+                    entry = pool_state.get(pool_key)
+                    slowdown = entry[1] if entry is not None else 1.0
+                    effective_exec = service_time * slowdown
+                    self._mesh.proxies[cluster_name].telemetry.observe_bulk(
+                        service, cls_name, completions=count,
+                        latency_sum=count * (wait + effective_exec),
+                        exec_sum=count * effective_exec,
+                        queue_wait_sum=count * wait,
+                        remote_arrivals=remote_count)
+
+    def _apply_egress(self, solution: FluidTickSolution, dt: float) -> None:
+        network = self._mesh.network
+        rates = solution.egress_bytes
+        for i, src in enumerate(solution.clusters):
+            for j, dst in enumerate(solution.clusters):
+                if i == j:
+                    continue
+                rate = float(rates[i, j])
+                if rate <= 0:
+                    continue
+                key = (src, dst)
+                carry = (self._carry_bytes.get(key, 0.0)
+                         + rate * self.bulk_fraction * dt)
+                nbytes = int(carry)
+                self._carry_bytes[key] = carry - nbytes
+                if nbytes == 0:
+                    continue
+                network.ledger.record(
+                    src, dst, nbytes,
+                    nbytes * network.pricing.per_byte(src, dst))
+
+    def __repr__(self) -> str:
+        return (f"FluidSubstrate(tick={self.tick}, "
+                f"bulk_fraction={self.bulk_fraction}, ticks={self.ticks})")

@@ -92,6 +92,10 @@ class LatencyMatrix:
             raise ValueError(f"missing inter-cluster delays for {missing}")
         self._overrides: dict[tuple[str, str], list[LatencyOverride]] = {}
         self._partitioned: int = 0
+        #: bumped on every override change, so consumers that cache derived
+        #: views of the matrix (the fluid substrate's RTT/partition caches)
+        #: can invalidate without re-probing every pair
+        self.revision: int = 0
 
     def apply_override(self, a: str, b: str, *, extra_delay: float = 0.0,
                        multiplier: float = 1.0,
@@ -117,6 +121,7 @@ class LatencyMatrix:
         self._overrides.setdefault(pair, []).append(token)
         if partition:
             self._partitioned += 1
+        self.revision += 1
         return token
 
     def remove_override(self, token: LatencyOverride) -> None:
@@ -129,6 +134,7 @@ class LatencyMatrix:
             del self._overrides[token.pair]
         if token.partition:
             self._partitioned -= 1
+        self.revision += 1
 
     @property
     def has_partitions(self) -> bool:

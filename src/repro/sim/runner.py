@@ -90,6 +90,9 @@ class MeshSimulation:
 
     SERVICE_MODELS = ("pool", "replicas")
     INTRA_LBS = ("round-robin", "least-outstanding")
+    #: how a run realises demand: per-request events, bulk fluid flow, or
+    #: fluid bulk plus a deterministic sampled event-level slice
+    FIDELITIES = ("event", "fluid", "hybrid")
 
     def __init__(self, app: AppSpec, deployment: DeploymentSpec,
                  seed: int = 0, classifier: Classifier | None = None,
@@ -100,7 +103,10 @@ class MeshSimulation:
                  intra_lb: str = "least-outstanding",
                  timeouts: TimeoutPolicy | None = None,
                  observability=None,
-                 latency_reservoir: int | None = None) -> None:
+                 latency_reservoir: int | None = None,
+                 fidelity: str = "event",
+                 sample_rate: float = 0.05,
+                 fluid_tick: float = 0.1) -> None:
         self.app = app
         self.deployment = deployment
         self.sim = Simulator()
@@ -147,8 +153,35 @@ class MeshSimulation:
         if intra_lb not in self.INTRA_LBS:
             raise ValueError(f"unknown intra_lb {intra_lb!r}; "
                              f"choose from {self.INTRA_LBS}")
+        if fidelity not in self.FIDELITIES:
+            raise ValueError(f"unknown fidelity {fidelity!r}; "
+                             f"choose from {self.FIDELITIES}")
+        if fidelity != "event" and service_model != "pool":
+            raise ValueError(
+                "fluid/hybrid fidelity models pools as M/M/c aggregates; "
+                "service_model='replicas' only makes sense in event mode")
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in (0, 1], got {sample_rate}")
+        if fluid_tick <= 0:
+            raise ValueError(f"fluid_tick must be > 0, got {fluid_tick}")
+        self.fidelity = fidelity
+        self._sample_rate = sample_rate
+        self._fluid_tick = fluid_tick
+        #: the bulk-flow driver, set once a fluid/hybrid run starts
+        self.fluid = None
         pool_factory = None
-        if service_model == "replicas":
+        if fidelity != "event":
+            from .fluid.pool import FluidPool
+            rng_for = self.rngs.stream
+
+            def pool_factory(sim, service, cluster, replicas):
+                # named wait streams: enabling the sampled slice cannot
+                # perturb any other stream of an otherwise-identical run
+                return FluidPool(
+                    sim, service, cluster, replicas,
+                    rng=rng_for(f"fluid/wait/{service}/{cluster}"))
+        elif service_model == "replicas":
             from ..mesh.loadbalancer import (LeastOutstandingBalancer,
                                              RoundRobinBalancer)
             from .replicas import ReplicaSet
@@ -222,10 +255,21 @@ class MeshSimulation:
         With ``epoch`` set, telemetry is harvested every ``epoch`` seconds
         and passed to ``on_epoch`` — the control loop. The final partial
         epoch is harvested after the drain.
+
+        In fluid/hybrid fidelity the constant demand is lowered to a
+        one-keyframe timeline and driven by the fluid substrate; the
+        event-fidelity path below is untouched byte for byte.
         """
         if duration <= 0:
             raise ValueError(f"duration must be > 0, got {duration}")
         self._check_demand(demand)
+        if self.fidelity != "event":
+            from .traces import DemandTimeline
+            self.run_timeline(
+                DemandTimeline.constant(demand, duration), epoch=epoch,
+                on_epoch=on_epoch,
+                deterministic_arrivals=deterministic_arrivals)
+            return
         install_sources(
             self.sim, demand, duration,
             attributes_for=lambda cls: self.app.traffic_class(cls).attributes,
@@ -264,12 +308,10 @@ class MeshSimulation:
         The time-varying counterpart of :meth:`run`: one source per
         (class, cluster) entry follows its piecewise rate profile.
         """
-        from .traces import install_timeline
         duration = timeline.end
         if duration <= 0:
             raise ValueError("timeline must end after t=0")
-        install_timeline(self, timeline,
-                         deterministic=deterministic_arrivals)
+        self._install_workload(timeline, deterministic_arrivals)
         if epoch is not None:
             if epoch <= 0:
                 raise ValueError(f"epoch must be > 0, got {epoch}")
@@ -288,6 +330,36 @@ class MeshSimulation:
         if self.observability is not None:
             self.observability.finalize_scrape()
         self._verify_invariants()
+
+    def _install_workload(self, timeline, deterministic: bool) -> None:
+        """Attach demand per the fidelity: sources, fluid bulk, or both.
+
+        Event mode installs one Poisson source per (class, cluster), as
+        ever. Fluid mode hands the whole timeline to the
+        :class:`~repro.sim.fluid.substrate.FluidSubstrate` tick loop.
+        Hybrid splits the demand: ``1 - sample_rate`` runs as bulk flow
+        while a ``sample_rate``-scaled copy of the timeline drives regular
+        event-level sources — the same named arrival streams, so the
+        sampled slice is a deterministic, registry-seeded subpopulation
+        that exercises proxies, WAN, tracing, and SLO alerts end to end.
+        """
+        from .traces import install_timeline
+        if self.fidelity == "event":
+            install_timeline(self, timeline, deterministic=deterministic)
+            return
+        from .fluid.substrate import FluidSubstrate
+        from .traces import DemandTimeline
+        bulk = (1.0 if self.fidelity == "fluid"
+                else 1.0 - self._sample_rate)
+        self.fluid = FluidSubstrate(self, timeline, tick=self._fluid_tick,
+                                    bulk_fraction=bulk)
+        self.fluid.install(timeline.end)
+        if self.fidelity == "hybrid":
+            sampled = DemandTimeline(
+                keyframes=[(start, demand.scaled(self._sample_rate))
+                           for start, demand in timeline.keyframes],
+                end=timeline.end)
+            install_timeline(self, sampled, deterministic=deterministic)
 
     def harvest_reports(self) -> list[ClusterEpochReport]:
         """Collect and reset every cluster's epoch telemetry."""

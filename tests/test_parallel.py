@@ -181,13 +181,22 @@ def test_run_policy_accepts_prebuilt_classifier():
 # ------------------------------------------------------------ speedup gate
 
 
-@pytest.mark.skipif((os.cpu_count() or 1) < 4,
-                    reason="speedup criterion applies to 4+-core machines")
-def test_four_worker_sweep_speedup():
-    """ISSUE 2 acceptance: 4 workers on >=8 units beats serial >=2.5x."""
+def test_sweep_speedup_scales_with_host_cores():
+    """ISSUE 2 acceptance, made honest: the gate runs on every host.
+
+    The original form skipped below 4 cores, so 1-core CI hosts silently
+    "passed" without measuring anything. Now the floor scales with the
+    cores the host actually has: 4 workers on >=8 units must beat serial
+    >=2.5x given 4+ cores, while smaller hosts still assert that the
+    process pool is not catastrophically slower than serial (spawn and
+    pickling overhead allowed for). BENCH_sweep.json records the same
+    per-effective-core scaling so regressions show up in ``bench-diff``.
+    """
+    cores = os.cpu_count() or 1
+    duration = 6.0 if cores >= 4 else 2.5
     units = []
     for seed in (42, 7, 101, 13):
-        setup = small_setup(duration=6.0, seed=seed)
+        setup = small_setup(duration=duration, seed=seed)
         for policy in setup.policies:
             units.append(SweepUnit(setup.scenario, policy))
     assert len(units) >= 8
@@ -200,4 +209,9 @@ def test_four_worker_sweep_speedup():
     for ours, theirs in zip(serial_outcomes, parallel_outcomes):
         assert ours.latencies == theirs.latencies
         assert ours.egress_cost == theirs.egress_cost
-    assert serial.last_elapsed / parallel.last_elapsed >= 2.5
+
+    speedup = serial.last_elapsed / parallel.last_elapsed
+    floor = 2.5 if cores >= 4 else 0.4
+    assert speedup >= floor, (
+        f"4-worker sweep ran at {speedup:.2f}x serial on a {cores}-core "
+        f"host; floor is {floor}x")
